@@ -1,0 +1,194 @@
+// Repository-level benchmarks: one per table/figure of the PLANET
+// evaluation (see DESIGN.md). Each benchmark runs the corresponding
+// experiment in quick mode through the same code path as cmd/planetbench
+// and reports its headline metrics; `go test -bench . -benchmem` therefore
+// regenerates the whole evaluation in miniature. Run cmd/planetbench for
+// full-size tables.
+package main_test
+
+import (
+	"fmt"
+	"testing"
+
+	"planet/internal/experiments"
+)
+
+// runExperiment executes one experiment per benchmark iteration and
+// publishes its metrics through the benchmark reporter.
+func runExperiment(b *testing.B, id string) {
+	b.Helper()
+	run, ok := experiments.Find(id)
+	if !ok {
+		b.Fatalf("unknown experiment %q", id)
+	}
+	var last experiments.Result
+	for i := 0; i < b.N; i++ {
+		res, err := run(experiments.Config{Quick: true, Seed: int64(100 + i)})
+		if err != nil {
+			b.Fatalf("experiment %s: %v", id, err)
+		}
+		last = res
+	}
+	// Surface a few stable headline metrics (full tables via planetbench).
+	published := 0
+	for _, k := range last.MetricKeys() {
+		if published >= 6 {
+			break
+		}
+		b.ReportMetric(last.Metrics[k], k)
+		published++
+	}
+}
+
+func BenchmarkT1RTTMatrix(b *testing.B)         { runExperiment(b, "t1") }
+func BenchmarkF1CommitCDF(b *testing.B)         { runExperiment(b, "f1") }
+func BenchmarkF2Calibration(b *testing.B)       { runExperiment(b, "f2") }
+func BenchmarkF3Trajectory(b *testing.B)        { runExperiment(b, "f3") }
+func BenchmarkF4Speculation(b *testing.B)       { runExperiment(b, "f4") }
+func BenchmarkF5AdmissionLoad(b *testing.B)     { runExperiment(b, "f5") }
+func BenchmarkF6Contention(b *testing.B)        { runExperiment(b, "f6") }
+func BenchmarkF7Stages(b *testing.B)            { runExperiment(b, "f7") }
+func BenchmarkF8Scale(b *testing.B)             { runExperiment(b, "f8") }
+func BenchmarkA1FastVsClassic(b *testing.B)     { runExperiment(b, "a1") }
+func BenchmarkA2PredictorAblation(b *testing.B) { runExperiment(b, "a2") }
+func BenchmarkA3Commutative(b *testing.B)       { runExperiment(b, "a3") }
+func BenchmarkE1LossSweep(b *testing.B)         { runExperiment(b, "e1") }
+func BenchmarkE2JitterSweep(b *testing.B)       { runExperiment(b, "e2") }
+
+// TestExperimentsRunClean is the smoke test that every registered
+// experiment completes without error in quick mode.
+func TestExperimentsRunClean(t *testing.T) {
+	if testing.Short() {
+		t.Skip("experiments are seconds-long; skipped with -short")
+	}
+	for _, e := range experiments.Registry {
+		e := e
+		t.Run(e.ID, func(t *testing.T) {
+			t.Parallel()
+			res, err := e.Run(experiments.Config{Quick: true, Seed: 7})
+			if err != nil {
+				t.Fatalf("%s: %v", e.ID, err)
+			}
+			if len(res.Metrics) == 0 {
+				t.Errorf("%s produced no metrics", e.ID)
+			}
+			if res.Text == "" {
+				t.Errorf("%s produced no table", e.ID)
+			}
+		})
+	}
+}
+
+// TestEvaluationShapes asserts the qualitative claims the paper makes —
+// who wins, in which regime — rather than absolute numbers.
+func TestEvaluationShapes(t *testing.T) {
+	if testing.Short() {
+		t.Skip("experiments are seconds-long; skipped with -short")
+	}
+	t.Run("f4-speculation-tradeoff", func(t *testing.T) {
+		t.Parallel()
+		res, err := experiments.F4Speculation(experiments.Config{Quick: true, Seed: 21})
+		if err != nil {
+			t.Fatal(err)
+		}
+		m := res.Metrics
+		// Perceived latency is far below final latency at every threshold.
+		for _, th := range []string{"th_050", "th_090", "th_099"} {
+			if m[th+"_perceived_p50_ms"] >= m[th+"_final_p50_ms"] {
+				t.Errorf("%s: perceived %.1fms not below final %.1fms",
+					th, m[th+"_perceived_p50_ms"], m[th+"_final_p50_ms"])
+			}
+		}
+		// Raising the threshold must not increase the apology rate
+		// (compare the extremes; middle points are noisy at quick sizes).
+		if m["th_099_apology_rate"] > m["th_050_apology_rate"]+0.02 {
+			t.Errorf("apologies grew with threshold: %.3f @0.99 vs %.3f @0.50",
+				m["th_099_apology_rate"], m["th_050_apology_rate"])
+		}
+	})
+
+	t.Run("f5-admission-protects-commit-rate", func(t *testing.T) {
+		t.Parallel()
+		res, err := experiments.F5AdmissionLoad(experiments.Config{Quick: true, Seed: 23})
+		if err != nil {
+			t.Fatal(err)
+		}
+		m := res.Metrics
+		// At the highest offered load, admitted transactions commit at a
+		// higher rate than under no admission control.
+		noAdm := m["no_admission_rate_2400_commit_rate"]
+		adm := m["admission_rate_2400_commit_rate"]
+		if adm <= noAdm {
+			t.Errorf("admission commit rate %.3f not above no-admission %.3f", adm, noAdm)
+		}
+		if m["admission_rate_2400_reject_frac"] == 0 {
+			t.Error("admission control rejected nothing under overload")
+		}
+	})
+
+	t.Run("a3-commutativity-beats-physical-writes", func(t *testing.T) {
+		t.Parallel()
+		res, err := experiments.A3Commutative(experiments.Config{Quick: true, Seed: 29})
+		if err != nil {
+			t.Fatal(err)
+		}
+		m := res.Metrics
+		if m["commutative_buy_commit_rate"] <= m["physical_rmw_commit_rate"] {
+			t.Errorf("commutative %.3f not above physical %.3f",
+				m["commutative_buy_commit_rate"], m["physical_rmw_commit_rate"])
+		}
+		if m["scarce_remaining"] < 0 {
+			t.Errorf("oversold: remaining stock %v < 0", m["scarce_remaining"])
+		}
+		if m["scarce_sold"] != m["scarce_committed"] {
+			t.Errorf("sold %v != committed %v", m["scarce_sold"], m["scarce_committed"])
+		}
+	})
+
+	t.Run("a2-conflict-term-improves-calibration", func(t *testing.T) {
+		t.Parallel()
+		res, err := experiments.A2PredictorAblation(experiments.Config{Quick: true, Seed: 31})
+		if err != nil {
+			t.Fatal(err)
+		}
+		m := res.Metrics
+		if m["full_model_mae"] >= m["latency_only_mae"] {
+			t.Errorf("full model MAE %.4f not below latency-only %.4f",
+				m["full_model_mae"], m["latency_only_mae"])
+		}
+		if m["mc_max_abs_diff"] > 0.08 {
+			t.Errorf("analytic and Monte-Carlo disagree by %.4f", m["mc_max_abs_diff"])
+		}
+	})
+
+	t.Run("f1-fast-beats-classic-far-from-master", func(t *testing.T) {
+		t.Parallel()
+		res, err := experiments.F1CommitCDF(experiments.Config{Quick: true, Seed: 37})
+		if err != nil {
+			t.Fatal(err)
+		}
+		m := res.Metrics
+		// Classic (master in Virginia) must win at the master's region and
+		// lose badly from Singapore, the farthest client.
+		if m["classic_us-east_p50_ms"] >= m["fast_us-east_p50_ms"] {
+			t.Errorf("classic at master %.0fms not below fast %.0fms",
+				m["classic_us-east_p50_ms"], m["fast_us-east_p50_ms"])
+		}
+		if m["classic_ap-southeast_p50_ms"] <= m["fast_ap-southeast_p50_ms"] {
+			t.Errorf("classic from singapore %.0fms not above fast %.0fms",
+				m["classic_ap-southeast_p50_ms"], m["fast_ap-southeast_p50_ms"])
+		}
+	})
+}
+
+// Example of a metric dump, exercised by go vet's Example checker.
+func Example() {
+	res := experiments.Result{
+		Name:    "demo",
+		Metrics: map[string]float64{"b": 2, "a": 1},
+	}
+	fmt.Print(res.FormatMetrics())
+	// Output:
+	// a                                              1.0000
+	// b                                              2.0000
+}

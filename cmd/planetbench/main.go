@@ -1,0 +1,77 @@
+// Command planetbench regenerates the tables and figures of the PLANET
+// evaluation (see DESIGN.md for the experiment index).
+//
+// Usage:
+//
+//	planetbench [-quick] [-seed N] [-scale F] [-metrics] all
+//	planetbench [-quick] [-seed N] [-scale F] [-metrics] t1 f1 f5 ...
+//	planetbench -list
+//
+// Latency columns are reported in WAN time: the experiments run on a
+// time-compressed network emulation and measurements are rescaled back.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"planet/internal/experiments"
+)
+
+func main() {
+	var (
+		quick      = flag.Bool("quick", false, "run reduced workload sizes")
+		seed       = flag.Int64("seed", 1, "random seed")
+		scale      = flag.Float64("scale", 0, "WAN time-compression factor (0 = default)")
+		list       = flag.Bool("list", false, "list experiments and exit")
+		showMetric = flag.Bool("metrics", false, "also print machine-readable metrics")
+	)
+	flag.Parse()
+
+	if *list {
+		for _, e := range experiments.Registry {
+			fmt.Printf("%-4s %s\n", e.ID, e.Title)
+		}
+		return
+	}
+
+	ids := flag.Args()
+	if len(ids) == 0 {
+		fmt.Fprintln(os.Stderr, "planetbench: no experiments given (try 'all' or -list)")
+		os.Exit(2)
+	}
+	if len(ids) == 1 && ids[0] == "all" {
+		ids = ids[:0]
+		for _, e := range experiments.Registry {
+			ids = append(ids, e.ID)
+		}
+	}
+
+	cfg := experiments.Config{Quick: *quick, Seed: *seed, TimeScale: *scale}
+	failed := false
+	for _, id := range ids {
+		run, ok := experiments.Find(id)
+		if !ok {
+			fmt.Fprintf(os.Stderr, "planetbench: unknown experiment %q (use -list)\n", id)
+			failed = true
+			continue
+		}
+		start := time.Now()
+		res, err := run(cfg)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "planetbench: %s failed: %v\n", id, err)
+			failed = true
+			continue
+		}
+		fmt.Println(res)
+		if *showMetric {
+			fmt.Print(res.FormatMetrics())
+		}
+		fmt.Printf("(%s ran in %s)\n\n", id, time.Since(start).Round(time.Millisecond))
+	}
+	if failed {
+		os.Exit(1)
+	}
+}

@@ -1,0 +1,117 @@
+// Command planetload drives configurable workloads against an in-process
+// PLANET deployment and prints a latency/outcome report — the load-testing
+// companion to cmd/planetbench's fixed experiment suite.
+//
+// Examples:
+//
+//	planetload                                   # defaults: closed loop, buy workload
+//	planetload -workload rmw -hot 4 -hotprob 0.8 # contended physical writes
+//	planetload -open -rate 1500 -count 2000      # open-loop Poisson arrivals
+//	planetload -admission 0.4 -speculate 0.95    # PLANET features on
+//	planetload -mode classic -master us-east     # classic path via Virginia
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+
+	"planet/internal/cluster"
+	planet "planet/internal/core"
+	"planet/internal/mdcc"
+	"planet/internal/metrics"
+	"planet/internal/simnet"
+	"planet/internal/workload"
+)
+
+func main() {
+	var (
+		workloadName = flag.String("workload", "buy", "buy | rmw | transfer | checkout")
+		keys         = flag.Int("keys", 1000, "key-space size")
+		hot          = flag.Int("hot", 0, "hotspot size (0 = uniform)")
+		hotprob      = flag.Float64("hotprob", 0.5, "fraction of traffic on the hotspot")
+		clients      = flag.Int("clients", 20, "closed-loop client count")
+		perClient    = flag.Int("per-client", 50, "transactions per client (closed loop)")
+		openLoop     = flag.Bool("open", false, "open-loop (Poisson) arrivals instead of closed loop")
+		rate         = flag.Float64("rate", 1000, "open-loop arrival rate, txn/s (emulator time)")
+		count        = flag.Int("count", 1000, "open-loop transaction count")
+		speculate    = flag.Float64("speculate", 0, "speculation threshold (0 disables)")
+		admission    = flag.Float64("admission", 0, "admission MinLikelihood (0 disables)")
+		modeName     = flag.String("mode", "fast", "fast | classic")
+		master       = flag.String("master", "", "fixed master region (classic locality)")
+		scale        = flag.Float64("scale", 0.02, "WAN time compression")
+		seed         = flag.Int64("seed", 1, "random seed")
+	)
+	flag.Parse()
+
+	var mode mdcc.Mode
+	switch *modeName {
+	case "fast":
+		mode = mdcc.ModeFast
+	case "classic":
+		mode = mdcc.ModeClassic
+	default:
+		fmt.Fprintf(os.Stderr, "planetload: unknown mode %q\n", *modeName)
+		os.Exit(2)
+	}
+
+	var keygen workload.KeyGen
+	if *hot > 0 {
+		keygen = workload.Hotspot{Prefix: "k-", HotKeys: *hot, ColdKeys: *keys, HotProb: *hotprob}
+	} else {
+		keygen = workload.Uniform{Prefix: "k-", N: *keys}
+	}
+	var tmpl workload.Template
+	switch *workloadName {
+	case "buy":
+		tmpl = workload.Buy{Products: keygen}
+	case "rmw":
+		tmpl = workload.ReadModifyWrite{Keys: keygen}
+	case "transfer":
+		tmpl = workload.Transfer{Accounts: keygen, Balance: 1_000_000}
+	case "checkout":
+		tmpl = workload.Checkout{Products: keygen, Orders: workload.Uniform{Prefix: "o-", N: *keys}}
+	default:
+		fmt.Fprintf(os.Stderr, "planetload: unknown workload %q\n", *workloadName)
+		os.Exit(2)
+	}
+
+	c, err := cluster.New(cluster.Config{TimeScale: *scale, Seed: *seed, MasterRegion: simnet.Region(*master)})
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer c.Close()
+	db, err := planet.Open(planet.Config{
+		Cluster:   c,
+		Mode:      mode,
+		Admission: planet.AdmissionPolicy{MinLikelihood: *admission, ProbeFraction: 0.05},
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	opts := workload.Options{DB: db, Template: tmpl, SpeculateAt: *speculate, Seed: *seed}
+	var rep *workload.Report
+	if *openLoop {
+		rep, err = workload.Open{Options: opts, Rate: *rate, Count: *count}.Run()
+	} else {
+		rep, err = workload.Closed{Options: opts, Clients: *clients, PerClient: *perClient}.Run()
+	}
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	unscale := 1 / *scale
+	fmt.Printf("workload=%s mode=%s clients=%d speculate=%.2f admission=%.2f\n",
+		*workloadName, mode, *clients, *speculate, *admission)
+	fmt.Println(rep)
+	fmt.Println("latency in WAN time (rescaled):")
+	fmt.Print(metrics.LabeledSummaries(map[string]metrics.Summary{
+		"final":     rep.Final.Summarize(),
+		"perceived": rep.Perceived.Summarize(),
+		"accept":    rep.Accept.Summarize(),
+	}, unscale))
+	fmt.Println("per-origin final latency (WAN time):")
+	fmt.Print(metrics.LabeledSummaries(rep.PerRegion(), unscale))
+}

@@ -1,0 +1,94 @@
+// Quickstart: stand up a five-datacenter PLANET deployment in-process,
+// write a record through a staged transaction, and watch its commit
+// progress stream in through callbacks.
+//
+// Run with:
+//
+//	go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"log"
+	"time"
+
+	"planet/internal/cluster"
+	planet "planet/internal/core"
+	"planet/internal/regions"
+	"planet/internal/txn"
+)
+
+func main() {
+	// A five-region cluster (California, Virginia, Ireland, Singapore,
+	// Tokyo) over an emulated WAN. TimeScale 0.05 runs 150ms links as
+	// 7.5ms so the demo finishes quickly; latencies printed below are in
+	// emulator time.
+	c, err := cluster.New(cluster.Config{TimeScale: 0.05, Seed: 1})
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer c.Close()
+
+	db, err := planet.Open(planet.Config{Cluster: c})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// Seed a record and open a client session homed in California.
+	c.SeedBytes("greeting", []byte("hello"))
+	s, err := db.Session(regions.California)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// Read-modify-write through the staged commit API.
+	tx := s.Begin()
+	old, err := tx.Read("greeting")
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("read %q from the local replica\n", old)
+	tx.Set("greeting", []byte("hello, planet"))
+
+	h, err := tx.Commit(planet.CommitOptions{
+		SpeculateAt: 0.95,
+		OnAccept: func(p planet.Progress) {
+			fmt.Printf("%-12s likelihood=%.3f after %v\n", "accepted", p.Likelihood, p.Elapsed.Round(time.Millisecond))
+		},
+		OnProgress: func(p planet.Progress) {
+			fmt.Printf("%-12s likelihood=%.3f votes=%d/%d after %v\n",
+				p.Stage, p.Likelihood, p.VotesReceived, p.VotesExpected, p.Elapsed.Round(time.Millisecond))
+		},
+		OnSpeculative: func(p planet.Progress) {
+			fmt.Printf("%-12s likelihood=%.3f — safe to respond to the user now\n", "SPECULATIVE", p.Likelihood)
+		},
+		OnFinal: func(o txn.Outcome) {
+			fmt.Printf("%-12s %v\n", "FINAL", o)
+		},
+		OnApology: func(o txn.Outcome) {
+			fmt.Printf("%-12s we owe the user an apology: %v\n", "APOLOGY", o.Err)
+		},
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	outcome := h.Wait()
+	if !outcome.Committed {
+		log.Fatalf("commit failed: %v", outcome.Err)
+	}
+
+	// The write is now durable across all five datacenters.
+	c.Quiesce(5 * time.Second)
+	for _, r := range c.Regions() {
+		rs, err := db.Session(r)
+		if err != nil {
+			log.Fatal(err)
+		}
+		v, ver, err := rs.ReadBytes("greeting")
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("replica %-14s: %q (version %d)\n", r, v, ver)
+	}
+}

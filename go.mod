@@ -1,0 +1,3 @@
+module planet
+
+go 1.22

@@ -1,0 +1,151 @@
+// Package baseline implements the comparison point for PLANET's evaluation:
+// the traditional blocking transaction model over the same geo-replicated
+// store. A baseline client performs the same optimistic commit protocol but
+// exposes none of PLANET's machinery — no progress callbacks, no commit
+// likelihood, no speculation, no admission control. Commit blocks until the
+// final geo-replicated decision.
+//
+// Experiments compare PLANET and baseline on identical clusters and
+// workloads: the protocol latency is the same by construction; the
+// differences PLANET claims (perceived latency, goodput under contention)
+// come from the programming model and admission control.
+package baseline
+
+import (
+	"fmt"
+	"sort"
+	"time"
+
+	"planet/internal/cluster"
+	"planet/internal/mdcc"
+	"planet/internal/simnet"
+	"planet/internal/txn"
+)
+
+// Client is a blocking transaction client for one cluster.
+type Client struct {
+	cluster *cluster.Cluster
+	mode    mdcc.Mode
+}
+
+// New returns a Client committing through the given protocol path.
+func New(c *cluster.Cluster, mode mdcc.Mode) *Client {
+	return &Client{cluster: c, mode: mode}
+}
+
+// Txn starts a transaction homed in region.
+type Txn struct {
+	client  *Client
+	region  simnet.Region
+	replica *mdcc.Replica
+	reads   map[string]int64
+	writes  map[string]txn.Op
+	done    bool
+}
+
+// Begin starts a transaction in region.
+func (c *Client) Begin(region simnet.Region) (*Txn, error) {
+	rep := c.cluster.Replica(region)
+	if rep == nil {
+		return nil, fmt.Errorf("baseline: unknown region %q", region)
+	}
+	return &Txn{
+		client:  c,
+		region:  region,
+		replica: rep,
+		reads:   make(map[string]int64),
+		writes:  make(map[string]txn.Op),
+	}, nil
+}
+
+// Read returns the committed bytes of key from the local replica.
+func (t *Txn) Read(key string) ([]byte, error) {
+	v, ok := t.replica.ReadLocal(key)
+	if !ok {
+		return nil, fmt.Errorf("baseline: key %q not found", key)
+	}
+	t.reads[key] = v.Version
+	return v.Bytes, nil
+}
+
+// ReadInt returns the committed integer value of key.
+func (t *Txn) ReadInt(key string) (int64, error) {
+	v, ok := t.replica.ReadLocal(key)
+	if !ok {
+		return 0, fmt.Errorf("baseline: key %q not found", key)
+	}
+	t.reads[key] = v.Version
+	return v.Int, nil
+}
+
+// Set buffers a physical write.
+func (t *Txn) Set(key string, value []byte) {
+	ver, read := t.reads[key]
+	if !read {
+		if v, ok := t.replica.ReadLocal(key); ok {
+			ver = v.Version
+		}
+		t.reads[key] = ver
+	}
+	t.writes[key] = txn.Op{Kind: txn.OpSet, Key: key,
+		Value: append([]byte(nil), value...), ReadVersion: ver}
+}
+
+// Add buffers a commutative integer delta.
+func (t *Txn) Add(key string, delta int64) {
+	op := t.writes[key]
+	if op.Kind == txn.OpAdd && op.Key == key {
+		op.Delta += delta
+		t.writes[key] = op
+		return
+	}
+	t.writes[key] = txn.Op{Kind: txn.OpAdd, Key: key, Delta: delta}
+}
+
+// blockSink resolves a channel on decision and discards progress.
+type blockSink struct {
+	ch chan decided
+}
+
+type decided struct {
+	committed bool
+	err       error
+}
+
+// Progress implements mdcc.ProgressSink.
+func (s *blockSink) Progress(mdcc.ProgressEvent) {}
+
+// Decided implements mdcc.ProgressSink.
+func (s *blockSink) Decided(_ txn.ID, committed bool, err error) {
+	s.ch <- decided{committed, err}
+}
+
+// Commit blocks until the geo-replicated decision and returns the outcome.
+func (t *Txn) Commit() (txn.Outcome, error) {
+	if t.done {
+		return txn.Outcome{}, fmt.Errorf("baseline: transaction committed twice")
+	}
+	t.done = true
+
+	keys := make([]string, 0, len(t.writes))
+	for k := range t.writes {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	ops := make([]txn.Op, 0, len(keys))
+	for _, k := range keys {
+		ops = append(ops, t.writes[k])
+	}
+
+	id := txn.NewID()
+	start := time.Now()
+	sink := &blockSink{ch: make(chan decided, 1)}
+	if err := t.client.cluster.Coordinator(t.region).Submit(id, ops, t.client.mode, sink); err != nil {
+		return txn.Outcome{}, err
+	}
+	d := <-sink.ch
+	return txn.Outcome{
+		ID: id, Committed: d.committed, Err: d.err,
+		Submitted: start, Decided: time.Now(),
+	}, nil
+}

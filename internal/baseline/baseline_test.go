@@ -1,0 +1,185 @@
+package baseline
+
+import (
+	"math/rand"
+	"sync"
+	"testing"
+	"time"
+
+	"planet/internal/cluster"
+	"planet/internal/mdcc"
+	"planet/internal/regions"
+	"planet/internal/simnet"
+)
+
+func testCluster(t *testing.T) *cluster.Cluster {
+	t.Helper()
+	c, err := cluster.New(cluster.Config{TimeScale: 0.01, Seed: 12,
+		CommitTimeout: 60 * time.Second})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() {
+		c.Close()
+		c.Quiesce(2 * time.Second)
+	})
+	return c
+}
+
+func TestBlockingCommit(t *testing.T) {
+	c := testCluster(t)
+	c.SeedBytes("k", []byte("v0"))
+	cl := New(c, mdcc.ModeFast)
+
+	tx, err := cl.Begin(regions.California)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := tx.Read("k")
+	if err != nil || string(got) != "v0" {
+		t.Fatalf("read %q err=%v", got, err)
+	}
+	tx.Set("k", []byte("v1"))
+	o, err := tx.Commit()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !o.Committed {
+		t.Fatalf("abort: %v", o.Err)
+	}
+	if o.Duration() <= 0 {
+		t.Error("no latency measured")
+	}
+}
+
+func TestBlockingConflict(t *testing.T) {
+	c := testCluster(t)
+	c.SeedBytes("k", []byte("v0"))
+	cl := New(c, mdcc.ModeFast)
+
+	// Two racing blind writes: at most one commits.
+	var wg sync.WaitGroup
+	results := make([]bool, 2)
+	for i, region := range []simnet.Region{regions.California, regions.Ireland} {
+		wg.Add(1)
+		go func(i int, r simnet.Region) {
+			defer wg.Done()
+			tx, err := cl.Begin(r)
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			tx.Set("k", []byte{byte(i)})
+			o, err := tx.Commit()
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			results[i] = o.Committed
+		}(i, region)
+	}
+	wg.Wait()
+	if results[0] && results[1] {
+		t.Fatal("both conflicting writes committed")
+	}
+}
+
+func TestBlockingAdds(t *testing.T) {
+	c := testCluster(t)
+	c.SeedInt("n", 10, 0, 100)
+	cl := New(c, mdcc.ModeClassic)
+
+	tx, err := cl.Begin(regions.Tokyo)
+	if err != nil {
+		t.Fatal(err)
+	}
+	v, err := tx.ReadInt("n")
+	if err != nil || v != 10 {
+		t.Fatalf("ReadInt=%d err=%v", v, err)
+	}
+	tx.Add("n", 5)
+	tx.Add("n", 3) // accumulates
+	o, err := tx.Commit()
+	if err != nil || !o.Committed {
+		t.Fatalf("commit: %v %v", o, err)
+	}
+	c.Quiesce(5 * time.Second)
+	got, _ := c.Replica(regions.Tokyo).ReadLocal("n")
+	if got.Int != 18 {
+		t.Errorf("n=%d, want 18", got.Int)
+	}
+}
+
+func TestDoubleCommit(t *testing.T) {
+	c := testCluster(t)
+	cl := New(c, mdcc.ModeFast)
+	tx, err := cl.Begin(regions.California)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := tx.Commit(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := tx.Commit(); err == nil {
+		t.Error("second commit accepted")
+	}
+}
+
+func TestUnknownRegion(t *testing.T) {
+	c := testCluster(t)
+	cl := New(c, mdcc.ModeFast)
+	if _, err := cl.Begin("atlantis"); err == nil {
+		t.Error("unknown region accepted")
+	}
+}
+
+func TestMissingKeyRead(t *testing.T) {
+	c := testCluster(t)
+	cl := New(c, mdcc.ModeFast)
+	tx, err := cl.Begin(regions.California)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := tx.Read("ghost"); err == nil {
+		t.Error("missing key read succeeded")
+	}
+	if _, err := tx.ReadInt("ghost"); err == nil {
+		t.Error("missing key ReadInt succeeded")
+	}
+}
+
+func TestRunClosed(t *testing.T) {
+	c := testCluster(t)
+	for i := 0; i < 8; i++ {
+		c.SeedInt(keyN("acct", i), 100, 0, 1<<40)
+	}
+	cl := New(c, mdcc.ModeFast)
+	rep, err := cl.RunClosed(c.Regions(), 4, 5, 13, func(tx *Txn, rng *rand.Rand) error {
+		tx.Add(keyN("acct", rng.Intn(8)), 1)
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Committed+rep.Aborted != 20 {
+		t.Errorf("decided %d, want 20", rep.Committed+rep.Aborted)
+	}
+	if rep.CommitRate() == 0 || rep.GoodputPerSec() == 0 {
+		t.Errorf("rates: commit=%v goodput=%v", rep.CommitRate(), rep.GoodputPerSec())
+	}
+	if rep.Latency.Count() != 20 {
+		t.Errorf("latency samples=%d", rep.Latency.Count())
+	}
+}
+
+func TestRunClosedValidation(t *testing.T) {
+	c := testCluster(t)
+	cl := New(c, mdcc.ModeFast)
+	if _, err := cl.RunClosed(c.Regions(), 0, 5, 1, nil); err == nil {
+		t.Error("zero clients accepted")
+	}
+}
+
+func keyN(prefix string, i int) string {
+	return prefix + "-" + string(rune('a'+i))
+}

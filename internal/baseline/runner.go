@@ -1,0 +1,92 @@
+package baseline
+
+import (
+	"fmt"
+	"math/rand"
+	"sync"
+	"time"
+
+	"planet/internal/metrics"
+	"planet/internal/simnet"
+)
+
+// TxnBuilder assembles one baseline transaction (mirrors workload.Template
+// without depending on the PLANET API).
+type TxnBuilder func(t *Txn, rng *rand.Rand) error
+
+// RunReport aggregates a baseline run.
+type RunReport struct {
+	Latency   *metrics.Histogram
+	Committed uint64
+	Aborted   uint64
+	Elapsed   time.Duration
+}
+
+// CommitRate is committed / decided.
+func (r *RunReport) CommitRate() float64 {
+	total := r.Committed + r.Aborted
+	if total == 0 {
+		return 0
+	}
+	return float64(r.Committed) / float64(total)
+}
+
+// GoodputPerSec is committed transactions per second of run time.
+func (r *RunReport) GoodputPerSec() float64 {
+	if r.Elapsed <= 0 {
+		return 0
+	}
+	return float64(r.Committed) / r.Elapsed.Seconds()
+}
+
+// RunClosed drives a closed-loop blocking workload: clients × perClient
+// transactions, each blocking on its final decision.
+func (c *Client) RunClosed(regionList []simnet.Region, clients, perClient int, seed int64, build TxnBuilder) (*RunReport, error) {
+	if clients <= 0 || perClient <= 0 {
+		return nil, fmt.Errorf("baseline: clients and perClient must be positive")
+	}
+	report := &RunReport{Latency: metrics.NewHistogram()}
+	var mu sync.Mutex
+	var wg sync.WaitGroup
+	errs := make(chan error, clients)
+	start := time.Now()
+	for i := 0; i < clients; i++ {
+		region := regionList[i%len(regionList)]
+		rng := rand.New(rand.NewSource(seed + int64(i)*104729))
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := 0; j < perClient; j++ {
+				t, err := c.Begin(region)
+				if err != nil {
+					errs <- err
+					return
+				}
+				if err := build(t, rng); err != nil {
+					errs <- err
+					return
+				}
+				o, err := t.Commit()
+				if err != nil {
+					errs <- err
+					return
+				}
+				mu.Lock()
+				report.Latency.Observe(o.Duration())
+				if o.Committed {
+					report.Committed++
+				} else {
+					report.Aborted++
+				}
+				mu.Unlock()
+			}
+		}()
+	}
+	wg.Wait()
+	close(errs)
+	report.Elapsed = time.Since(start)
+	if err := <-errs; err != nil {
+		return report, err
+	}
+	return report, nil
+}

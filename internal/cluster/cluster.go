@@ -1,0 +1,202 @@
+// Package cluster assembles a runnable PLANET deployment: a simulated WAN
+// over a region topology, one MDCC replica per region, and one transaction
+// coordinator per region. It is the composition root shared by the tests,
+// the examples, and the benchmark harness.
+package cluster
+
+import (
+	"fmt"
+	"time"
+
+	"planet/internal/mdcc"
+	"planet/internal/regions"
+	"planet/internal/simnet"
+)
+
+// Config parameterizes a cluster.
+type Config struct {
+	// Topology supplies the regions and their latency matrix.
+	// Defaults to the paper's five-datacenter topology.
+	Topology regions.Topology
+	// TimeScale compresses WAN delays (see simnet.Config). Defaults to
+	// DefaultTimeScale.
+	TimeScale float64
+	// Seed drives all network randomness.
+	Seed int64
+	// LossRate drops messages uniformly at random, in [0,1).
+	LossRate float64
+	// CommitTimeout bounds a transaction's in-flight time, expressed in
+	// unscaled (WAN) time; the cluster scales it. Defaults to
+	// DefaultCommitTimeout.
+	CommitTimeout time.Duration
+	// MasterRegion, when non-empty, makes one region master for every
+	// key; otherwise masters are assigned by key hash across regions.
+	MasterRegion simnet.Region
+	// PendingTTL evicts orphaned pending options (unscaled time).
+	// Defaults to DefaultPendingTTL; negative disables eviction.
+	PendingTTL time.Duration
+	// WAL enables per-replica write-ahead logs (memory-backed).
+	WAL bool
+}
+
+// Defaults used when Config fields are zero.
+const (
+	DefaultTimeScale     = 0.02
+	DefaultCommitTimeout = 5 * time.Second
+	DefaultPendingTTL    = 20 * time.Second
+)
+
+// Cluster is a fully wired deployment.
+type Cluster struct {
+	Net      *simnet.Network
+	Topology regions.Topology
+
+	replicas map[simnet.Region]*mdcc.Replica
+	coords   map[simnet.Region]*mdcc.Coordinator
+	wals     map[simnet.Region]*mdcc.WAL
+	scale    float64
+}
+
+// replicaName and coordName are the per-region node names.
+const (
+	replicaName = "replica"
+	coordName   = "coord"
+)
+
+// New builds and starts a cluster.
+func New(cfg Config) (*Cluster, error) {
+	if cfg.Topology.Matrix == nil {
+		cfg.Topology = regions.Five()
+	}
+	if cfg.TimeScale == 0 {
+		cfg.TimeScale = DefaultTimeScale
+	}
+	if cfg.CommitTimeout == 0 {
+		cfg.CommitTimeout = DefaultCommitTimeout
+	}
+	switch {
+	case cfg.PendingTTL == 0:
+		cfg.PendingTTL = DefaultPendingTTL
+	case cfg.PendingTTL < 0:
+		cfg.PendingTTL = 0
+	}
+
+	net, err := simnet.New(simnet.Config{
+		Latency:   cfg.Topology.Matrix,
+		TimeScale: cfg.TimeScale,
+		Seed:      cfg.Seed,
+		LossRate:  cfg.LossRate,
+	})
+	if err != nil {
+		return nil, fmt.Errorf("cluster: %w", err)
+	}
+
+	regionList := cfg.Topology.Regions
+	if cfg.MasterRegion != "" {
+		found := false
+		for _, r := range regionList {
+			if r == cfg.MasterRegion {
+				found = true
+				break
+			}
+		}
+		if !found {
+			return nil, fmt.Errorf("cluster: master region %q not in topology", cfg.MasterRegion)
+		}
+	}
+
+	replicaAddrs := make([]simnet.Addr, len(regionList))
+	for i, r := range regionList {
+		replicaAddrs[i] = simnet.Addr{Region: r, Name: replicaName}
+	}
+
+	masterFor := func(key string) simnet.Addr {
+		if cfg.MasterRegion != "" {
+			return simnet.Addr{Region: cfg.MasterRegion, Name: replicaName}
+		}
+		return simnet.Addr{Region: mdcc.MasterFor(key, regionList), Name: replicaName}
+	}
+
+	c := &Cluster{
+		Net:      net,
+		Topology: cfg.Topology,
+		replicas: make(map[simnet.Region]*mdcc.Replica, len(regionList)),
+		coords:   make(map[simnet.Region]*mdcc.Coordinator, len(regionList)),
+		wals:     make(map[simnet.Region]*mdcc.WAL, len(regionList)),
+		scale:    cfg.TimeScale,
+	}
+
+	for i, r := range regionList {
+		var wal *mdcc.WAL
+		if cfg.WAL {
+			wal = mdcc.NewWAL(nil)
+			c.wals[r] = wal
+		}
+		c.replicas[r] = mdcc.NewReplica(mdcc.ReplicaConfig{
+			Net:        net,
+			Addr:       replicaAddrs[i],
+			Peers:      replicaAddrs,
+			PendingTTL: time.Duration(float64(cfg.PendingTTL) * cfg.TimeScale),
+			WAL:        wal,
+		})
+		coord, err := mdcc.NewCoordinator(mdcc.CoordinatorConfig{
+			Net:           net,
+			Addr:          simnet.Addr{Region: r, Name: coordName},
+			Replicas:      replicaAddrs,
+			MasterFor:     masterFor,
+			CommitTimeout: time.Duration(float64(cfg.CommitTimeout) * cfg.TimeScale),
+		})
+		if err != nil {
+			return nil, err
+		}
+		c.coords[r] = coord
+	}
+	return c, nil
+}
+
+// Regions returns the cluster's regions in topology order.
+func (c *Cluster) Regions() []simnet.Region { return c.Topology.Regions }
+
+// TimeScale returns the WAN compression factor.
+func (c *Cluster) TimeScale() float64 { return c.scale }
+
+// Replica returns the region's replica, or nil for an unknown region.
+func (c *Cluster) Replica(r simnet.Region) *mdcc.Replica { return c.replicas[r] }
+
+// Coordinator returns the region's coordinator, or nil for unknown regions.
+func (c *Cluster) Coordinator(r simnet.Region) *mdcc.Coordinator { return c.coords[r] }
+
+// WALOf returns the region's write-ahead log (nil unless Config.WAL).
+func (c *Cluster) WALOf(r simnet.Region) *mdcc.WAL { return c.wals[r] }
+
+// SeedBytes installs key=value at every replica (setup path).
+func (c *Cluster) SeedBytes(key string, value []byte) {
+	for _, rep := range c.replicas {
+		rep.SeedBytes(key, value)
+	}
+}
+
+// SeedInt installs an integer record with integrity bounds at every replica.
+func (c *Cluster) SeedInt(key string, value, lo, hi int64) {
+	for _, rep := range c.replicas {
+		rep.SeedInt(key, value, lo, hi)
+	}
+}
+
+// ScaleDuration converts an unscaled WAN duration into emulator time.
+func (c *Cluster) ScaleDuration(d time.Duration) time.Duration {
+	return time.Duration(float64(d) * c.scale)
+}
+
+// UnscaleDuration converts a measured emulator duration back to WAN time.
+func (c *Cluster) UnscaleDuration(d time.Duration) time.Duration {
+	return time.Duration(float64(d) / c.scale)
+}
+
+// Close shuts the network down.
+func (c *Cluster) Close() {
+	c.Net.Close()
+}
+
+// Quiesce waits for in-flight messages to drain (bounded by timeout).
+func (c *Cluster) Quiesce(timeout time.Duration) bool { return c.Net.Quiesce(timeout) }

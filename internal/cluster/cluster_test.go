@@ -1,0 +1,130 @@
+package cluster
+
+import (
+	"testing"
+	"time"
+
+	"planet/internal/regions"
+	"planet/internal/simnet"
+)
+
+func TestDefaults(t *testing.T) {
+	c, err := New(Config{TimeScale: 0.01})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	if len(c.Regions()) != 5 {
+		t.Errorf("default topology has %d regions, want 5", len(c.Regions()))
+	}
+	for _, r := range c.Regions() {
+		if c.Replica(r) == nil || c.Coordinator(r) == nil {
+			t.Errorf("region %s missing nodes", r)
+		}
+	}
+	if c.Replica("nowhere") != nil || c.Coordinator("nowhere") != nil {
+		t.Error("unknown region returned nodes")
+	}
+	if c.WALOf(regions.California) != nil {
+		t.Error("WAL present without Config.WAL")
+	}
+}
+
+func TestMasterRegionValidation(t *testing.T) {
+	if _, err := New(Config{MasterRegion: "atlantis", TimeScale: 0.01}); err == nil {
+		t.Error("unknown master region accepted")
+	}
+	c, err := New(Config{MasterRegion: regions.Virginia, TimeScale: 0.01})
+	if err != nil {
+		t.Fatal(err)
+	}
+	c.Close()
+}
+
+func TestSeedReachesAllReplicas(t *testing.T) {
+	c, err := New(Config{Topology: regions.Three(), TimeScale: 0.01})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	c.SeedBytes("b", []byte("x"))
+	c.SeedInt("i", 7, 0, 10)
+	for _, r := range c.Regions() {
+		if v, ok := c.Replica(r).ReadLocal("b"); !ok || string(v.Bytes) != "x" {
+			t.Errorf("%s: bytes seed missing", r)
+		}
+		if v, ok := c.Replica(r).ReadLocal("i"); !ok || v.Int != 7 {
+			t.Errorf("%s: int seed missing", r)
+		}
+	}
+}
+
+func TestScaleHelpers(t *testing.T) {
+	c, err := New(Config{TimeScale: 0.02})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	if got := c.ScaleDuration(time.Second); got != 20*time.Millisecond {
+		t.Errorf("ScaleDuration=%v", got)
+	}
+	if got := c.UnscaleDuration(20 * time.Millisecond); got != time.Second {
+		t.Errorf("UnscaleDuration=%v", got)
+	}
+	if c.TimeScale() != 0.02 {
+		t.Errorf("TimeScale=%v", c.TimeScale())
+	}
+}
+
+func TestWALEnabled(t *testing.T) {
+	c, err := New(Config{WAL: true, TimeScale: 0.01})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	for _, r := range c.Regions() {
+		if c.WALOf(r) == nil {
+			t.Errorf("%s: WAL missing", r)
+		}
+	}
+}
+
+func TestNegativePendingTTLDisables(t *testing.T) {
+	c, err := New(Config{PendingTTL: -1, TimeScale: 0.01})
+	if err != nil {
+		t.Fatal(err)
+	}
+	c.Close()
+}
+
+func TestQuiesceEmpty(t *testing.T) {
+	c, err := New(Config{TimeScale: 0.01})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	if !c.Quiesce(time.Second) {
+		t.Error("idle network failed to quiesce")
+	}
+}
+
+func TestLossRatePropagates(t *testing.T) {
+	if _, err := New(Config{LossRate: 1.5, TimeScale: 0.01}); err == nil {
+		t.Error("invalid loss rate accepted")
+	}
+}
+
+func TestCustomTopology(t *testing.T) {
+	topo, err := regions.Build([]simnet.Region{regions.Tokyo, regions.Sydney}, 0.1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c, err := New(Config{Topology: topo, TimeScale: 0.01})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	if len(c.Regions()) != 2 {
+		t.Errorf("regions=%v", c.Regions())
+	}
+}

@@ -1,0 +1,236 @@
+package planet
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"planet/internal/cluster"
+	"planet/internal/mdcc"
+	"planet/internal/metrics"
+	"planet/internal/predictor"
+	"planet/internal/simnet"
+)
+
+// Errors surfaced through transaction outcomes.
+var (
+	// ErrAdmission marks a transaction rejected by admission control.
+	ErrAdmission = errors.New("planet: rejected by admission control")
+	// ErrKeyNotFound is returned by reads of unknown keys.
+	ErrKeyNotFound = errors.New("planet: key not found")
+)
+
+// AdmissionPolicy configures likelihood-based admission control.
+// The zero value admits everything.
+type AdmissionPolicy struct {
+	// MinLikelihood rejects transactions whose predicted commit
+	// likelihood at submission is below this value.
+	MinLikelihood float64
+	// MaxInFlight, when positive, bounds concurrently executing
+	// transactions per region; excess submissions are rejected.
+	MaxInFlight int
+	// ProbeFraction admits this fraction of below-threshold transactions
+	// anyway, keeping the predictor's contention statistics fresh: if a
+	// hot record cools down, probes discover it without waiting for the
+	// statistics to decay.
+	ProbeFraction float64
+}
+
+// enabled reports whether the policy can reject anything.
+func (a AdmissionPolicy) enabled() bool {
+	return a.MinLikelihood > 0 || a.MaxInFlight > 0
+}
+
+// Config parameterizes Open.
+type Config struct {
+	// Cluster is the deployment to run on. Required.
+	Cluster *cluster.Cluster
+	// Mode selects the commit path (fast with classic fallback, or
+	// classic). Defaults to ModeFast.
+	Mode mdcc.Mode
+	// Admission is the admission-control policy (zero = admit all).
+	Admission AdmissionPolicy
+	// DisableConflictTerm drops contention statistics from the
+	// likelihood model (ablation A2).
+	DisableConflictTerm bool
+	// DisableLatencyTerm drops deadline-awareness from the likelihood
+	// model (ablation A2).
+	DisableLatencyTerm bool
+	// ConflictHalfLife overrides the contention-decay half-life
+	// (emulator time).
+	ConflictHalfLife time.Duration
+	// Calibrate, when true, records (likelihood, outcome) pairs into a
+	// calibration table retrievable via DB.Calibration.
+	Calibrate bool
+}
+
+// Stats aggregates transaction outcomes across the DB.
+type Stats struct {
+	Submitted  uint64
+	Committed  uint64
+	Aborted    uint64
+	Rejected   uint64
+	Speculated uint64
+	Apologies  uint64
+}
+
+// DB is a PLANET database handle over a cluster. Open one per deployment,
+// then create per-region Sessions for clients.
+type DB struct {
+	cfg   Config
+	preds map[simnet.Region]*predictor.Predictor
+	calib *metrics.Calibration
+
+	inFlight map[simnet.Region]*atomic.Int64
+
+	rngMu sync.Mutex
+	rng   *rand.Rand // admission probes
+
+	submitted  atomic.Uint64
+	committed  atomic.Uint64
+	aborted    atomic.Uint64
+	rejected   atomic.Uint64
+	speculated atomic.Uint64
+	apologies  atomic.Uint64
+}
+
+// Open wires a DB over cfg.Cluster.
+func Open(cfg Config) (*DB, error) {
+	if cfg.Cluster == nil {
+		return nil, fmt.Errorf("planet: Config.Cluster is required")
+	}
+	regionList := cfg.Cluster.Regions()
+	db := &DB{
+		cfg:      cfg,
+		preds:    make(map[simnet.Region]*predictor.Predictor, len(regionList)),
+		inFlight: make(map[simnet.Region]*atomic.Int64, len(regionList)),
+		rng:      rand.New(rand.NewSource(1)),
+	}
+	if cfg.Calibrate {
+		db.calib = metrics.NewCalibration(10)
+	}
+	for _, r := range regionList {
+		db.preds[r] = predictor.New(predictor.Config{
+			Regions:          regionList,
+			FastQuorum:       mdcc.FastQuorum(len(regionList)),
+			ConflictHalfLife: cfg.ConflictHalfLife,
+			UseConflicts:     !cfg.DisableConflictTerm,
+			UseLatency:       !cfg.DisableLatencyTerm,
+		})
+		db.inFlight[r] = &atomic.Int64{}
+	}
+	return db, nil
+}
+
+// Cluster returns the underlying deployment.
+func (db *DB) Cluster() *cluster.Cluster { return db.cfg.Cluster }
+
+// Predictor returns the region's likelihood predictor (harness, tests).
+func (db *DB) Predictor(r simnet.Region) *predictor.Predictor { return db.preds[r] }
+
+// Calibration returns the calibration table (nil unless Config.Calibrate).
+func (db *DB) Calibration() *metrics.Calibration { return db.calib }
+
+// Stats snapshots the outcome counters.
+func (db *DB) Stats() Stats {
+	return Stats{
+		Submitted:  db.submitted.Load(),
+		Committed:  db.committed.Load(),
+		Aborted:    db.aborted.Load(),
+		Rejected:   db.rejected.Load(),
+		Speculated: db.speculated.Load(),
+		Apologies:  db.apologies.Load(),
+	}
+}
+
+// probe draws whether a below-threshold transaction is admitted anyway.
+func (db *DB) probe(fraction float64) bool {
+	if fraction <= 0 {
+		return false
+	}
+	db.rngMu.Lock()
+	defer db.rngMu.Unlock()
+	return db.rng.Float64() < fraction
+}
+
+// Session returns a client handle bound to a region: reads are served by
+// that region's replica and commits are coordinated there, exactly like an
+// application server co-located with a datacenter.
+func (db *DB) Session(region simnet.Region) (*Session, error) {
+	coord := db.cfg.Cluster.Coordinator(region)
+	replica := db.cfg.Cluster.Replica(region)
+	if coord == nil || replica == nil {
+		return nil, fmt.Errorf("planet: unknown region %q", region)
+	}
+	return &Session{db: db, region: region, coord: coord, replica: replica, pred: db.preds[region]}, nil
+}
+
+// Session is a per-region client.
+type Session struct {
+	db      *DB
+	region  simnet.Region
+	coord   *mdcc.Coordinator
+	replica *mdcc.Replica
+	pred    *predictor.Predictor
+}
+
+// Region returns the session's home region.
+func (s *Session) Region() simnet.Region { return s.region }
+
+// ReadBytes returns the committed byte value and version of key at the
+// local replica.
+func (s *Session) ReadBytes(key string) ([]byte, int64, error) {
+	v, ok := s.replica.ReadLocal(key)
+	if !ok {
+		return nil, 0, fmt.Errorf("planet: read %q: %w", key, ErrKeyNotFound)
+	}
+	return v.Bytes, v.Version, nil
+}
+
+// ReadInt returns the committed integer value and version of key at the
+// local replica.
+func (s *Session) ReadInt(key string) (int64, int64, error) {
+	v, ok := s.replica.ReadLocal(key)
+	if !ok {
+		return 0, 0, fmt.Errorf("planet: read %q: %w", key, ErrKeyNotFound)
+	}
+	return v.Int, v.Version, nil
+}
+
+// quorumReadTimeout is the WAN-time budget for a quorum read.
+const quorumReadTimeout = 5 * time.Second
+
+// QuorumReadBytes reads key from a majority of replicas and returns the
+// freshest committed bytes. One wide-area round trip, but unlike the local
+// ReadBytes it observes every write committed and propagated before the
+// read began.
+func (s *Session) QuorumReadBytes(key string) ([]byte, int64, error) {
+	v, found, err := s.coord.QuorumRead(key, s.db.cfg.Cluster.ScaleDuration(quorumReadTimeout))
+	if err != nil {
+		return nil, 0, err
+	}
+	if !found {
+		return nil, 0, fmt.Errorf("planet: quorum read %q: %w", key, ErrKeyNotFound)
+	}
+	return v.Bytes, v.Version, nil
+}
+
+// QuorumReadInt is QuorumReadBytes for integer records.
+func (s *Session) QuorumReadInt(key string) (int64, int64, error) {
+	v, found, err := s.coord.QuorumRead(key, s.db.cfg.Cluster.ScaleDuration(quorumReadTimeout))
+	if err != nil {
+		return 0, 0, err
+	}
+	if !found {
+		return 0, 0, fmt.Errorf("planet: quorum read %q: %w", key, ErrKeyNotFound)
+	}
+	return v.Int, v.Version, nil
+}
+
+// Begin starts a transaction.
+func (s *Session) Begin() *Txn {
+	return &Txn{session: s, reads: make(map[string]int64), writes: make(map[string]write)}
+}

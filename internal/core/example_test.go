@@ -1,0 +1,110 @@
+package planet_test
+
+import (
+	"fmt"
+	"log"
+	"time"
+
+	"planet/internal/cluster"
+	planet "planet/internal/core"
+	"planet/internal/regions"
+	"planet/internal/txn"
+)
+
+// Example shows the staged commit API end to end: read, buffer writes,
+// commit with callbacks, and wait for the geo-replicated decision.
+func Example() {
+	c, err := cluster.New(cluster.Config{TimeScale: 0.01, Seed: 1, CommitTimeout: 60 * time.Second})
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer c.Close()
+	db, err := planet.Open(planet.Config{Cluster: c})
+	if err != nil {
+		log.Fatal(err)
+	}
+	c.SeedInt("stock", 10, 0, 10)
+
+	s, err := db.Session(regions.California)
+	if err != nil {
+		log.Fatal(err)
+	}
+	tx := s.Begin()
+	tx.Add("stock", -2)
+	h, err := tx.Commit(planet.CommitOptions{
+		OnFinal: func(o txn.Outcome) {
+			fmt.Println("final: committed =", o.Committed)
+		},
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	o := h.Wait()
+	fmt.Println("stock sold:", o.Committed)
+	// Output:
+	// final: committed = true
+	// stock sold: true
+}
+
+// ExampleSession_Run shows the optimistic retry helper: the closure is
+// re-executed with fresh reads whenever the commit hits a write conflict.
+func ExampleSession_Run() {
+	c, err := cluster.New(cluster.Config{TimeScale: 0.01, Seed: 2, CommitTimeout: 60 * time.Second})
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer c.Close()
+	db, err := planet.Open(planet.Config{Cluster: c})
+	if err != nil {
+		log.Fatal(err)
+	}
+	c.SeedBytes("profile", []byte("v1"))
+
+	s, err := db.Session(regions.Tokyo)
+	if err != nil {
+		log.Fatal(err)
+	}
+	outcome, err := s.Run(0, func(tx *planet.Txn) error {
+		old, err := tx.Read("profile")
+		if err != nil {
+			return err
+		}
+		tx.Set("profile", append(old, []byte("+edit")...))
+		return nil
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("committed:", outcome.Committed)
+	// Output:
+	// committed: true
+}
+
+// ExampleSession_QuorumReadBytes shows the freshness upgrade over local
+// reads: a majority read observes writes a lagging replica may not have
+// applied yet.
+func ExampleSession_QuorumReadBytes() {
+	c, err := cluster.New(cluster.Config{TimeScale: 0.01, Seed: 3, CommitTimeout: 60 * time.Second})
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer c.Close()
+	db, err := planet.Open(planet.Config{Cluster: c})
+	if err != nil {
+		log.Fatal(err)
+	}
+	c.SeedBytes("k", []byte("fresh"))
+	c.Quiesce(5 * time.Second)
+
+	s, err := db.Session(regions.Singapore)
+	if err != nil {
+		log.Fatal(err)
+	}
+	v, version, err := s.QuorumReadBytes("k")
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("%s @ v%d\n", v, version)
+	// Output:
+	// fresh @ v0
+}

@@ -1,0 +1,406 @@
+package planet
+
+import (
+	"fmt"
+	"sync"
+	"time"
+
+	"planet/internal/mdcc"
+	"planet/internal/predictor"
+	"planet/internal/simnet"
+	"planet/internal/txn"
+)
+
+// Progress is a snapshot of a transaction's commit progress, passed to
+// stage and progress callbacks.
+type Progress struct {
+	Txn        txn.ID
+	Stage      txn.Stage
+	Likelihood float64
+	Elapsed    time.Duration
+	// VotesReceived / VotesExpected count fast-path replica votes.
+	VotesReceived int
+	VotesExpected int
+	// OptionsLearned counts options with a definitive accept/reject.
+	OptionsLearned int
+	OptionsTotal   int
+}
+
+// String implements fmt.Stringer.
+func (p Progress) String() string {
+	return fmt.Sprintf("%s %s likelihood=%.3f votes=%d/%d opts=%d/%d t=%s",
+		p.Txn, p.Stage, p.Likelihood, p.VotesReceived, p.VotesExpected,
+		p.OptionsLearned, p.OptionsTotal, p.Elapsed)
+}
+
+// CommitOptions configures one staged commit. All callbacks are optional;
+// they run on a per-transaction dispatch goroutine in stage order
+// (accept ≤ progress* ≤ speculative ≤ deadline? ≤ final ≤ apology), so a
+// slow callback delays later callbacks of the same transaction only.
+type CommitOptions struct {
+	// SpeculateAt, in (0,1], fires OnSpeculative once the predicted
+	// commit likelihood reaches the threshold. Zero disables speculation.
+	SpeculateAt float64
+	// Deadline, measured from submission in wall-clock (emulator) time,
+	// fires OnDeadline with the live progress if the transaction has not
+	// finished by then. The transaction keeps running.
+	Deadline time.Duration
+	// OnAccept fires when the system takes responsibility for the
+	// transaction (admission passed, commit processing started).
+	OnAccept func(Progress)
+	// OnProgress fires on every protocol event (vote, fallback, learn).
+	OnProgress func(Progress)
+	// OnSpeculative fires at most once, when likelihood ≥ SpeculateAt.
+	OnSpeculative func(Progress)
+	// OnDeadline fires if the deadline passes before the final decision.
+	OnDeadline func(Progress)
+	// OnFinal fires exactly once with the transaction's outcome,
+	// including admission rejections.
+	OnFinal func(txn.Outcome)
+	// OnApology fires after OnFinal iff the transaction speculated and
+	// then aborted — the guaranteed apology.
+	OnApology func(txn.Outcome)
+}
+
+// optTrack follows one option's votes at the handle.
+type optTrack struct {
+	key      string
+	accepts  int
+	voted    map[simnet.Region]bool
+	fellBack bool
+	learned  int
+}
+
+// Handle is a staged commit in flight. Obtain one from Txn.Commit.
+type Handle struct {
+	id      txn.ID
+	db      *DB
+	session *Session
+	opts    CommitOptions
+	regions []simnet.Region
+
+	mu         sync.Mutex
+	stage      txn.Stage
+	likelihood float64
+	tracks     map[string]*optTrack
+	votes      int
+	learnedN   int
+	speculated bool
+	terminal   bool
+	outcome    txn.Outcome
+	samples    []float64 // in-flight likelihood samples for calibration
+	start      time.Time
+	timer      *time.Timer
+
+	cbq  chan func()
+	done chan struct{}
+}
+
+// maxCalibSamples caps per-transaction calibration samples.
+const maxCalibSamples = 64
+
+// Commit submits the transaction through admission control and starts
+// commit processing. It returns an error only for malformed transactions
+// (mixed Set/Add on a key, double commit); admission rejections and commit
+// outcomes are reported through the handle.
+func (t *Txn) Commit(opts CommitOptions) (*Handle, error) {
+	if t.committed {
+		return nil, fmt.Errorf("planet: transaction committed twice")
+	}
+	ops, err := t.ops()
+	if err != nil {
+		return nil, err
+	}
+	t.committed = true
+
+	s := t.session
+	db := s.db
+	regionList := db.cfg.Cluster.Regions()
+	h := &Handle{
+		id:      txn.NewID(),
+		db:      db,
+		session: s,
+		opts:    opts,
+		regions: regionList,
+		tracks:  make(map[string]*optTrack, len(ops)),
+		start:   time.Now(),
+		done:    make(chan struct{}),
+	}
+	for _, op := range ops {
+		h.tracks[op.Key] = &optTrack{
+			key:      op.Key,
+			voted:    make(map[simnet.Region]bool, len(regionList)),
+			fellBack: db.cfg.Mode == mdcc.ModeClassic,
+		}
+	}
+	// Capacity covers every possible callback enqueue, so sends under
+	// h.mu never block: votes + fallbacks + learns (progress), plus the
+	// singleton stage callbacks and the sentinel.
+	h.cbq = make(chan func(), len(regionList)*len(ops)+2*len(ops)+16)
+	go h.dispatch()
+
+	// Admission control: consult the predictor before any protocol work.
+	prior := s.pred.LikelihoodAtSubmit(t.Keys())
+	h.likelihood = prior
+	pol := db.cfg.Admission
+	if pol.enabled() && len(ops) > 0 {
+		inFlight := db.inFlight[s.region]
+		if pol.MinLikelihood > 0 && prior < pol.MinLikelihood && !db.probe(pol.ProbeFraction) {
+			db.rejected.Add(1)
+			h.reject()
+			return h, nil
+		}
+		if pol.MaxInFlight > 0 && inFlight.Load() >= int64(pol.MaxInFlight) {
+			db.rejected.Add(1)
+			h.reject()
+			return h, nil
+		}
+	}
+
+	db.submitted.Add(1)
+	db.inFlight[s.region].Add(1)
+	h.stage = txn.StageAccepted
+	h.enqueue(h.opts.OnAccept, h.progressLocked())
+
+	if opts.Deadline > 0 {
+		h.timer = time.AfterFunc(opts.Deadline, h.onDeadline)
+	}
+	if err := s.coord.Submit(h.id, ops, db.cfg.Mode, (*handleSink)(h)); err != nil {
+		// Unreachable for well-formed ops, but fail closed.
+		db.inFlight[s.region].Add(-1)
+		h.finishLocked(false, err, true)
+		return h, nil
+	}
+	return h, nil
+}
+
+// ID returns the transaction ID.
+func (h *Handle) ID() txn.ID { return h.id }
+
+// Stage returns the current stage.
+func (h *Handle) Stage() txn.Stage {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return h.stage
+}
+
+// Likelihood returns the latest predicted commit likelihood.
+func (h *Handle) Likelihood() float64 {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return h.likelihood
+}
+
+// Progress returns a live snapshot.
+func (h *Handle) Progress() Progress {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return h.progressLocked()
+}
+
+// Wait blocks until every callback has run and returns the outcome.
+func (h *Handle) Wait() txn.Outcome {
+	<-h.done
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return h.outcome
+}
+
+// Done returns a channel closed after the final callback.
+func (h *Handle) Done() <-chan struct{} { return h.done }
+
+// progressLocked builds a snapshot. Caller holds h.mu.
+func (h *Handle) progressLocked() Progress {
+	return Progress{
+		Txn:            h.id,
+		Stage:          h.stage,
+		Likelihood:     h.likelihood,
+		Elapsed:        time.Since(h.start),
+		VotesReceived:  h.votes,
+		VotesExpected:  len(h.regions) * len(h.tracks),
+		OptionsLearned: h.learnedN,
+		OptionsTotal:   len(h.tracks),
+	}
+}
+
+// enqueue schedules one callback invocation; nil callbacks are skipped.
+func (h *Handle) enqueue(cb func(Progress), p Progress) {
+	if cb == nil {
+		return
+	}
+	h.cbq <- func() { cb(p) }
+}
+
+// enqueueOutcome schedules an outcome callback.
+func (h *Handle) enqueueOutcome(cb func(txn.Outcome), o txn.Outcome) {
+	if cb == nil {
+		return
+	}
+	h.cbq <- func() { cb(o) }
+}
+
+// dispatch runs callbacks in order until the sentinel, then releases Wait.
+func (h *Handle) dispatch() {
+	for f := range h.cbq {
+		if f == nil {
+			break
+		}
+		f()
+	}
+	close(h.done)
+}
+
+// reject finalizes an admission rejection.
+func (h *Handle) reject() {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	h.stage = txn.StageRejected
+	h.terminal = true
+	h.outcome = txn.Outcome{
+		ID: h.id, Rejected: true, Err: ErrAdmission,
+		Submitted: h.start, Decided: time.Now(),
+	}
+	h.enqueueOutcome(h.opts.OnFinal, h.outcome)
+	h.cbq <- nil
+}
+
+// onDeadline fires the deadline callback if the transaction is still open.
+func (h *Handle) onDeadline() {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	if h.terminal {
+		return
+	}
+	h.enqueue(h.opts.OnDeadline, h.progressLocked())
+}
+
+// flightLocked converts the tracked state into the predictor's view.
+// Caller holds h.mu.
+func (h *Handle) flightLocked() predictor.Flight {
+	f := predictor.Flight{Elapsed: time.Since(h.start), Deadline: h.opts.Deadline}
+	for _, tr := range h.tracks {
+		of := predictor.OptionFlight{
+			Key:      tr.key,
+			Accepts:  tr.accepts,
+			FellBack: tr.fellBack,
+			Learned:  tr.learned,
+		}
+		if !tr.fellBack && tr.learned == 0 {
+			for _, r := range h.regions {
+				if !tr.voted[r] {
+					of.Remaining = append(of.Remaining, r)
+				}
+			}
+		}
+		f.Options = append(f.Options, of)
+	}
+	return f
+}
+
+// handleSink adapts Handle to mdcc.ProgressSink without widening Handle's
+// exported method set.
+type handleSink Handle
+
+// Progress implements mdcc.ProgressSink.
+func (hs *handleSink) Progress(e mdcc.ProgressEvent) {
+	h := (*Handle)(hs)
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	if h.terminal {
+		return
+	}
+	switch e.Kind {
+	case mdcc.KindSubmitted, mdcc.KindDecided:
+		return
+	case mdcc.KindVote:
+		tr := h.tracks[e.Key]
+		if tr == nil || tr.voted[e.Region] {
+			return
+		}
+		tr.voted[e.Region] = true
+		h.votes++
+		if e.Accept {
+			tr.accepts++
+		}
+		if h.stage == txn.StageAccepted {
+			h.stage = txn.StageInFlight
+		}
+		h.session.pred.ObserveVote(e.Key, e.Region, e.Accept, e.Elapsed)
+	case mdcc.KindFallback:
+		if tr := h.tracks[e.Key]; tr != nil {
+			tr.fellBack = true
+		}
+	case mdcc.KindOptionLearned:
+		tr := h.tracks[e.Key]
+		if tr == nil || tr.learned != 0 {
+			return
+		}
+		if e.Accept {
+			tr.learned = 1
+		} else {
+			tr.learned = -1
+		}
+		h.learnedN++
+		if tr.fellBack {
+			h.session.pred.ObserveClassicResult(e.Key, e.Accept)
+		}
+	}
+
+	h.likelihood = h.session.pred.Likelihood(h.flightLocked())
+	if h.db.calib != nil && len(h.samples) < maxCalibSamples {
+		h.samples = append(h.samples, h.likelihood)
+	}
+
+	if !h.speculated && h.opts.SpeculateAt > 0 && h.likelihood >= h.opts.SpeculateAt {
+		h.speculated = true
+		h.stage = txn.StageSpeculative
+		h.db.speculated.Add(1)
+		h.enqueue(h.opts.OnSpeculative, h.progressLocked())
+	}
+	h.enqueue(h.opts.OnProgress, h.progressLocked())
+}
+
+// Decided implements mdcc.ProgressSink.
+func (hs *handleSink) Decided(_ txn.ID, committed bool, err error) {
+	h := (*Handle)(hs)
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	if h.terminal {
+		return
+	}
+	h.db.inFlight[h.session.region].Add(-1)
+	h.finishLocked(committed, err, false)
+}
+
+// finishLocked finalizes the transaction. Caller holds h.mu.
+// submitFailed marks the rare synchronous-submit failure path.
+func (h *Handle) finishLocked(committed bool, err error, submitFailed bool) {
+	h.terminal = true
+	if h.timer != nil {
+		h.timer.Stop()
+	}
+	if committed {
+		h.stage = txn.StageCommitted
+		h.db.committed.Add(1)
+		h.likelihood = 1
+	} else {
+		h.stage = txn.StageAborted
+		h.db.aborted.Add(1)
+		h.likelihood = 0
+	}
+	h.outcome = txn.Outcome{
+		ID: h.id, Committed: committed, Err: err,
+		Submitted: h.start, Decided: time.Now(), Speculated: h.speculated,
+	}
+	if h.db.calib != nil && !submitFailed {
+		for _, s := range h.samples {
+			h.db.calib.Record(s, committed)
+		}
+	}
+	h.enqueueOutcome(h.opts.OnFinal, h.outcome)
+	if h.speculated && !committed {
+		h.db.apologies.Add(1)
+		h.enqueueOutcome(h.opts.OnApology, h.outcome)
+	}
+	h.cbq <- nil
+}

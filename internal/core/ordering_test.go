@@ -1,0 +1,158 @@
+package planet_test
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+
+	"planet/internal/cluster"
+	planet "planet/internal/core"
+	"planet/internal/txn"
+	"planet/internal/workload"
+)
+
+// callbackLog records callback invocations for one transaction in order.
+type callbackLog struct {
+	mu    sync.Mutex
+	names []string
+}
+
+func (l *callbackLog) add(name string) {
+	l.mu.Lock()
+	l.names = append(l.names, name)
+	l.mu.Unlock()
+}
+
+func (l *callbackLog) snapshot() []string {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return append([]string(nil), l.names...)
+}
+
+// TestCallbackOrderingGuaranteeUnderLoad runs many concurrent transactions
+// with every callback registered and asserts, per transaction, the
+// documented ordering contract:
+//
+//	accept ≤ progress* ≤ speculative ≤ final ≤ apology
+//
+// and the exactly-once guarantees for accept, speculative, final, apology.
+func TestCallbackOrderingGuaranteeUnderLoad(t *testing.T) {
+	c, err := cluster.New(cluster.Config{TimeScale: 0.005, Seed: 55, CommitTimeout: 120 * time.Second})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer func() {
+		c.Close()
+		c.Quiesce(5 * time.Second)
+	}()
+	db, err := planet.Open(planet.Config{Cluster: c})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// A contended keyspace so a healthy mix of commits and aborts — and
+	// therefore apologies — occurs.
+	tmpl := workload.ReadModifyWrite{
+		Keys: workload.Hotspot{Prefix: "ord-", HotKeys: 2, ColdKeys: 100, HotProb: 0.6},
+	}
+	tmpl.Seed(c)
+
+	const n = 120
+	var wg sync.WaitGroup
+	logs := make([]*callbackLog, n)
+	outcomes := make([]txn.Outcome, n)
+	for i := 0; i < n; i++ {
+		i := i
+		region := c.Regions()[i%5]
+		logs[i] = &callbackLog{}
+		s, err := db.Session(region)
+		if err != nil {
+			t.Fatal(err)
+		}
+		tx := s.Begin()
+		key := fmt.Sprintf("ord-hot-%06d", i%2)
+		if _, err := tx.Read(key); err != nil {
+			t.Fatal(err)
+		}
+		tx.Set(key, []byte{byte(i)})
+		lg := logs[i]
+		h, err := tx.Commit(planet.CommitOptions{
+			SpeculateAt:   0.6,
+			OnAccept:      func(planet.Progress) { lg.add("accept") },
+			OnProgress:    func(planet.Progress) { lg.add("progress") },
+			OnSpeculative: func(planet.Progress) { lg.add("speculative") },
+			OnFinal:       func(txn.Outcome) { lg.add("final") },
+			OnApology:     func(txn.Outcome) { lg.add("apology") },
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			outcomes[i] = h.Wait()
+		}()
+	}
+	wg.Wait()
+
+	sawApology := false
+	for i, lg := range logs {
+		names := lg.snapshot()
+		counts := map[string]int{}
+		// Ordering: accept must be first; once final is seen nothing but
+		// the apology may follow.
+		finalAt := -1
+		for j, name := range names {
+			counts[name]++
+			switch name {
+			case "accept":
+				if j != 0 {
+					t.Errorf("txn %d: accept at position %d: %v", i, j, names)
+				}
+			case "final":
+				finalAt = j
+			case "apology":
+				if finalAt < 0 || j != finalAt+1 {
+					t.Errorf("txn %d: apology not immediately after final: %v", i, names)
+				}
+				sawApology = true
+			case "progress", "speculative":
+				if finalAt >= 0 {
+					t.Errorf("txn %d: %s after final: %v", i, name, names)
+				}
+			}
+		}
+		for _, once := range []string{"accept", "speculative", "final", "apology"} {
+			if counts[once] > 1 {
+				t.Errorf("txn %d: %s fired %d times: %v", i, once, counts[once], names)
+			}
+		}
+		if counts["final"] != 1 {
+			t.Errorf("txn %d: final fired %d times", i, counts["final"])
+		}
+		// Speculative must come before final and after accept.
+		if counts["speculative"] == 1 {
+			si := indexOf(names, "speculative")
+			if si > finalAt || si == 0 {
+				t.Errorf("txn %d: speculative at %d, final at %d: %v", i, si, finalAt, names)
+			}
+		}
+		// Apology iff speculated and aborted.
+		wantApology := outcomes[i].Speculated && !outcomes[i].Committed && !outcomes[i].Rejected
+		if (counts["apology"] == 1) != wantApology {
+			t.Errorf("txn %d: apology=%d, outcome %+v", i, counts["apology"], outcomes[i])
+		}
+	}
+	if !sawApology {
+		t.Log("note: no apologies occurred this run (contention too low)")
+	}
+}
+
+func indexOf(names []string, want string) int {
+	for i, n := range names {
+		if n == want {
+			return i
+		}
+	}
+	return -1
+}

@@ -1,0 +1,50 @@
+package planet
+
+import (
+	"errors"
+	"fmt"
+
+	"planet/internal/mdcc"
+	"planet/internal/txn"
+)
+
+// MaxAttemptsDefault is Run's attempt budget when the caller passes 0.
+const MaxAttemptsDefault = 5
+
+// Run executes fn inside a transaction and commits it, retrying the whole
+// closure on optimistic-concurrency conflicts (the record moved, or a
+// competing option was pending) up to attempts times. Each retry re-reads
+// through a fresh transaction, so fn must be idempotent up to its writes.
+//
+// Run blocks until the final decision — it is the convenience wrapper for
+// code that does not need the staged callback API. Retries are not
+// attempted for bound violations (retrying cannot help), admission
+// rejections (the system said no), or errors returned by fn itself.
+func (s *Session) Run(attempts int, fn func(*Txn) error) (txn.Outcome, error) {
+	if attempts <= 0 {
+		attempts = MaxAttemptsDefault
+	}
+	var last txn.Outcome
+	for i := 0; i < attempts; i++ {
+		tx := s.Begin()
+		if err := fn(tx); err != nil {
+			return txn.Outcome{}, fmt.Errorf("planet: Run closure: %w", err)
+		}
+		h, err := tx.Commit(CommitOptions{})
+		if err != nil {
+			return txn.Outcome{}, err
+		}
+		last = h.Wait()
+		switch {
+		case last.Committed:
+			return last, nil
+		case last.Rejected:
+			return last, last.Err
+		case errors.Is(last.Err, mdcc.ErrConflict) || errors.Is(last.Err, mdcc.ErrAmbiguous):
+			continue // optimistic retry
+		default:
+			return last, last.Err
+		}
+	}
+	return last, fmt.Errorf("planet: Run gave up after %d attempts: %w", attempts, last.Err)
+}

@@ -1,0 +1,145 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+
+	"planet/internal/cluster"
+	planet "planet/internal/core"
+	"planet/internal/mdcc"
+	"planet/internal/regions"
+	"planet/internal/workload"
+)
+
+// A1FastVsClassic reproduces the protocol-path ablation: fast path versus
+// classic path across a contention sweep. The fast path wins on latency
+// when conflicts are rare (one wide-area round trip, no master hop); as
+// contention grows it pays fallback penalties while the master-sequenced
+// classic path degrades more gracefully.
+func A1FastVsClassic(cfg Config) (Result, error) {
+	hotProbs := []float64{0.0, 0.3, 0.6, 0.9}
+	perClient := cfg.pick(40, 12)
+
+	var b strings.Builder
+	out := make(map[string]float64)
+	fmt.Fprintf(&b, "%-8s %8s %10s %10s %10s %12s\n",
+		"mode", "hotprob", "commit", "p50", "p95", "fallbacks")
+	for _, mode := range []mdcc.Mode{mdcc.ModeFast, mdcc.ModeClassic} {
+		for _, hp := range hotProbs {
+			ccfg := cluster.Config{Seed: cfg.Seed + 73}
+			if mode == mdcc.ModeClassic {
+				ccfg.MasterRegion = regions.Virginia
+			}
+			db, cleanup, err := openDB(cfg, ccfg, planet.Config{Mode: mode})
+			if err != nil {
+				return Result{}, err
+			}
+			scale := db.Cluster().TimeScale()
+			rep, err := workload.Closed{
+				Options: workload.Options{
+					DB: db,
+					Template: workload.ReadModifyWrite{
+						Keys: workload.Hotspot{Prefix: "ab-", HotKeys: 4, ColdKeys: 2000, HotProb: hp},
+					},
+					Seed: cfg.Seed + 79,
+				},
+				Clients: 16, PerClient: perClient,
+			}.Run()
+			var fallbacks uint64
+			for _, r := range db.Cluster().Regions() {
+				fallbacks += db.Cluster().Coordinator(r).Fallbacks
+			}
+			cleanup()
+			if err != nil {
+				return Result{}, err
+			}
+			f := rep.Final.Summarize()
+			fmt.Fprintf(&b, "%-8s %8.1f %10.3f %10s %10s %12d\n",
+				mode, hp, rep.CommitRate(), wan(f.P50, scale), wan(f.P95, scale), fallbacks)
+			key := fmt.Sprintf("%s_hp_%02.0f", mode, hp*10)
+			out[key+"_commit_rate"] = rep.CommitRate()
+			out[key+"_p50_ms"] = ms(f.P50, scale)
+			out[key+"_fallbacks"] = float64(fallbacks)
+		}
+	}
+	return Result{Name: "A1 fast vs classic under conflicts", Text: b.String(), Metrics: out}, nil
+}
+
+// A3Commutative reproduces the demarcation ablation: on the same hot
+// records, commutative bounded decrements (the paper's "buy" workload)
+// commit where physical read-modify-writes conflict — until the integrity
+// bound runs out, at which point bound violations are rejected up front.
+func A3Commutative(cfg Config) (Result, error) {
+	perClient := cfg.pick(40, 12)
+	clients := 16
+
+	var b strings.Builder
+	out := make(map[string]float64)
+
+	// Plentiful stock: commutativity should carry everything.
+	for _, tc := range []struct {
+		name string
+		tmpl workload.Template
+	}{
+		{"commutative-buy", workload.Buy{
+			Products: workload.Uniform{Prefix: "pr-", N: 2}, Stock: 1 << 30,
+		}},
+		{"physical-rmw", workload.ReadModifyWrite{
+			Keys: workload.Uniform{Prefix: "pw-", N: 2},
+		}},
+	} {
+		db, cleanup, err := openDB(cfg, cluster.Config{Seed: cfg.Seed + 83}, planet.Config{})
+		if err != nil {
+			return Result{}, err
+		}
+		rep, err := workload.Closed{
+			Options: workload.Options{DB: db, Template: tc.tmpl, Seed: cfg.Seed + 89},
+			Clients: clients, PerClient: perClient,
+		}.Run()
+		cleanup()
+		if err != nil {
+			return Result{}, err
+		}
+		fmt.Fprintf(&b, "%-18s commit-rate=%.3f committed=%d aborted=%d\n",
+			tc.name, rep.CommitRate(), rep.Committed.Load(), rep.Aborted.Load())
+		out[strings.ReplaceAll(tc.name, "-", "_")+"_commit_rate"] = rep.CommitRate()
+	}
+
+	// Scarce stock: exactly Stock units can ever sell; demarcation must
+	// cap committed buys at the bound with zero oversell.
+	stock := int64(cfg.pick(100, 40))
+	db, cleanup, err := openDB(cfg, cluster.Config{Seed: cfg.Seed + 97}, planet.Config{})
+	if err != nil {
+		return Result{}, err
+	}
+	rep, err := workload.Closed{
+		Options: workload.Options{
+			DB: db,
+			Template: workload.Buy{
+				Products: workload.Fixed{List: []string{"scarce"}},
+				Stock:    stock,
+			},
+			Seed: cfg.Seed + 101,
+		},
+		Clients: clients, PerClient: perClient,
+	}.Run()
+	if err != nil {
+		cleanup()
+		return Result{}, err
+	}
+	db.Cluster().Quiesce(cfg.quiesceBudget())
+	var remaining int64 = -1
+	if s, err := db.Session(regions.California); err == nil {
+		if v, _, err := s.ReadInt("scarce"); err == nil {
+			remaining = v
+		}
+	}
+	cleanup()
+	sold := stock - remaining
+	fmt.Fprintf(&b, "scarce stock: initial=%d sold=%d remaining=%d committed=%d oversell=%v\n",
+		stock, sold, remaining, rep.Committed.Load(), remaining < 0)
+	out["scarce_sold"] = float64(sold)
+	out["scarce_remaining"] = float64(remaining)
+	out["scarce_committed"] = float64(rep.Committed.Load())
+	return Result{Name: "A3 commutative updates (demarcation)", Text: b.String(), Metrics: out}, nil
+}

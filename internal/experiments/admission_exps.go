@@ -1,0 +1,169 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+
+	"planet/internal/cluster"
+	planet "planet/internal/core"
+	"planet/internal/workload"
+)
+
+// F4Speculation reproduces the speculation-threshold sweep: as the
+// application raises its likelihood threshold, speculation fires later
+// (higher perceived latency) but is wrong less often (lower apology rate).
+// At every threshold the perceived latency stays well below the final
+// geo-commit latency — PLANET's headline user-experience claim.
+func F4Speculation(cfg Config) (Result, error) {
+	thresholds := []float64{0.50, 0.80, 0.90, 0.95, 0.99}
+	perClient := cfg.pick(50, 15)
+
+	var b strings.Builder
+	out := make(map[string]float64)
+	fmt.Fprintf(&b, "%-10s %12s %12s %10s %10s %10s\n",
+		"threshold", "perceived", "final p50", "spec-rate", "apology", "commit")
+	for _, th := range thresholds {
+		db, cleanup, err := openDB(cfg, cluster.Config{Seed: cfg.Seed + 47}, planet.Config{})
+		if err != nil {
+			return Result{}, err
+		}
+		scale := db.Cluster().TimeScale()
+		rep, err := workload.Closed{
+			Options: workload.Options{
+				DB: db,
+				Template: workload.ReadModifyWrite{
+					Keys: workload.Hotspot{Prefix: "sp-", HotKeys: 8, ColdKeys: 4000, HotProb: 0.25},
+				},
+				SpeculateAt: th,
+				Seed:        cfg.Seed + 53,
+			},
+			Clients: 20, PerClient: perClient,
+		}.Run()
+		cleanup()
+		if err != nil {
+			return Result{}, err
+		}
+		p := rep.Perceived.Summarize()
+		f := rep.Final.Summarize()
+		fmt.Fprintf(&b, "%-10.2f %12s %12s %10.3f %10.3f %10.3f\n",
+			th, wan(p.P50, scale), wan(f.P50, scale),
+			rep.SpeculationRate(), rep.ApologyRate(), rep.CommitRate())
+		key := fmt.Sprintf("th_%03.0f", th*100)
+		out[key+"_perceived_p50_ms"] = ms(p.P50, scale)
+		out[key+"_final_p50_ms"] = ms(f.P50, scale)
+		out[key+"_spec_rate"] = rep.SpeculationRate()
+		out[key+"_apology_rate"] = rep.ApologyRate()
+	}
+	return Result{Name: "F4 speculation threshold sweep", Text: b.String(), Metrics: out}, nil
+}
+
+// F5AdmissionLoad reproduces the admission-control headline figure: goodput
+// (committed transactions per second) against offered open-loop load on a
+// contended store, with and without likelihood-based admission control.
+// Without admission, past saturation every extra transaction mostly burns
+// quorum work before aborting; with admission the doomed ones are rejected
+// up front and goodput holds.
+func F5AdmissionLoad(cfg Config) (Result, error) {
+	// Offered load in transactions/second of emulator time.
+	rates := []float64{200, 600, 1200, 2400}
+	count := cfg.pick(500, 150)
+
+	policies := []struct {
+		name      string
+		admission planet.AdmissionPolicy
+	}{
+		{"no-admission", planet.AdmissionPolicy{}},
+		{"admission", planet.AdmissionPolicy{MinLikelihood: 0.40, MaxInFlight: 120}},
+	}
+
+	var b strings.Builder
+	out := make(map[string]float64)
+	fmt.Fprintf(&b, "%-14s %10s %12s %10s %10s %10s\n",
+		"policy", "offered/s", "goodput/s", "commit", "rejected", "p50-final")
+	for _, pol := range policies {
+		for _, rate := range rates {
+			db, cleanup, err := openDB(cfg, cluster.Config{Seed: cfg.Seed + 59},
+				planet.Config{Admission: pol.admission})
+			if err != nil {
+				return Result{}, err
+			}
+			scale := db.Cluster().TimeScale()
+			rep, err := workload.Open{
+				Options: workload.Options{
+					DB: db,
+					Template: workload.ReadModifyWrite{
+						Keys: workload.Hotspot{Prefix: "ld-", HotKeys: 4, ColdKeys: 2000, HotProb: 0.6},
+					},
+					Seed: cfg.Seed + 61,
+				},
+				Rate: rate, Count: count,
+			}.Run()
+			cleanup()
+			if err != nil {
+				return Result{}, err
+			}
+			rejFrac := float64(rep.Rejected.Load()) / float64(rep.Total())
+			f := rep.Final.Summarize()
+			fmt.Fprintf(&b, "%-14s %10.0f %12.1f %10.3f %10.3f %10s\n",
+				pol.name, rate, rep.GoodputPerSec(), rep.CommitRate(), rejFrac,
+				wan(f.P50, scale))
+			key := fmt.Sprintf("%s_rate_%04.0f", strings.ReplaceAll(pol.name, "-", "_"), rate)
+			out[key+"_goodput"] = rep.GoodputPerSec()
+			out[key+"_commit_rate"] = rep.CommitRate()
+			out[key+"_reject_frac"] = rejFrac
+		}
+	}
+	return Result{Name: "F5 admission control vs offered load", Text: b.String(), Metrics: out}, nil
+}
+
+// F6Contention reproduces the contention sweep: commit rate and goodput as
+// the hotspot shrinks (fewer hot records = more contention), with and
+// without admission control.
+func F6Contention(cfg Config) (Result, error) {
+	hotSizes := []int{256, 64, 16, 4, 1}
+	perClient := cfg.pick(40, 12)
+
+	policies := []struct {
+		name      string
+		admission planet.AdmissionPolicy
+	}{
+		{"no-admission", planet.AdmissionPolicy{}},
+		{"admission", planet.AdmissionPolicy{MinLikelihood: 0.40}},
+	}
+
+	var b strings.Builder
+	out := make(map[string]float64)
+	fmt.Fprintf(&b, "%-14s %8s %10s %12s %10s %10s\n",
+		"policy", "hotkeys", "commit", "goodput/s", "rejected", "aborted")
+	for _, pol := range policies {
+		for _, hot := range hotSizes {
+			db, cleanup, err := openDB(cfg, cluster.Config{Seed: cfg.Seed + 67},
+				planet.Config{Admission: pol.admission})
+			if err != nil {
+				return Result{}, err
+			}
+			rep, err := workload.Closed{
+				Options: workload.Options{
+					DB: db,
+					Template: workload.ReadModifyWrite{
+						Keys: workload.Hotspot{Prefix: "ct-", HotKeys: hot, ColdKeys: 2000, HotProb: 0.8},
+					},
+					Seed: cfg.Seed + 71,
+				},
+				Clients: 24, PerClient: perClient,
+			}.Run()
+			cleanup()
+			if err != nil {
+				return Result{}, err
+			}
+			fmt.Fprintf(&b, "%-14s %8d %10.3f %12.1f %10d %10d\n",
+				pol.name, hot, rep.CommitRate(), rep.GoodputPerSec(),
+				rep.Rejected.Load(), rep.Aborted.Load())
+			key := fmt.Sprintf("%s_hot_%03d", strings.ReplaceAll(pol.name, "-", "_"), hot)
+			out[key+"_commit_rate"] = rep.CommitRate()
+			out[key+"_goodput"] = rep.GoodputPerSec()
+			out[key+"_aborted"] = float64(rep.Aborted.Load())
+		}
+	}
+	return Result{Name: "F6 contention sweep", Text: b.String(), Metrics: out}, nil
+}

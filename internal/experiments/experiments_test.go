@@ -1,0 +1,78 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestRegistryComplete(t *testing.T) {
+	// Every experiment in DESIGN.md's index must be registered.
+	want := []string{"t1", "f1", "f2", "f3", "f4", "f5", "f6", "f7", "f8", "a1", "a2", "a3", "e1", "e2"}
+	if len(Registry) != len(want) {
+		t.Fatalf("registry has %d entries, want %d", len(Registry), len(want))
+	}
+	for i, id := range want {
+		if Registry[i].ID != id {
+			t.Errorf("registry[%d]=%q, want %q", i, Registry[i].ID, id)
+		}
+		if Registry[i].Title == "" || Registry[i].Run == nil {
+			t.Errorf("registry entry %q incomplete", id)
+		}
+	}
+}
+
+func TestFind(t *testing.T) {
+	if _, ok := Find("f4"); !ok {
+		t.Error("f4 not found")
+	}
+	if _, ok := Find("zz"); ok {
+		t.Error("unknown experiment found")
+	}
+}
+
+func TestConfigHelpers(t *testing.T) {
+	full := Config{}
+	if full.pick(100, 10) != 100 {
+		t.Error("full config picked quick size")
+	}
+	quick := Config{Quick: true}
+	if quick.pick(100, 10) != 10 {
+		t.Error("quick config picked full size")
+	}
+	if got := (Config{}).scale(); got <= 0 || got > 1 {
+		t.Errorf("default scale=%v", got)
+	}
+	if got := (Config{TimeScale: 0.5}).scale(); got != 0.5 {
+		t.Errorf("explicit scale=%v", got)
+	}
+}
+
+func TestResultFormatting(t *testing.T) {
+	r := Result{
+		Name:    "demo",
+		Text:    "table\n",
+		Metrics: map[string]float64{"zeta": 2, "alpha": 1},
+	}
+	if keys := r.MetricKeys(); len(keys) != 2 || keys[0] != "alpha" {
+		t.Errorf("metric keys %v", keys)
+	}
+	s := r.String()
+	if !strings.Contains(s, "demo") || !strings.Contains(s, "table") {
+		t.Errorf("result string %q", s)
+	}
+	m := r.FormatMetrics()
+	if !strings.Contains(m, "alpha") || strings.Index(m, "alpha") > strings.Index(m, "zeta") {
+		t.Errorf("metrics block %q", m)
+	}
+}
+
+func TestWANConversion(t *testing.T) {
+	// 5ms measured at scale 0.02 is 250ms of WAN time.
+	if got := wan(5*time.Millisecond, 0.02); got != 250*time.Millisecond {
+		t.Errorf("wan()=%v", got)
+	}
+	if got := ms(5*time.Millisecond, 0.02); got != 250 {
+		t.Errorf("ms()=%v", got)
+	}
+}

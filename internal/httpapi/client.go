@@ -1,0 +1,159 @@
+package httpapi
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"net/url"
+	"time"
+)
+
+// Client talks to a Server. The zero HTTP client is fine for tests; set
+// HTTP for custom transports or timeouts.
+type Client struct {
+	// Base is the server root, e.g. "http://127.0.0.1:8480".
+	Base string
+	// HTTP is the underlying client (http.DefaultClient when nil).
+	HTTP *http.Client
+}
+
+// httpc returns the effective HTTP client.
+func (c *Client) httpc() *http.Client {
+	if c.HTTP != nil {
+		return c.HTTP
+	}
+	return http.DefaultClient
+}
+
+// decode unmarshals a JSON response, translating error envelopes.
+func decode(resp *http.Response, into any) error {
+	defer resp.Body.Close()
+	body, err := io.ReadAll(io.LimitReader(resp.Body, 1<<20))
+	if err != nil {
+		return fmt.Errorf("httpapi: read response: %w", err)
+	}
+	if resp.StatusCode >= 400 {
+		var eb errorBody
+		if json.Unmarshal(body, &eb) == nil && eb.Error != "" {
+			return fmt.Errorf("httpapi: %s: %s", resp.Status, eb.Error)
+		}
+		return fmt.Errorf("httpapi: %s", resp.Status)
+	}
+	if into == nil {
+		return nil
+	}
+	if err := json.Unmarshal(body, into); err != nil {
+		return fmt.Errorf("httpapi: decode response: %w", err)
+	}
+	return nil
+}
+
+// Read fetches committed state from the gateway's local replica.
+func (c *Client) Read(key string) (ReadResponse, error) {
+	return c.read(key, false)
+}
+
+// QuorumRead fetches the freshest majority-read state.
+func (c *Client) QuorumRead(key string) (ReadResponse, error) {
+	return c.read(key, true)
+}
+
+func (c *Client) read(key string, quorum bool) (ReadResponse, error) {
+	q := url.Values{"key": {key}}
+	if quorum {
+		q.Set("quorum", "1")
+	}
+	resp, err := c.httpc().Get(c.Base + "/v1/read?" + q.Encode())
+	if err != nil {
+		return ReadResponse{}, fmt.Errorf("httpapi: read: %w", err)
+	}
+	if resp.StatusCode == http.StatusNotFound {
+		defer resp.Body.Close()
+		return ReadResponse{Key: key, Found: false}, nil
+	}
+	var out ReadResponse
+	if err := decode(resp, &out); err != nil {
+		return ReadResponse{}, err
+	}
+	return out, nil
+}
+
+// Submit posts a transaction and returns its ID without waiting.
+func (c *Client) Submit(req SubmitRequest) (string, error) {
+	body, err := json.Marshal(req)
+	if err != nil {
+		return "", fmt.Errorf("httpapi: marshal: %w", err)
+	}
+	resp, err := c.httpc().Post(c.Base+"/v1/txn", "application/json", bytes.NewReader(body))
+	if err != nil {
+		return "", fmt.Errorf("httpapi: submit: %w", err)
+	}
+	var out SubmitResponse
+	if err := decode(resp, &out); err != nil {
+		return "", err
+	}
+	return out.Txn, nil
+}
+
+// Status fetches a transaction's current stage without blocking.
+func (c *Client) Status(id string) (Status, error) {
+	return c.status(id, false)
+}
+
+// Wait blocks server-side until the transaction's final callback has run.
+func (c *Client) Wait(id string) (Status, error) {
+	return c.status(id, true)
+}
+
+func (c *Client) status(id string, wait bool) (Status, error) {
+	u := c.Base + "/v1/txn/" + url.PathEscape(id)
+	if wait {
+		u += "?wait=1"
+	}
+	resp, err := c.httpc().Get(u)
+	if err != nil {
+		return Status{}, fmt.Errorf("httpapi: status: %w", err)
+	}
+	var out Status
+	if err := decode(resp, &out); err != nil {
+		return Status{}, err
+	}
+	return out, nil
+}
+
+// Stats fetches the DB-wide outcome counters as a generic map.
+func (c *Client) Stats() (map[string]uint64, error) {
+	resp, err := c.httpc().Get(c.Base + "/v1/stats")
+	if err != nil {
+		return nil, fmt.Errorf("httpapi: stats: %w", err)
+	}
+	var out map[string]uint64
+	if err := decode(resp, &out); err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// SubmitAndWait is the blocking convenience path.
+func (c *Client) SubmitAndWait(req SubmitRequest, timeout time.Duration) (Status, error) {
+	id, err := c.Submit(req)
+	if err != nil {
+		return Status{}, err
+	}
+	deadline := time.Now().Add(timeout)
+	for {
+		st, err := c.Wait(id)
+		if err == nil && st.Done {
+			return st, nil
+		}
+		if time.Now().After(deadline) {
+			if err == nil {
+				err = fmt.Errorf("httpapi: transaction %s not done before timeout", id)
+			}
+			return st, err
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+}

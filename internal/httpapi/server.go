@@ -1,0 +1,323 @@
+// Package httpapi exposes a PLANET region over HTTP/JSON — the gateway an
+// application server in that datacenter would embed. The API mirrors the
+// staged programming model: submitting a transaction returns immediately
+// with a transaction ID, and its stage, live commit likelihood, and final
+// outcome are polled (or awaited) on a status resource.
+//
+//	GET  /v1/read?key=K[&quorum=1]     read committed state
+//	POST /v1/txn                       submit a transaction (JSON body)
+//	GET  /v1/txn/{id}[?wait=1]         stage/likelihood/outcome
+//	GET  /v1/stats                     DB-wide outcome counters
+//
+// The package also provides the matching Client. Both sides are pure
+// stdlib (net/http, encoding/json).
+package httpapi
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"strings"
+	"sync"
+	"time"
+
+	planet "planet/internal/core"
+	"planet/internal/txn"
+)
+
+// Op is the wire form of one transaction operation.
+type Op struct {
+	// Kind is "set" or "add".
+	Kind string `json:"kind"`
+	Key  string `json:"key"`
+	// Value is the new value for "set" (JSON base64 of the bytes).
+	Value []byte `json:"value,omitempty"`
+	// Delta is the increment for "add".
+	Delta int64 `json:"delta,omitempty"`
+}
+
+// SubmitRequest is the POST /v1/txn body.
+type SubmitRequest struct {
+	Ops []Op `json:"ops"`
+	// SpeculateAt enables speculative commit at this likelihood.
+	SpeculateAt float64 `json:"speculateAt,omitempty"`
+	// DeadlineMs arms the deadline callback (recorded in the status).
+	DeadlineMs int64 `json:"deadlineMs,omitempty"`
+}
+
+// SubmitResponse returns the transaction handle's identity.
+type SubmitResponse struct {
+	Txn string `json:"txn"`
+}
+
+// Status is the wire form of a transaction's progress/outcome.
+type Status struct {
+	Txn          string  `json:"txn"`
+	Stage        string  `json:"stage"`
+	Likelihood   float64 `json:"likelihood"`
+	Done         bool    `json:"done"`
+	Committed    bool    `json:"committed"`
+	Rejected     bool    `json:"rejected"`
+	Speculated   bool    `json:"speculated"`
+	DeadlineHit  bool    `json:"deadlineHit"`
+	Error        string  `json:"error,omitempty"`
+	DurationMs   float64 `json:"durationMs"`
+	VotesSeen    int     `json:"votesSeen"`
+	VotesOverall int     `json:"votesOverall"`
+}
+
+// ReadResponse is the GET /v1/read body.
+type ReadResponse struct {
+	Key     string `json:"key"`
+	Found   bool   `json:"found"`
+	Bytes   []byte `json:"bytes,omitempty"`
+	Int     int64  `json:"int,omitempty"`
+	Version int64  `json:"version"`
+}
+
+// errorBody is the JSON error envelope.
+type errorBody struct {
+	Error string `json:"error"`
+}
+
+// tracked pairs a handle with server-side observations.
+type tracked struct {
+	handle      *planet.Handle
+	mu          sync.Mutex
+	speculated  bool
+	deadlineHit bool
+	start       time.Time
+	outcome     *txn.Outcome
+}
+
+// Server serves one region's sessions over HTTP. Create with NewServer and
+// mount it as an http.Handler.
+type Server struct {
+	session *planet.Session
+	db      *planet.DB
+	mux     *http.ServeMux
+
+	mu     sync.Mutex
+	txns   map[string]*tracked
+	order  []string
+	maxTxn int
+}
+
+// NewServer builds a gateway for one region of db.
+func NewServer(db *planet.DB, session *planet.Session) *Server {
+	s := &Server{
+		session: session,
+		db:      db,
+		mux:     http.NewServeMux(),
+		txns:    make(map[string]*tracked),
+		maxTxn:  4096,
+	}
+	s.mux.HandleFunc("/v1/read", s.handleRead)
+	s.mux.HandleFunc("/v1/txn", s.handleSubmit)
+	s.mux.HandleFunc("/v1/txn/", s.handleStatus)
+	s.mux.HandleFunc("/v1/stats", s.handleStats)
+	return s
+}
+
+// ServeHTTP implements http.Handler.
+func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) { s.mux.ServeHTTP(w, r) }
+
+// writeJSON writes v with the given status code.
+func writeJSON(w http.ResponseWriter, code int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	_ = json.NewEncoder(w).Encode(v)
+}
+
+func writeErr(w http.ResponseWriter, code int, format string, args ...any) {
+	writeJSON(w, code, errorBody{Error: fmt.Sprintf(format, args...)})
+}
+
+// handleRead serves GET /v1/read?key=K[&quorum=1].
+func (s *Server) handleRead(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		writeErr(w, http.StatusMethodNotAllowed, "use GET")
+		return
+	}
+	key := r.URL.Query().Get("key")
+	if key == "" {
+		writeErr(w, http.StatusBadRequest, "missing key parameter")
+		return
+	}
+	var (
+		b   []byte
+		n   int64
+		ver int64
+		err error
+	)
+	if r.URL.Query().Get("quorum") == "1" {
+		b, ver, err = s.session.QuorumReadBytes(key)
+		if err == nil {
+			// Integer records round-trip through the int field too.
+			n, _, _ = s.session.QuorumReadInt(key)
+		}
+	} else {
+		b, ver, err = s.session.ReadBytes(key)
+		if err == nil {
+			n, _, _ = s.session.ReadInt(key)
+		}
+	}
+	switch {
+	case errors.Is(err, planet.ErrKeyNotFound):
+		writeJSON(w, http.StatusNotFound, ReadResponse{Key: key, Found: false})
+	case err != nil:
+		writeErr(w, http.StatusServiceUnavailable, "read failed: %v", err)
+	default:
+		writeJSON(w, http.StatusOK, ReadResponse{Key: key, Found: true, Bytes: b, Int: n, Version: ver})
+	}
+}
+
+// handleSubmit serves POST /v1/txn.
+func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		writeErr(w, http.StatusMethodNotAllowed, "use POST")
+		return
+	}
+	var req SubmitRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		writeErr(w, http.StatusBadRequest, "bad JSON: %v", err)
+		return
+	}
+	if len(req.Ops) == 0 {
+		writeErr(w, http.StatusBadRequest, "transaction has no operations")
+		return
+	}
+
+	tx := s.session.Begin()
+	for _, op := range req.Ops {
+		switch op.Kind {
+		case "set":
+			tx.Set(op.Key, op.Value)
+		case "add":
+			tx.Add(op.Key, op.Delta)
+		default:
+			writeErr(w, http.StatusBadRequest, "unknown op kind %q", op.Kind)
+			return
+		}
+	}
+
+	tr := &tracked{start: time.Now()}
+	opts := planet.CommitOptions{
+		SpeculateAt: req.SpeculateAt,
+		OnSpeculative: func(planet.Progress) {
+			tr.mu.Lock()
+			tr.speculated = true
+			tr.mu.Unlock()
+		},
+		OnFinal: func(o txn.Outcome) {
+			tr.mu.Lock()
+			tr.outcome = &o
+			tr.mu.Unlock()
+		},
+	}
+	if req.DeadlineMs > 0 {
+		opts.Deadline = time.Duration(req.DeadlineMs) * time.Millisecond
+		opts.OnDeadline = func(planet.Progress) {
+			tr.mu.Lock()
+			tr.deadlineHit = true
+			tr.mu.Unlock()
+		}
+	}
+	h, err := tx.Commit(opts)
+	if err != nil {
+		writeErr(w, http.StatusBadRequest, "commit: %v", err)
+		return
+	}
+	tr.handle = h
+	id := h.ID().String()
+
+	s.mu.Lock()
+	s.txns[id] = tr
+	s.order = append(s.order, id)
+	for len(s.order) > s.maxTxn {
+		evict := s.order[0]
+		s.order = s.order[1:]
+		delete(s.txns, evict)
+	}
+	s.mu.Unlock()
+
+	writeJSON(w, http.StatusAccepted, SubmitResponse{Txn: id})
+}
+
+// handleStatus serves GET /v1/txn/{id}[?wait=1].
+func (s *Server) handleStatus(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		writeErr(w, http.StatusMethodNotAllowed, "use GET")
+		return
+	}
+	id := strings.TrimPrefix(r.URL.Path, "/v1/txn/")
+	s.mu.Lock()
+	tr := s.txns[id]
+	s.mu.Unlock()
+	if tr == nil {
+		writeErr(w, http.StatusNotFound, "unknown transaction %q", id)
+		return
+	}
+	if r.URL.Query().Get("wait") == "1" {
+		select {
+		case <-tr.handle.Done():
+		case <-r.Context().Done():
+			writeErr(w, http.StatusRequestTimeout, "client gave up")
+			return
+		}
+	}
+	writeJSON(w, http.StatusOK, s.statusOf(id, tr))
+}
+
+// statusOf snapshots a tracked transaction.
+func (s *Server) statusOf(id string, tr *tracked) Status {
+	p := tr.handle.Progress()
+	tr.mu.Lock()
+	defer tr.mu.Unlock()
+	st := Status{
+		Txn:          id,
+		Stage:        p.Stage.String(),
+		Likelihood:   p.Likelihood,
+		Speculated:   tr.speculated,
+		DeadlineHit:  tr.deadlineHit,
+		VotesSeen:    p.VotesReceived,
+		VotesOverall: p.VotesExpected,
+	}
+	if o := tr.outcome; o != nil {
+		st.Done = true
+		st.Committed = o.Committed
+		st.Rejected = o.Rejected
+		st.DurationMs = float64(o.Duration()) / float64(time.Millisecond)
+		if o.Err != nil {
+			st.Error = o.Err.Error()
+		}
+	}
+	return st
+}
+
+// handleStats serves GET /v1/stats.
+func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		writeErr(w, http.StatusMethodNotAllowed, "use GET")
+		return
+	}
+	writeJSON(w, http.StatusOK, s.db.Stats())
+}
+
+// TrackedCount reports how many transactions the server currently retains
+// (tests).
+func (s *Server) TrackedCount() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return len(s.txns)
+}
+
+// SetMaxTracked overrides the retention cap (tests).
+func (s *Server) SetMaxTracked(n int) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if n > 0 {
+		s.maxTxn = n
+	}
+}

@@ -1,0 +1,305 @@
+package mdcc
+
+import (
+	"fmt"
+	"sync"
+	"time"
+
+	"planet/internal/simnet"
+	"planet/internal/txn"
+)
+
+// CoordinatorConfig parameterizes a region's transaction coordinator.
+type CoordinatorConfig struct {
+	// Net is the transport. Required.
+	Net *simnet.Network
+	// Addr is the coordinator's own address. Required.
+	Addr simnet.Addr
+	// Replicas lists every replica address. Required.
+	Replicas []simnet.Addr
+	// MasterFor routes a key to its master replica. Required.
+	MasterFor func(key string) simnet.Addr
+	// CommitTimeout bounds a transaction's in-flight time (already
+	// time-scaled). Zero disables the timeout.
+	CommitTimeout time.Duration
+}
+
+// optStatus is the lifecycle of a single option at the coordinator.
+type optStatus uint8
+
+const (
+	optFast optStatus = iota
+	optClassic
+	optAccepted
+	optRejected
+)
+
+// optState tracks vote collection for one option.
+type optState struct {
+	op      txn.Op
+	status  optStatus
+	voted   map[simnet.Region]bool
+	accepts int
+	rejects int
+	reason  RejectReason
+}
+
+// commitState is a transaction in flight at the coordinator.
+type commitState struct {
+	id      txn.ID
+	ops     []txn.Op
+	mode    Mode
+	sink    ProgressSink
+	start   time.Time
+	opts    map[string]*optState
+	open    int // options not yet learned
+	decided bool
+	timer   *time.Timer
+}
+
+// Coordinator drives commit processing for transactions originating in its
+// region. It is a learner for option outcomes and the decision authority
+// for the transactions it coordinates.
+type Coordinator struct {
+	cfg CoordinatorConfig
+
+	mu     sync.Mutex
+	active map[txn.ID]*commitState
+	reads  map[uint64]*readWaiter
+
+	// Stats for tests and experiments.
+	Fallbacks uint64
+	Timeouts  uint64
+}
+
+// NewCoordinator constructs and registers a coordinator on cfg.Net.
+func NewCoordinator(cfg CoordinatorConfig) (*Coordinator, error) {
+	if cfg.Net == nil || len(cfg.Replicas) == 0 || cfg.MasterFor == nil {
+		return nil, fmt.Errorf("mdcc: coordinator config incomplete")
+	}
+	c := &Coordinator{cfg: cfg, active: make(map[txn.ID]*commitState)}
+	cfg.Net.Register(cfg.Addr, c.recv)
+	return c, nil
+}
+
+// Addr returns the coordinator's network address.
+func (c *Coordinator) Addr() simnet.Addr { return c.cfg.Addr }
+
+// Region returns the coordinator's region.
+func (c *Coordinator) Region() simnet.Region { return c.cfg.Addr.Region }
+
+// N returns the replica count.
+func (c *Coordinator) N() int { return len(c.cfg.Replicas) }
+
+// Submit starts commit processing for a transaction. ops must contain at
+// most one operation per key. All progress — including the final decision —
+// is delivered through sink from network goroutines. A transaction with no
+// writes commits immediately.
+func (c *Coordinator) Submit(id txn.ID, ops []txn.Op, mode Mode, sink ProgressSink) error {
+	seen := make(map[string]bool, len(ops))
+	for _, op := range ops {
+		if op.Key == "" {
+			return fmt.Errorf("mdcc: %s has an operation with an empty key", id)
+		}
+		if seen[op.Key] {
+			return fmt.Errorf("mdcc: %s has multiple operations on key %q", id, op.Key)
+		}
+		seen[op.Key] = true
+	}
+
+	s := &commitState{
+		id:    id,
+		ops:   ops,
+		mode:  mode,
+		sink:  sink,
+		start: time.Now(),
+		opts:  make(map[string]*optState, len(ops)),
+		open:  len(ops),
+	}
+	for _, op := range ops {
+		st := &optState{op: op, voted: make(map[simnet.Region]bool)}
+		if mode == ModeClassic {
+			st.status = optClassic
+		}
+		s.opts[op.Key] = st
+	}
+
+	c.mu.Lock()
+	c.active[id] = s
+	if c.cfg.CommitTimeout > 0 {
+		s.timer = time.AfterFunc(c.cfg.CommitTimeout, func() { c.onTimeout(id) })
+	}
+	c.mu.Unlock()
+
+	sink.Progress(ProgressEvent{Txn: id, Kind: KindSubmitted})
+
+	if len(ops) == 0 {
+		c.mu.Lock()
+		c.decideLocked(s, true, nil)
+		c.mu.Unlock()
+		return nil
+	}
+
+	switch mode {
+	case ModeClassic:
+		for _, op := range ops {
+			c.cfg.Net.Send(c.cfg.Addr, c.cfg.MasterFor(op.Key),
+				classicProposeMsg{Txn: id, Coord: c.cfg.Addr, Option: op})
+		}
+	default:
+		for _, rep := range c.cfg.Replicas {
+			c.cfg.Net.Send(c.cfg.Addr, rep, proposeMsg{Txn: id, Coord: c.cfg.Addr, Options: ops})
+		}
+	}
+	return nil
+}
+
+// recv dispatches network messages.
+func (c *Coordinator) recv(m simnet.Message) {
+	switch p := m.Payload.(type) {
+	case voteMsg:
+		c.onVote(p)
+	case classicResultMsg:
+		c.onClassicResult(p)
+	case readResp:
+		c.onReadResp(p)
+	}
+}
+
+// onVote processes one fast-path vote.
+func (c *Coordinator) onVote(v voteMsg) {
+	c.mu.Lock()
+	s := c.active[v.Txn]
+	if s == nil || s.decided {
+		c.mu.Unlock()
+		return
+	}
+	st := s.opts[v.Key]
+	if st == nil || st.status != optFast || st.voted[v.Region] {
+		c.mu.Unlock()
+		return
+	}
+	st.voted[v.Region] = true
+	if v.Accept {
+		st.accepts++
+	} else {
+		st.rejects++
+		if st.reason == ReasonNone {
+			st.reason = v.Reason
+		}
+	}
+
+	// Emit the vote before any learn/decide it triggers, so sinks see
+	// vote counts that are consistent with option outcomes.
+	elapsed := time.Since(s.start)
+	s.sink.Progress(ProgressEvent{Txn: s.id, Kind: KindVote, Key: v.Key,
+		Region: v.Region, Accept: v.Accept, Reason: v.Reason, Elapsed: elapsed})
+
+	n := c.N()
+	fq := FastQuorum(n)
+	switch {
+	case st.accepts >= fq:
+		c.learnLocked(s, st, true, ReasonNone)
+	case !v.Accept && v.Reason.Fatal():
+		c.learnLocked(s, st, false, v.Reason)
+	case st.accepts+(n-len(st.voted)) < fq:
+		// The fast quorum is out of reach: fall back to the master.
+		st.status = optClassic
+		st.reason = ReasonNone
+		c.Fallbacks++
+		c.cfg.Net.Send(c.cfg.Addr, c.cfg.MasterFor(v.Key),
+			classicProposeMsg{Txn: s.id, Coord: c.cfg.Addr, Option: st.op})
+		s.sink.Progress(ProgressEvent{Txn: s.id, Kind: KindFallback, Key: v.Key, Elapsed: elapsed})
+	}
+	c.mu.Unlock()
+}
+
+// onClassicResult processes a master's verdict for one option.
+func (c *Coordinator) onClassicResult(r classicResultMsg) {
+	c.mu.Lock()
+	s := c.active[r.Txn]
+	if s == nil || s.decided {
+		c.mu.Unlock()
+		return
+	}
+	st := s.opts[r.Key]
+	if st == nil || st.status != optClassic {
+		c.mu.Unlock()
+		return
+	}
+	c.learnLocked(s, st, r.Accepted, r.Reason)
+	c.mu.Unlock()
+}
+
+// learnLocked finalizes one option and, when conclusive for the whole
+// transaction, decides it. Caller holds c.mu.
+func (c *Coordinator) learnLocked(s *commitState, st *optState, accepted bool, reason RejectReason) {
+	if st.status == optAccepted || st.status == optRejected {
+		return
+	}
+	if accepted {
+		st.status = optAccepted
+	} else {
+		st.status = optRejected
+		st.reason = reason
+	}
+	s.open--
+
+	s.sink.Progress(ProgressEvent{Txn: s.id, Kind: KindOptionLearned, Key: st.op.Key,
+		Accept: accepted, Reason: reason, Elapsed: time.Since(s.start)})
+
+	if !accepted {
+		c.decideLocked(s, false, reasonErr(reason))
+		return
+	}
+	if s.open == 0 {
+		c.decideLocked(s, true, nil)
+	}
+}
+
+// onTimeout aborts a transaction that outlived its commit timeout.
+func (c *Coordinator) onTimeout(id txn.ID) {
+	c.mu.Lock()
+	s := c.active[id]
+	if s == nil || s.decided {
+		c.mu.Unlock()
+		return
+	}
+	c.Timeouts++
+	c.decideLocked(s, false, ErrTimeout)
+	c.mu.Unlock()
+}
+
+// decideLocked records the final decision, broadcasts it to the replicas,
+// and notifies the sink. Caller holds c.mu.
+func (c *Coordinator) decideLocked(s *commitState, commit bool, err error) {
+	if s.decided {
+		return
+	}
+	s.decided = true
+	if s.timer != nil {
+		s.timer.Stop()
+	}
+	delete(c.active, s.id)
+
+	for _, rep := range c.cfg.Replicas {
+		c.cfg.Net.Send(c.cfg.Addr, rep, decideMsg{Txn: s.id, Commit: commit, Options: s.ops})
+	}
+	s.sink.Progress(ProgressEvent{Txn: s.id, Kind: KindDecided,
+		Accept: commit, Elapsed: time.Since(s.start)})
+	s.sink.Decided(s.id, commit, err)
+}
+
+// reasonErr maps a rejection reason to the error surfaced to applications.
+func reasonErr(r RejectReason) error {
+	switch r {
+	case ReasonBound:
+		return ErrBound
+	case ReasonVersion, ReasonPending, ReasonClassicOwned, ReasonDecided:
+		return ErrConflict
+	case ReasonBallot:
+		return ErrAmbiguous
+	default:
+		return ErrConflict
+	}
+}

@@ -1,0 +1,262 @@
+package mdcc
+
+import (
+	"errors"
+	"sync"
+	"testing"
+	"time"
+
+	"planet/internal/latency"
+	"planet/internal/simnet"
+	"planet/internal/txn"
+)
+
+// recordSink captures events and the decision (white-box tests).
+type recordSink struct {
+	mu      sync.Mutex
+	events  []ProgressEvent
+	decided bool
+	commit  bool
+	err     error
+}
+
+func (s *recordSink) Progress(e ProgressEvent) {
+	s.mu.Lock()
+	s.events = append(s.events, e)
+	s.mu.Unlock()
+}
+
+func (s *recordSink) Decided(_ txn.ID, committed bool, err error) {
+	s.mu.Lock()
+	s.decided, s.commit, s.err = true, committed, err
+	s.mu.Unlock()
+}
+
+func (s *recordSink) state() (bool, bool, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.decided, s.commit, s.err
+}
+
+// newLoneCoordinator builds a coordinator whose replicas are unregistered
+// addresses, so vote messages are injected directly via onVote.
+func newLoneCoordinator(t *testing.T, n int) *Coordinator {
+	t.Helper()
+	m := simnet.NewMatrix(latency.Constant(time.Microsecond))
+	net, err := simnet.New(simnet.Config{Latency: m, TimeScale: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(net.Close)
+	replicas := make([]simnet.Addr, n)
+	for i := range replicas {
+		replicas[i] = simnet.Addr{Region: simnet.Region(string(rune('a' + i))), Name: "replica"}
+	}
+	c, err := NewCoordinator(CoordinatorConfig{
+		Net:       net,
+		Addr:      simnet.Addr{Region: "a", Name: "coord"},
+		Replicas:  replicas,
+		MasterFor: func(string) simnet.Addr { return replicas[0] },
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return c
+}
+
+func vote(id txn.ID, key string, region int, accept bool, reason RejectReason) voteMsg {
+	return voteMsg{Txn: id, Key: key, Accept: accept, Reason: reason,
+		Region: simnet.Region(string(rune('a' + region)))}
+}
+
+func TestCoordinatorFastQuorumCommits(t *testing.T) {
+	c := newLoneCoordinator(t, 5)
+	sink := &recordSink{}
+	id := txn.NewID()
+	if err := c.Submit(id, []txn.Op{setOp("k", 0)}, ModeFast, sink); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 3; i++ {
+		c.onVote(vote(id, "k", i, true, ReasonNone))
+	}
+	if decided, _, _ := sink.state(); decided {
+		t.Fatal("decided with 3 of 4 needed accepts")
+	}
+	c.onVote(vote(id, "k", 3, true, ReasonNone))
+	decided, commit, err := sink.state()
+	if !decided || !commit || err != nil {
+		t.Fatalf("decided=%v commit=%v err=%v", decided, commit, err)
+	}
+	// Late vote is harmless.
+	c.onVote(vote(id, "k", 4, true, ReasonNone))
+}
+
+func TestCoordinatorDuplicateVotesIgnored(t *testing.T) {
+	c := newLoneCoordinator(t, 5)
+	sink := &recordSink{}
+	id := txn.NewID()
+	if err := c.Submit(id, []txn.Op{setOp("k", 0)}, ModeFast, sink); err != nil {
+		t.Fatal(err)
+	}
+	// The same region voting four times must not fake a quorum.
+	for i := 0; i < 4; i++ {
+		c.onVote(vote(id, "k", 0, true, ReasonNone))
+	}
+	if decided, _, _ := sink.state(); decided {
+		t.Fatal("duplicate votes reached quorum")
+	}
+}
+
+func TestCoordinatorFatalRejectAborts(t *testing.T) {
+	c := newLoneCoordinator(t, 5)
+	sink := &recordSink{}
+	id := txn.NewID()
+	if err := c.Submit(id, []txn.Op{setOp("k", 0)}, ModeFast, sink); err != nil {
+		t.Fatal(err)
+	}
+	c.onVote(vote(id, "k", 0, true, ReasonNone))
+	c.onVote(vote(id, "k", 1, false, ReasonVersion))
+	decided, commit, err := sink.state()
+	if !decided || commit {
+		t.Fatalf("fatal reject: decided=%v commit=%v", decided, commit)
+	}
+	if !errors.Is(err, ErrConflict) {
+		t.Errorf("err=%v", err)
+	}
+}
+
+func TestCoordinatorAmbiguityFallsBackOnce(t *testing.T) {
+	c := newLoneCoordinator(t, 5)
+	sink := &recordSink{}
+	id := txn.NewID()
+	if err := c.Submit(id, []txn.Op{setOp("k", 0)}, ModeFast, sink); err != nil {
+		t.Fatal(err)
+	}
+	// Two pending-conflict rejects: accepts can still reach 4? votes so
+	// far 2 rejects, 3 outstanding, max accepts 3 < 4 → ambiguous after
+	// the second reject.
+	c.onVote(vote(id, "k", 0, false, ReasonPending))
+	if c.Fallbacks != 0 {
+		t.Fatal("fell back too early")
+	}
+	c.onVote(vote(id, "k", 1, false, ReasonPending))
+	if c.Fallbacks != 1 {
+		t.Fatalf("fallbacks=%d, want 1", c.Fallbacks)
+	}
+	// Stale fast votes after the fallback change nothing.
+	c.onVote(vote(id, "k", 2, true, ReasonNone))
+	if decided, _, _ := sink.state(); decided {
+		t.Fatal("decided from stale fast votes after fallback")
+	}
+	// The classic result settles it.
+	c.onClassicResult(classicResultMsg{Txn: id, Key: "k", Accepted: true})
+	decided, commit, _ := sink.state()
+	if !decided || !commit {
+		t.Fatalf("classic result ignored: decided=%v commit=%v", decided, commit)
+	}
+}
+
+func TestCoordinatorMultiOptionAllMustAccept(t *testing.T) {
+	c := newLoneCoordinator(t, 5)
+	sink := &recordSink{}
+	id := txn.NewID()
+	ops := []txn.Op{setOp("k1", 0), setOp("k2", 0)}
+	if err := c.Submit(id, ops, ModeFast, sink); err != nil {
+		t.Fatal(err)
+	}
+	// k1 reaches its quorum.
+	for i := 0; i < 4; i++ {
+		c.onVote(vote(id, "k1", i, true, ReasonNone))
+	}
+	if decided, _, _ := sink.state(); decided {
+		t.Fatal("decided with k2 still open")
+	}
+	// k2 hits a fatal conflict: abort.
+	c.onVote(vote(id, "k2", 0, false, ReasonBound))
+	decided, commit, err := sink.state()
+	if !decided || commit || !errors.Is(err, ErrBound) {
+		t.Fatalf("decided=%v commit=%v err=%v", decided, commit, err)
+	}
+}
+
+func TestCoordinatorTimeout(t *testing.T) {
+	m := simnet.NewMatrix(latency.Constant(time.Microsecond))
+	net, err := simnet.New(simnet.Config{Latency: m, TimeScale: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(net.Close)
+	replicas := []simnet.Addr{{Region: "a", Name: "r"}, {Region: "b", Name: "r"}, {Region: "c", Name: "r"}}
+	c, err := NewCoordinator(CoordinatorConfig{
+		Net:           net,
+		Addr:          simnet.Addr{Region: "a", Name: "coord"},
+		Replicas:      replicas,
+		MasterFor:     func(string) simnet.Addr { return replicas[0] },
+		CommitTimeout: 5 * time.Millisecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sink := &recordSink{}
+	id := txn.NewID()
+	if err := c.Submit(id, []txn.Op{setOp("k", 0)}, ModeFast, sink); err != nil {
+		t.Fatal(err)
+	}
+	deadline := time.Now().Add(2 * time.Second)
+	for {
+		if decided, commit, err := sink.state(); decided {
+			if commit || !errors.Is(err, ErrTimeout) {
+				t.Fatalf("commit=%v err=%v", commit, err)
+			}
+			if c.Timeouts != 1 {
+				t.Errorf("timeouts=%d", c.Timeouts)
+			}
+			return
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("timeout never fired")
+		}
+		time.Sleep(time.Millisecond)
+	}
+}
+
+func TestCoordinatorClassicModeSkipsVotes(t *testing.T) {
+	c := newLoneCoordinator(t, 5)
+	sink := &recordSink{}
+	id := txn.NewID()
+	if err := c.Submit(id, []txn.Op{setOp("k", 0)}, ModeClassic, sink); err != nil {
+		t.Fatal(err)
+	}
+	// Fast votes for a classic-mode option are ignored.
+	for i := 0; i < 4; i++ {
+		c.onVote(vote(id, "k", i, true, ReasonNone))
+	}
+	if decided, _, _ := sink.state(); decided {
+		t.Fatal("classic option decided by fast votes")
+	}
+	c.onClassicResult(classicResultMsg{Txn: id, Key: "k", Accepted: false, Reason: ReasonVersion})
+	decided, commit, err := sink.state()
+	if !decided || commit || !errors.Is(err, ErrConflict) {
+		t.Fatalf("decided=%v commit=%v err=%v", decided, commit, err)
+	}
+}
+
+func TestReasonErrMapping(t *testing.T) {
+	cases := []struct {
+		r    RejectReason
+		want error
+	}{
+		{ReasonBound, ErrBound},
+		{ReasonVersion, ErrConflict},
+		{ReasonPending, ErrConflict},
+		{ReasonClassicOwned, ErrConflict},
+		{ReasonDecided, ErrConflict},
+		{ReasonBallot, ErrAmbiguous},
+		{ReasonNone, ErrConflict},
+	}
+	for _, tc := range cases {
+		if got := reasonErr(tc.r); !errors.Is(got, tc.want) {
+			t.Errorf("reasonErr(%v)=%v, want %v", tc.r, got, tc.want)
+		}
+	}
+}

@@ -1,0 +1,50 @@
+// Package mdcc implements the strongly consistent, geo-replicated commit
+// protocol PLANET runs on: an MDCC-style (multi-data-center consistency)
+// optimistic commit protocol with per-record Paxos.
+//
+// # Protocol sketch
+//
+// Every region hosts one full replica of the record store. A transaction's
+// writes become options — proposed record updates — that must be accepted by
+// a quorum of replicas before the transaction can commit. Two proposal paths
+// exist:
+//
+//   - Fast path: the coordinator sends each option directly to all N
+//     replicas at the reserved fast ballot 0. An option is chosen once
+//     ⌈3N/4⌉ replicas accept it (the Fast Paxos quorum). One wide-area
+//     round trip in the common case.
+//
+//   - Classic path: the coordinator sends the option to the record's
+//     master, which sequences it through ordinary Paxos (phase 1 once per
+//     key to take ownership, then phase 2 to a majority). One extra hop to
+//     the master, but a smaller quorum and no collision ambiguity.
+//
+// Replicas accept an option only if it is compatible with their committed
+// state and with every option already pending on that record: version match
+// for physical writes (OpSet), integrity-bound (demarcation) checks for
+// commutative integer deltas (OpAdd). A transaction commits when every one
+// of its options is learned accepted; the decision is broadcast to all
+// replicas, which then apply the pending updates.
+//
+// # Fast-path collision recovery
+//
+// When fast-path votes split such that no quorum can form, the coordinator
+// falls back to the classic path. The master then performs coordinated Fast
+// Paxos recovery: phase 1 at a fresh ballot collects the pending options
+// from a majority, and any conflicting option observed at least
+// classicQuorum-(N-fastQuorum) times — i.e. any option that may have been,
+// or may yet become, fast-chosen — is re-proposed at the new ballot before
+// the master's own candidate is considered. This preserves the core safety
+// property (no two conflicting options ever both commit) without full
+// Generalized Paxos machinery.
+//
+// # Simplifications relative to the MDCC paper
+//
+//   - Masters do not fail over; experiments that partition regions keep
+//     masters reachable or use the fast path.
+//   - Paxos instances are tracked per key rather than per record version;
+//     once a key's promised ballot rises above the fast ballot the key stays
+//     classic-owned (MDCC likewise demotes contended records to classic).
+//   - Reads are served by the client's local replica (snapshot of committed
+//     state), as in PLANET's evaluation.
+package mdcc

@@ -1,0 +1,331 @@
+package mdcc
+
+import (
+	"time"
+
+	"planet/internal/simnet"
+	"planet/internal/txn"
+)
+
+// masterKey is the master-role state this replica keeps for one key it owns.
+type masterKey struct {
+	ballot   uint64
+	leased   bool
+	p1       *phase1Run
+	queue    []classicProposeMsg
+	inflight map[txn.ID]*masterOption
+}
+
+// phase1Run tracks an in-progress phase 1 (ownership + recovery discovery).
+type phase1Run struct {
+	ballot uint64
+	oks    map[simnet.Region]bool
+	seen   map[txn.ID]*seenOption
+}
+
+// seenOption counts how many phase-1b responses reported a pending option.
+type seenOption struct {
+	op    txn.Op
+	count int
+}
+
+// masterOption tracks one option's phase-2 quorum at the master.
+type masterOption struct {
+	id      txn.ID
+	op      txn.Op
+	ballot  uint64
+	accepts map[simnet.Region]bool
+	rejects int
+	// coord is the coordinator waiting for the result; nil for recovery
+	// re-proposals, which have no direct requester.
+	coord *simnet.Addr
+	done  bool
+}
+
+// masterFor returns (creating if needed) the master state for key.
+// Caller holds r.mu.
+func (r *Replica) masterFor(key string) *masterKey {
+	ks := r.masters[key]
+	if ks == nil {
+		ks = &masterKey{inflight: make(map[txn.ID]*masterOption)}
+		r.masters[key] = ks
+	}
+	return ks
+}
+
+// onClassicPropose handles a coordinator's classic-path request for one
+// option. The first proposal for a key triggers phase 1 (taking ownership
+// and running Fast Paxos recovery); later proposals are sequenced directly.
+func (r *Replica) onClassicPropose(p classicProposeMsg) {
+	r.mu.Lock()
+	if r.isDecided(p.Txn) {
+		committed := r.decided[p.Txn]
+		r.mu.Unlock()
+		r.send(p.Coord, classicResultMsg{Txn: p.Txn, Key: p.Option.Key,
+			Accepted: committed, Reason: ReasonDecided})
+		return
+	}
+	ks := r.masterFor(p.Option.Key)
+	r.ClassicRuns++
+	if ks.leased {
+		outbox := r.sequenceLocked(ks, p)
+		r.mu.Unlock()
+		r.flush(outbox)
+		return
+	}
+	ks.queue = append(ks.queue, p)
+	var outbox []envelope
+	if ks.p1 == nil {
+		outbox = r.startPhase1Locked(p.Option.Key, ks)
+	}
+	r.mu.Unlock()
+	r.flush(outbox)
+}
+
+// isDecided reports whether the transaction has a recorded decision.
+// Caller holds r.mu.
+func (r *Replica) isDecided(id txn.ID) bool {
+	_, ok := r.decided[id]
+	return ok
+}
+
+// envelope is an outgoing message staged while holding the lock.
+type envelope struct {
+	to      simnet.Addr
+	payload any
+}
+
+// flush sends staged messages after the lock is released.
+func (r *Replica) flush(out []envelope) {
+	for _, e := range out {
+		r.send(e.to, e.payload)
+	}
+}
+
+// startPhase1Locked begins phase 1 for key at a fresh ballot. The replica
+// promises to itself synchronously and broadcasts phase 1a to its peers.
+// Caller holds r.mu; returns messages to send after unlock.
+func (r *Replica) startPhase1Locked(key string, ks *masterKey) []envelope {
+	ks.ballot++
+	run := &phase1Run{
+		ballot: ks.ballot,
+		oks:    map[simnet.Region]bool{r.Region(): true},
+		seen:   make(map[txn.ID]*seenOption),
+	}
+	ks.p1 = run
+
+	// Self-promise and self-report of pendings.
+	rc := r.rec(key)
+	if ks.ballot > rc.promised {
+		rc.promised = ks.ballot
+	}
+	for _, p := range rc.pending {
+		run.seen[p.txn] = &seenOption{op: p.op, count: 1}
+	}
+
+	var out []envelope
+	for _, peer := range r.cfg.Peers {
+		if peer == r.cfg.Addr {
+			continue
+		}
+		out = append(out, envelope{peer, phase1aMsg{Key: key, Ballot: ks.ballot, Master: r.cfg.Addr}})
+	}
+	// Degenerate single-replica cluster: quorum is already met.
+	if len(run.oks) >= ClassicQuorum(len(r.cfg.Peers)) {
+		out = append(out, r.finishPhase1Locked(key, ks)...)
+	}
+	return out
+}
+
+// onPhase1a is the acceptor side of phase 1.
+func (r *Replica) onPhase1a(m phase1aMsg) {
+	r.mu.Lock()
+	rc := r.rec(m.Key)
+	ok := m.Ballot >= rc.promised
+	if ok {
+		rc.promised = m.Ballot
+	}
+	resp := phase1bMsg{Key: m.Key, Ballot: m.Ballot, OK: ok, Region: r.Region()}
+	if ok {
+		for _, p := range rc.pending {
+			resp.Pending = append(resp.Pending, pendingSnapshot{Txn: p.txn, Option: p.op, Ballot: p.ballot})
+		}
+	}
+	r.mu.Unlock()
+	r.send(m.Master, resp)
+}
+
+// onPhase1b is the master side of phase 1 response collection.
+func (r *Replica) onPhase1b(b phase1bMsg) {
+	r.mu.Lock()
+	ks := r.masters[b.Key]
+	if ks == nil || ks.p1 == nil || b.Ballot != ks.p1.ballot || !b.OK {
+		r.mu.Unlock()
+		return
+	}
+	run := ks.p1
+	if run.oks[b.Region] {
+		r.mu.Unlock()
+		return
+	}
+	run.oks[b.Region] = true
+	for _, ps := range b.Pending {
+		if s := run.seen[ps.Txn]; s != nil {
+			s.count++
+		} else {
+			run.seen[ps.Txn] = &seenOption{op: ps.Option, count: 1}
+		}
+	}
+	var out []envelope
+	if len(run.oks) >= ClassicQuorum(len(r.cfg.Peers)) {
+		out = r.finishPhase1Locked(b.Key, ks)
+	}
+	r.mu.Unlock()
+	r.flush(out)
+}
+
+// finishPhase1Locked completes ownership: re-propose any possibly
+// fast-chosen options (coordinated recovery), then drain queued client
+// proposals. Caller holds r.mu; returns staged messages.
+func (r *Replica) finishPhase1Locked(key string, ks *masterKey) []envelope {
+	run := ks.p1
+	ks.p1 = nil
+	ks.leased = true
+
+	var out []envelope
+	thr := recoveryThreshold(len(r.cfg.Peers))
+	for id, s := range run.seen {
+		if s.count < thr {
+			continue
+		}
+		if r.isDecided(id) {
+			continue
+		}
+		// Possibly fast-chosen: must be fixed at the new ballot before
+		// any competing value. Recovery skips validation by design.
+		r.RecoveryRuns++
+		out = append(out, r.proposeAtMasterLocked(ks, key, id, s.op, nil)...)
+	}
+
+	queue := ks.queue
+	ks.queue = nil
+	for _, p := range queue {
+		out = append(out, r.sequenceLocked(ks, p)...)
+	}
+	return out
+}
+
+// sequenceLocked validates and proposes one client option at the master's
+// ballot. Caller holds r.mu; returns staged messages.
+func (r *Replica) sequenceLocked(ks *masterKey, p classicProposeMsg) []envelope {
+	key := p.Option.Key
+	if r.isDecided(p.Txn) {
+		return []envelope{{p.Coord, classicResultMsg{Txn: p.Txn, Key: key,
+			Accepted: r.decided[p.Txn], Reason: ReasonDecided}}}
+	}
+	if mo := ks.inflight[p.Txn]; mo != nil {
+		// The option is already in flight (fast leftover recovered, or a
+		// duplicate fallback): attach the coordinator to its outcome.
+		if mo.done {
+			return []envelope{{p.Coord, classicResultMsg{Txn: p.Txn, Key: key,
+				Accepted: len(mo.accepts) >= ClassicQuorum(len(r.cfg.Peers))}}}
+		}
+		mo.coord = &p.Coord
+		return nil
+	}
+	rc := r.rec(key)
+	rc.evictStale(time.Now(), r.cfg.PendingTTL)
+	if reason := rc.validate(p.Option, ks.ballot, p.Txn); reason != ReasonNone {
+		return []envelope{{p.Coord, classicResultMsg{Txn: p.Txn, Key: key,
+			Accepted: false, Reason: reason}}}
+	}
+	return r.proposeAtMasterLocked(ks, key, p.Txn, p.Option, &p.Coord)
+}
+
+// proposeAtMasterLocked runs phase 2 for one option: the master accepts
+// locally, then asks its peers. Caller holds r.mu; returns staged messages.
+func (r *Replica) proposeAtMasterLocked(ks *masterKey, key string, id txn.ID, op txn.Op, coord *simnet.Addr) []envelope {
+	now := time.Now()
+	rc := r.rec(key)
+	rc.evictConflictingBelow(op, ks.ballot, id)
+	rc.addPending(id, op, ks.ballot, now)
+
+	mo := &masterOption{
+		id: id, op: op, ballot: ks.ballot,
+		accepts: map[simnet.Region]bool{r.Region(): true},
+		coord:   coord,
+	}
+	ks.inflight[id] = mo
+
+	var out []envelope
+	for _, peer := range r.cfg.Peers {
+		if peer == r.cfg.Addr {
+			continue
+		}
+		out = append(out, envelope{peer, phase2aMsg{Txn: id, Key: key,
+			Ballot: ks.ballot, Option: op, Master: r.cfg.Addr}})
+	}
+	out = append(out, r.checkMasterQuorumLocked(ks, mo)...)
+	return out
+}
+
+// onPhase2a is the acceptor side of phase 2: obey the master if the ballot
+// is current.
+func (r *Replica) onPhase2a(m phase2aMsg) {
+	r.mu.Lock()
+	var accept bool
+	if r.isDecided(m.Txn) {
+		accept = r.decided[m.Txn]
+	} else {
+		rc := r.rec(m.Key)
+		if m.Ballot >= rc.promised {
+			rc.promised = m.Ballot
+			rc.evictConflictingBelow(m.Option, m.Ballot, m.Txn)
+			rc.addPending(m.Txn, m.Option, m.Ballot, time.Now())
+			accept = true
+		}
+	}
+	resp := phase2bMsg{Txn: m.Txn, Key: m.Key, Ballot: m.Ballot, Accept: accept, Region: r.Region()}
+	r.mu.Unlock()
+	r.send(m.Master, resp)
+}
+
+// onPhase2b is the master side of phase 2 quorum counting.
+func (r *Replica) onPhase2b(b phase2bMsg) {
+	r.mu.Lock()
+	ks := r.masters[b.Key]
+	var out []envelope
+	if ks != nil {
+		if mo := ks.inflight[b.Txn]; mo != nil && mo.ballot == b.Ballot && !mo.done {
+			if b.Accept {
+				mo.accepts[b.Region] = true
+			} else {
+				mo.rejects++
+			}
+			out = r.checkMasterQuorumLocked(ks, mo)
+		}
+	}
+	r.mu.Unlock()
+	r.flush(out)
+}
+
+// checkMasterQuorumLocked resolves an in-flight option once its phase-2b
+// votes are conclusive. Caller holds r.mu; returns staged messages.
+func (r *Replica) checkMasterQuorumLocked(ks *masterKey, mo *masterOption) []envelope {
+	n := len(r.cfg.Peers)
+	q := ClassicQuorum(n)
+	switch {
+	case len(mo.accepts) >= q:
+		mo.done = true
+		if mo.coord != nil {
+			return []envelope{{*mo.coord, classicResultMsg{Txn: mo.id, Key: mo.op.Key, Accepted: true}}}
+		}
+	case mo.rejects > n-q:
+		mo.done = true
+		if mo.coord != nil {
+			return []envelope{{*mo.coord, classicResultMsg{Txn: mo.id, Key: mo.op.Key,
+				Accepted: false, Reason: ReasonBallot}}}
+		}
+	}
+	return nil
+}

@@ -1,0 +1,111 @@
+package mdcc
+
+import (
+	"fmt"
+	"sync/atomic"
+	"time"
+
+	"planet/internal/simnet"
+)
+
+// PLANET serves reads from the client's local replica — fast, but a read
+// can miss a commit whose decide message is still in flight. Quorum reads
+// are the stronger alternative this file provides: ask every replica,
+// wait for a majority, and return the freshest (highest-version) value
+// seen. Any committed write is applied at a majority-overlapping set of
+// replicas once its decide propagates, so a quorum read observes every
+// write that was committed and fully propagated before the read began,
+// at the price of one wide-area round trip.
+
+// wire messages for reads.
+type readReq struct {
+	ReqID uint64
+	Key   string
+	From  simnet.Addr
+}
+
+type readResp struct {
+	ReqID  uint64
+	Key    string
+	Found  bool
+	Value  Value
+	Region simnet.Region
+}
+
+// readWaiter collects responses for one quorum read.
+type readWaiter struct {
+	need    int
+	got     int
+	found   bool
+	best    Value
+	done    chan struct{}
+	settled bool
+}
+
+var readSeq atomic.Uint64
+
+// QuorumRead reads key from a majority of replicas and returns the value
+// with the highest version among the responses. It blocks up to timeout
+// (emulator time). found reports whether any responding replica had the
+// key.
+func (c *Coordinator) QuorumRead(key string, timeout time.Duration) (value Value, found bool, err error) {
+	id := readSeq.Add(1)
+	w := &readWaiter{need: ClassicQuorum(c.N()), done: make(chan struct{})}
+
+	c.mu.Lock()
+	if c.reads == nil {
+		c.reads = make(map[uint64]*readWaiter)
+	}
+	c.reads[id] = w
+	c.mu.Unlock()
+
+	for _, rep := range c.cfg.Replicas {
+		c.cfg.Net.Send(c.cfg.Addr, rep, readReq{ReqID: id, Key: key, From: c.cfg.Addr})
+	}
+
+	timer := time.NewTimer(timeout)
+	defer timer.Stop()
+	select {
+	case <-w.done:
+	case <-timer.C:
+		c.mu.Lock()
+		delete(c.reads, id)
+		settled := w.settled
+		c.mu.Unlock()
+		if !settled {
+			return Value{}, false, fmt.Errorf("mdcc: quorum read of %q: %w", key, ErrTimeout)
+		}
+	}
+
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	delete(c.reads, id)
+	return w.best, w.found, nil
+}
+
+// onReadResp accumulates one replica's answer.
+func (c *Coordinator) onReadResp(r readResp) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	w := c.reads[r.ReqID]
+	if w == nil || w.settled {
+		return
+	}
+	w.got++
+	if r.Found {
+		if !w.found || r.Value.Version > w.best.Version {
+			w.best = r.Value
+		}
+		w.found = true
+	}
+	if w.got >= w.need {
+		w.settled = true
+		close(w.done)
+	}
+}
+
+// onReadReq is the replica side: answer with local committed state.
+func (r *Replica) onReadReq(q readReq) {
+	v, ok := r.ReadLocal(q.Key)
+	r.send(q.From, readResp{ReqID: q.ReqID, Key: q.Key, Found: ok, Value: v, Region: r.Region()})
+}

@@ -1,0 +1,160 @@
+package mdcc
+
+import (
+	"time"
+
+	"planet/internal/txn"
+)
+
+// record is a replica's state for one key: the committed value plus the
+// accepted-but-undecided options and the Paxos promise.
+type record struct {
+	version int64
+	bytes   []byte
+	ival    int64
+	isInt   bool
+	bounded bool
+	lo, hi  int64
+
+	// promised is the highest classic ballot this replica promised for
+	// the key; 0 means the key is still fast-eligible.
+	promised uint64
+
+	pending []*pendingOption
+}
+
+// pendingOption is an accepted, undecided option held by a replica.
+type pendingOption struct {
+	txn      txn.ID
+	op       txn.Op
+	ballot   uint64
+	accepted time.Time
+}
+
+// conflicts reports whether two options on the same key cannot both be
+// pending: physical writes conflict with everything; commutative adds
+// tolerate each other.
+func conflicts(a, b txn.Op) bool {
+	return a.Kind == txn.OpSet || b.Kind == txn.OpSet
+}
+
+// value snapshots the committed state.
+func (r *record) value() Value {
+	v := Value{Version: r.version, Int: r.ival, IsInt: r.isInt}
+	if r.bytes != nil {
+		v.Bytes = append([]byte(nil), r.bytes...)
+	}
+	return v
+}
+
+// evictStale drops pending options older than ttl (a liveness guard against
+// lost decide messages). ttl <= 0 disables eviction.
+func (r *record) evictStale(now time.Time, ttl time.Duration) {
+	if ttl <= 0 {
+		return
+	}
+	kept := r.pending[:0]
+	for _, p := range r.pending {
+		if now.Sub(p.accepted) < ttl {
+			kept = append(kept, p)
+		}
+	}
+	r.pending = kept
+}
+
+// validate checks op against committed state and pendings from other
+// transactions, for a proposal at the given ballot. It returns ReasonNone
+// when the option can be accepted.
+func (r *record) validate(op txn.Op, ballot uint64, owner txn.ID) RejectReason {
+	if ballot == 0 && r.promised > 0 {
+		return ReasonClassicOwned
+	}
+	switch op.Kind {
+	case txn.OpSet:
+		if r.version != op.ReadVersion {
+			return ReasonVersion
+		}
+		for _, p := range r.pending {
+			if p.txn != owner {
+				return ReasonPending
+			}
+		}
+	case txn.OpAdd:
+		// Demarcation must be pessimistic per direction: any subset of
+		// the accepted pendings may commit (the rest abort), so the
+		// upper bound is checked as if only the positive deltas land and
+		// the lower bound as if only the negative ones do.
+		sumHi, sumLo := r.ival, r.ival
+		for _, p := range r.pending {
+			if p.txn == owner {
+				continue
+			}
+			if p.op.Kind == txn.OpSet {
+				return ReasonPending
+			}
+			if p.op.Delta > 0 {
+				sumHi += p.op.Delta
+			} else {
+				sumLo += p.op.Delta
+			}
+		}
+		if op.Delta > 0 {
+			sumHi += op.Delta
+		} else {
+			sumLo += op.Delta
+		}
+		if r.bounded && (sumLo < r.lo || sumHi > r.hi) {
+			return ReasonBound
+		}
+	}
+	return ReasonNone
+}
+
+// addPending records an accepted option, replacing any existing pending
+// entry from the same transaction.
+func (r *record) addPending(id txn.ID, op txn.Op, ballot uint64, now time.Time) {
+	for _, p := range r.pending {
+		if p.txn == id {
+			p.op, p.ballot, p.accepted = op, ballot, now
+			return
+		}
+	}
+	r.pending = append(r.pending, &pendingOption{txn: id, op: op, ballot: ballot, accepted: now})
+}
+
+// removePending drops the pending option owned by id, if present.
+func (r *record) removePending(id txn.ID) {
+	for i, p := range r.pending {
+		if p.txn == id {
+			r.pending = append(r.pending[:i], r.pending[i+1:]...)
+			return
+		}
+	}
+}
+
+// evictConflictingBelow removes pendings that conflict with op and were
+// accepted at a strictly lower ballot. Used when a classic phase-2a
+// overrides leftover fast-ballot options.
+func (r *record) evictConflictingBelow(op txn.Op, ballot uint64, owner txn.ID) {
+	kept := r.pending[:0]
+	for _, p := range r.pending {
+		if p.txn != owner && p.ballot < ballot && conflicts(p.op, op) {
+			continue
+		}
+		kept = append(kept, p)
+	}
+	r.pending = kept
+}
+
+// apply installs a decided option into committed state.
+func (r *record) apply(op txn.Op) {
+	switch op.Kind {
+	case txn.OpSet:
+		r.bytes = append([]byte(nil), op.Value...)
+		r.isInt = false
+	case txn.OpAdd:
+		r.ival += op.Delta
+		r.isInt = true
+	}
+	r.version++
+}

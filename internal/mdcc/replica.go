@@ -1,0 +1,250 @@
+package mdcc
+
+import (
+	"sort"
+	"sync"
+	"time"
+
+	"planet/internal/simnet"
+	"planet/internal/txn"
+)
+
+// ReplicaConfig parameterizes one region's replica.
+type ReplicaConfig struct {
+	// Net is the transport. Required.
+	Net *simnet.Network
+	// Addr is this replica's address. Required.
+	Addr simnet.Addr
+	// Peers lists all replica addresses including this one. Required.
+	Peers []simnet.Addr
+	// PendingTTL evicts pending options whose decide message was lost.
+	// Zero disables eviction.
+	PendingTTL time.Duration
+	// WAL, when non-nil, receives an entry for every decided transaction.
+	WAL *WAL
+}
+
+// Replica is one region's full copy of the store. It plays three protocol
+// roles: fast-path acceptor, classic-path acceptor, and master for the keys
+// assigned to its region.
+type Replica struct {
+	cfg ReplicaConfig
+
+	mu      sync.Mutex
+	records map[string]*record
+	decided map[txn.ID]bool
+	masters map[string]*masterKey
+	syncs   map[uint64]*syncWaiter
+
+	// Stats exported for tests and experiments.
+	FastAccepts  uint64
+	FastRejects  uint64
+	ClassicRuns  uint64
+	Applied      uint64
+	RecoveryRuns uint64
+}
+
+// NewReplica constructs and registers a replica on cfg.Net.
+func NewReplica(cfg ReplicaConfig) *Replica {
+	r := &Replica{
+		cfg:     cfg,
+		records: make(map[string]*record),
+		decided: make(map[txn.ID]bool),
+		masters: make(map[string]*masterKey),
+	}
+	cfg.Net.Register(cfg.Addr, r.recv)
+	return r
+}
+
+// Addr returns the replica's network address.
+func (r *Replica) Addr() simnet.Addr { return r.cfg.Addr }
+
+// Region returns the replica's region.
+func (r *Replica) Region() simnet.Region { return r.cfg.Addr.Region }
+
+// rec returns (creating if needed) the record for key. Caller holds r.mu.
+func (r *Replica) rec(key string) *record {
+	rc := r.records[key]
+	if rc == nil {
+		rc = &record{}
+		r.records[key] = rc
+	}
+	return rc
+}
+
+// SeedBytes installs an initial byte value outside the protocol (setup).
+func (r *Replica) SeedBytes(key string, value []byte) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	rc := r.rec(key)
+	rc.bytes = append([]byte(nil), value...)
+	rc.isInt = false
+}
+
+// SeedInt installs an initial integer value with integrity bounds.
+func (r *Replica) SeedInt(key string, value, lo, hi int64) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	rc := r.rec(key)
+	rc.ival = value
+	rc.isInt = true
+	rc.bounded = true
+	rc.lo, rc.hi = lo, hi
+}
+
+// ReadLocal returns the committed state of key at this replica.
+// The second result reports whether the key exists.
+func (r *Replica) ReadLocal(key string) (Value, bool) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	rc, ok := r.records[key]
+	if !ok {
+		return Value{}, false
+	}
+	return rc.value(), true
+}
+
+// PendingCount reports how many options are pending on key (tests).
+func (r *Replica) PendingCount(key string) int {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	rc, ok := r.records[key]
+	if !ok {
+		return 0
+	}
+	return len(rc.pending)
+}
+
+// DecidedCount reports how many transaction decisions this replica retains
+// for idempotence/reordering protection.
+func (r *Replica) DecidedCount() int {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return len(r.decided)
+}
+
+// CompactDecided drops up to keepLast of the oldest retained decisions,
+// bounding memory on long-lived replicas. Transaction IDs are issue-
+// ordered, so dropping the lowest IDs discards the decisions least likely
+// to see straggler messages. Returns the number of entries removed.
+//
+// Operators should keep at least the last few thousand decisions: a
+// proposal arriving after its decision was compacted is treated as new and
+// votes again, which is harmless for aborted transactions (their pendings
+// re-evict via PendingTTL) and unreachable for committed ones in a healthy
+// deployment (the coordinator has long stopped retransmitting).
+func (r *Replica) CompactDecided(keepLast int) int {
+	if keepLast < 0 {
+		keepLast = 0
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	excess := len(r.decided) - keepLast
+	if excess <= 0 {
+		return 0
+	}
+	ids := make([]txn.ID, 0, len(r.decided))
+	for id := range r.decided {
+		ids = append(ids, id)
+	}
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	for _, id := range ids[:excess] {
+		delete(r.decided, id)
+	}
+	return excess
+}
+
+// recv dispatches network messages.
+func (r *Replica) recv(m simnet.Message) {
+	switch p := m.Payload.(type) {
+	case proposeMsg:
+		r.onPropose(p)
+	case decideMsg:
+		r.onDecide(p)
+	case classicProposeMsg:
+		r.onClassicPropose(p)
+	case phase1aMsg:
+		r.onPhase1a(p)
+	case phase1bMsg:
+		r.onPhase1b(p)
+	case phase2aMsg:
+		r.onPhase2a(p)
+	case phase2bMsg:
+		r.onPhase2b(p)
+	case readReq:
+		r.onReadReq(p)
+	case syncReq:
+		r.onSyncReq(p)
+	case syncResp:
+		r.onSyncResp(p)
+	}
+}
+
+// onPropose handles a fast-path proposal: validate each option against
+// committed state and pendings, record accepted options, and vote.
+func (r *Replica) onPropose(p proposeMsg) {
+	now := time.Now()
+	votes := make([]voteMsg, 0, len(p.Options))
+
+	r.mu.Lock()
+	if r.isDecided(p.Txn) {
+		// Reordered proposal for an already-decided transaction: planting
+		// pendings now would leave orphans. Report and stop.
+		r.mu.Unlock()
+		for _, op := range p.Options {
+			r.send(p.Coord, voteMsg{Txn: p.Txn, Key: op.Key, Accept: false,
+				Reason: ReasonDecided, Region: r.Region()})
+		}
+		return
+	}
+	for _, op := range p.Options {
+		rc := r.rec(op.Key)
+		rc.evictStale(now, r.cfg.PendingTTL)
+		reason := rc.validate(op, 0, p.Txn)
+		if reason == ReasonNone {
+			rc.addPending(p.Txn, op, 0, now)
+			r.FastAccepts++
+		} else {
+			r.FastRejects++
+		}
+		votes = append(votes, voteMsg{Txn: p.Txn, Key: op.Key,
+			Accept: reason == ReasonNone, Reason: reason, Region: r.Region()})
+	}
+	r.mu.Unlock()
+
+	for _, v := range votes {
+		r.send(p.Coord, v)
+	}
+}
+
+// onDecide applies or discards a transaction's options. Decides are
+// idempotent and may arrive before the proposal they decide.
+func (r *Replica) onDecide(d decideMsg) {
+	r.mu.Lock()
+	if _, seen := r.decided[d.Txn]; seen {
+		r.mu.Unlock()
+		return
+	}
+	r.decided[d.Txn] = d.Commit
+	for _, op := range d.Options {
+		rc := r.rec(op.Key)
+		rc.removePending(d.Txn)
+		if d.Commit {
+			rc.apply(op)
+			r.Applied++
+		}
+		if ks := r.masters[op.Key]; ks != nil {
+			delete(ks.inflight, d.Txn)
+		}
+	}
+	r.mu.Unlock()
+
+	if r.cfg.WAL != nil {
+		r.cfg.WAL.Append(Entry{Txn: d.Txn, Commit: d.Commit, Options: d.Options, At: time.Now()})
+	}
+}
+
+// send is a convenience wrapper.
+func (r *Replica) send(to simnet.Addr, payload any) {
+	r.cfg.Net.Send(r.cfg.Addr, to, payload)
+}

@@ -1,0 +1,118 @@
+package mdcc
+
+import (
+	"fmt"
+	"sync/atomic"
+	"time"
+
+	"planet/internal/simnet"
+)
+
+// A replica that was partitioned misses the decide messages broadcast while
+// it was unreachable, leaving it permanently stale on the affected keys
+// (decides are fire-and-forget). SyncFrom is the anti-entropy repair: pull
+// a peer's committed snapshot and adopt any record with a higher version.
+//
+// Adopting committed state wholesale is safe: every snapshot entry is
+// decided state from a replica that applied it, versions are per-key write
+// counters identical across replicas for the same write history, and a
+// higher version strictly extends the local history (two histories of the
+// same key cannot diverge — conflicting options never both commit).
+// Pending options are untouched; in-flight transactions keep their votes.
+
+// wire messages for anti-entropy.
+type syncReq struct {
+	ReqID uint64
+	From  simnet.Addr
+}
+
+type syncResp struct {
+	ReqID   uint64
+	Records map[string]Value
+}
+
+var syncSeq atomic.Uint64
+
+// syncWaiter holds the rendezvous for one SyncFrom call.
+type syncWaiter struct {
+	done chan syncResp
+}
+
+// SyncFrom pulls peer's committed snapshot and applies every record whose
+// version exceeds the local one. It blocks up to timeout (emulator time)
+// and returns the number of records repaired.
+func (r *Replica) SyncFrom(peer simnet.Addr, timeout time.Duration) (int, error) {
+	id := syncSeq.Add(1)
+	w := &syncWaiter{done: make(chan syncResp, 1)}
+
+	r.mu.Lock()
+	if r.syncs == nil {
+		r.syncs = make(map[uint64]*syncWaiter)
+	}
+	r.syncs[id] = w
+	r.mu.Unlock()
+	defer func() {
+		r.mu.Lock()
+		delete(r.syncs, id)
+		r.mu.Unlock()
+	}()
+
+	r.send(peer, syncReq{ReqID: id, From: r.cfg.Addr})
+
+	timer := time.NewTimer(timeout)
+	defer timer.Stop()
+	select {
+	case resp := <-w.done:
+		return r.applySnapshot(resp.Records), nil
+	case <-timer.C:
+		return 0, fmt.Errorf("mdcc: sync from %s: %w", peer, ErrTimeout)
+	}
+}
+
+// applySnapshot adopts fresher committed records.
+func (r *Replica) applySnapshot(records map[string]Value) int {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	repaired := 0
+	for key, v := range records {
+		rc := r.rec(key)
+		if v.Version <= rc.version {
+			continue
+		}
+		rc.version = v.Version
+		rc.isInt = v.IsInt
+		rc.ival = v.Int
+		if v.Bytes != nil {
+			rc.bytes = append(rc.bytes[:0], v.Bytes...)
+		} else {
+			rc.bytes = nil
+		}
+		repaired++
+	}
+	return repaired
+}
+
+// onSyncReq is the donor side: snapshot committed state and reply.
+func (r *Replica) onSyncReq(q syncReq) {
+	r.mu.Lock()
+	snapshot := make(map[string]Value, len(r.records))
+	for key, rc := range r.records {
+		snapshot[key] = rc.value()
+	}
+	r.mu.Unlock()
+	r.send(q.From, syncResp{ReqID: q.ReqID, Records: snapshot})
+}
+
+// onSyncResp routes the snapshot to its waiter.
+func (r *Replica) onSyncResp(resp syncResp) {
+	r.mu.Lock()
+	w := r.syncs[resp.ReqID]
+	r.mu.Unlock()
+	if w == nil {
+		return
+	}
+	select {
+	case w.done <- resp:
+	default:
+	}
+}

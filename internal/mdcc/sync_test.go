@@ -1,0 +1,96 @@
+package mdcc_test
+
+import (
+	"testing"
+	"time"
+
+	"planet/internal/cluster"
+	"planet/internal/mdcc"
+	"planet/internal/regions"
+	"planet/internal/txn"
+)
+
+func TestSyncRepairsPartitionedReplica(t *testing.T) {
+	c := newTestCluster(t, cluster.Config{})
+	c.SeedBytes("doc", []byte("v0"))
+	c.SeedInt("n", 0, 0, 1000)
+	c.Quiesce(5 * time.Second)
+
+	// Ireland misses two commits behind a partition.
+	c.Net.SetRegionDown(regions.Ireland, true)
+	for _, op := range []txn.Op{
+		{Kind: txn.OpSet, Key: "doc", Value: []byte("v1"), ReadVersion: 0},
+		{Kind: txn.OpAdd, Key: "n", Delta: 7},
+	} {
+		if ok, err, _ := submit(t, c, regions.California, []txn.Op{op}, mdcc.ModeFast); !ok {
+			t.Fatalf("commit during partition: %v", err)
+		}
+	}
+	if !c.Quiesce(5 * time.Second) {
+		t.Fatal("no quiesce")
+	}
+	c.Net.SetRegionDown(regions.Ireland, false)
+
+	ie := c.Replica(regions.Ireland)
+	if v, _ := ie.ReadLocal("doc"); string(v.Bytes) != "v0" {
+		t.Fatalf("precondition: replica should be stale, has %q", v.Bytes)
+	}
+
+	repaired, err := ie.SyncFrom(c.Replica(regions.Virginia).Addr(), 5*time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if repaired != 2 {
+		t.Errorf("repaired %d records, want 2", repaired)
+	}
+	if v, _ := ie.ReadLocal("doc"); string(v.Bytes) != "v1" || v.Version != 1 {
+		t.Errorf("doc after sync: %q v%d", v.Bytes, v.Version)
+	}
+	if v, _ := ie.ReadLocal("n"); v.Int != 7 {
+		t.Errorf("n after sync: %d", v.Int)
+	}
+}
+
+func TestSyncIsIdempotentAndDirectional(t *testing.T) {
+	c := newTestCluster(t, cluster.Config{})
+	c.SeedBytes("k", []byte("v0"))
+	c.Quiesce(5 * time.Second)
+
+	ca := c.Replica(regions.California)
+	// Syncing identical replicas repairs nothing.
+	repaired, err := ca.SyncFrom(c.Replica(regions.Tokyo).Addr(), 5*time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if repaired != 0 {
+		t.Errorf("repaired %d on identical state", repaired)
+	}
+	// A fresher local version is never downgraded by a stale donor.
+	if ok, err, _ := submit(t, c, regions.California, []txn.Op{
+		{Kind: txn.OpSet, Key: "k", Value: []byte("v1"), ReadVersion: 0},
+	}, mdcc.ModeFast); !ok {
+		t.Fatal(err)
+	}
+	c.Quiesce(5 * time.Second)
+	repaired, err = ca.SyncFrom(c.Replica(regions.Tokyo).Addr(), 5*time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if repaired != 0 {
+		t.Errorf("repaired %d from an equally fresh donor", repaired)
+	}
+	if v, _ := ca.ReadLocal("k"); string(v.Bytes) != "v1" {
+		t.Errorf("sync downgraded to %q", v.Bytes)
+	}
+}
+
+func TestSyncTimesOutAgainstDeadPeer(t *testing.T) {
+	c := newTestCluster(t, cluster.Config{})
+	c.SeedBytes("k", []byte("v0"))
+	c.Net.SetRegionDown(regions.Singapore, true)
+	_, err := c.Replica(regions.California).SyncFrom(
+		c.Replica(regions.Singapore).Addr(), 50*time.Millisecond)
+	if err == nil {
+		t.Fatal("sync from unreachable peer succeeded")
+	}
+}

@@ -1,0 +1,253 @@
+package mdcc
+
+import (
+	"errors"
+	"fmt"
+	"hash/fnv"
+	"time"
+
+	"planet/internal/simnet"
+	"planet/internal/txn"
+)
+
+// Mode selects the proposal path a coordinator tries first.
+type Mode uint8
+
+const (
+	// ModeFast proposes directly to all replicas (Fast Paxos), falling
+	// back to the classic path on collision.
+	ModeFast Mode = iota
+	// ModeClassic routes every option through the record master.
+	ModeClassic
+)
+
+// String implements fmt.Stringer.
+func (m Mode) String() string {
+	if m == ModeClassic {
+		return "classic"
+	}
+	return "fast"
+}
+
+// ClassicQuorum returns the majority quorum for n replicas.
+func ClassicQuorum(n int) int { return n/2 + 1 }
+
+// FastQuorum returns the Fast Paxos quorum ⌈3n/4⌉ for n replicas.
+func FastQuorum(n int) int { return (3*n + 3) / 4 }
+
+// recoveryThreshold is the minimum number of phase-1b appearances, within a
+// classic quorum, at which a pending option may have been (or may become)
+// fast-chosen and therefore must be re-proposed: classicQ - (n - fastQ).
+func recoveryThreshold(n int) int { return ClassicQuorum(n) - (n - FastQuorum(n)) }
+
+// RejectReason explains why a replica or master refused an option.
+type RejectReason uint8
+
+const (
+	// ReasonNone marks an accept vote.
+	ReasonNone RejectReason = iota
+	// ReasonVersion: the record's committed version moved past the
+	// transaction's read version. Fatal; retrying cannot help.
+	ReasonVersion
+	// ReasonPending: a conflicting option from another transaction is
+	// pending. Transient; classic fallback may still succeed.
+	ReasonPending
+	// ReasonBound: a commutative delta would violate the record's
+	// integrity bounds. Fatal under current committed+pending state.
+	ReasonBound
+	// ReasonClassicOwned: the key's promised ballot exceeds the fast
+	// ballot, so fast proposals are refused. Retry via classic.
+	ReasonClassicOwned
+	// ReasonDecided: the transaction was already decided when the
+	// proposal arrived (message reordering).
+	ReasonDecided
+	// ReasonBallot: a classic-path message carried a stale ballot.
+	ReasonBallot
+)
+
+// String implements fmt.Stringer.
+func (r RejectReason) String() string {
+	switch r {
+	case ReasonNone:
+		return "accept"
+	case ReasonVersion:
+		return "version-conflict"
+	case ReasonPending:
+		return "pending-conflict"
+	case ReasonBound:
+		return "bound-violation"
+	case ReasonClassicOwned:
+		return "classic-owned"
+	case ReasonDecided:
+		return "already-decided"
+	case ReasonBallot:
+		return "stale-ballot"
+	default:
+		return fmt.Sprintf("reason(%d)", uint8(r))
+	}
+}
+
+// Fatal reports whether a rejection for this reason dooms the transaction
+// (no retry path can change the outcome).
+func (r RejectReason) Fatal() bool {
+	return r == ReasonVersion || r == ReasonBound
+}
+
+// Errors surfaced through transaction outcomes.
+var (
+	// ErrConflict reports a write-write conflict (version or pending).
+	ErrConflict = errors.New("mdcc: write conflict")
+	// ErrBound reports an integrity-bound (demarcation) violation.
+	ErrBound = errors.New("mdcc: integrity bound violated")
+	// ErrTimeout reports that the coordinator gave up waiting.
+	ErrTimeout = errors.New("mdcc: commit timed out")
+	// ErrAmbiguous reports that fast and classic attempts both failed to
+	// reach a quorum.
+	ErrAmbiguous = errors.New("mdcc: could not reach quorum")
+)
+
+// Value is what a read returns.
+type Value struct {
+	Bytes   []byte
+	Int     int64
+	IsInt   bool
+	Version int64
+}
+
+// ProgressEvent is the coordinator's running commentary on a transaction,
+// consumed by the PLANET layer to drive callbacks and likelihood updates.
+type ProgressEvent struct {
+	Txn  txn.ID
+	Kind ProgressKind
+	// Key and Region identify the vote for KindVote events.
+	Key    string
+	Region simnet.Region
+	Accept bool
+	Reason RejectReason
+	// Elapsed is time since submission.
+	Elapsed time.Duration
+}
+
+// ProgressKind enumerates coordinator progress events.
+type ProgressKind uint8
+
+const (
+	// KindSubmitted: commit processing started (options sent).
+	KindSubmitted ProgressKind = iota
+	// KindVote: one replica voted on one option.
+	KindVote
+	// KindOptionLearned: one option reached a definitive accept/reject.
+	KindOptionLearned
+	// KindFallback: an option fell back from fast to classic.
+	KindFallback
+	// KindDecided: the transaction reached its final decision.
+	KindDecided
+)
+
+// String implements fmt.Stringer.
+func (k ProgressKind) String() string {
+	switch k {
+	case KindSubmitted:
+		return "submitted"
+	case KindVote:
+		return "vote"
+	case KindOptionLearned:
+		return "option-learned"
+	case KindFallback:
+		return "fallback"
+	case KindDecided:
+		return "decided"
+	default:
+		return fmt.Sprintf("kind(%d)", uint8(k))
+	}
+}
+
+// ProgressSink receives progress events and the final decision for one
+// transaction. Implementations must be safe for concurrent use, must not
+// block (events are delivered from network-timer goroutines, sometimes with
+// coordinator locks held), and must not call back into the coordinator.
+type ProgressSink interface {
+	Progress(ProgressEvent)
+	Decided(id txn.ID, committed bool, err error)
+}
+
+// MasterFor deterministically assigns a key's master region by hashing the
+// key over the region list.
+func MasterFor(key string, regions []simnet.Region) simnet.Region {
+	h := fnv.New32a()
+	h.Write([]byte(key))
+	return regions[int(h.Sum32())%len(regions)]
+}
+
+// --- wire messages (simnet payloads) ---
+
+type proposeMsg struct {
+	Txn     txn.ID
+	Coord   simnet.Addr
+	Options []txn.Op
+}
+
+type voteMsg struct {
+	Txn    txn.ID
+	Key    string
+	Accept bool
+	Reason RejectReason
+	Region simnet.Region
+}
+
+type classicProposeMsg struct {
+	Txn    txn.ID
+	Coord  simnet.Addr
+	Option txn.Op
+}
+
+type classicResultMsg struct {
+	Txn      txn.ID
+	Key      string
+	Accepted bool
+	Reason   RejectReason
+}
+
+type phase1aMsg struct {
+	Key    string
+	Ballot uint64
+	Master simnet.Addr
+}
+
+type phase1bMsg struct {
+	Key     string
+	Ballot  uint64
+	OK      bool
+	Pending []pendingSnapshot
+	Region  simnet.Region
+}
+
+// pendingSnapshot is a replica's view of one pending option, reported
+// during phase 1.
+type pendingSnapshot struct {
+	Txn    txn.ID
+	Option txn.Op
+	Ballot uint64
+}
+
+type phase2aMsg struct {
+	Txn    txn.ID
+	Key    string
+	Ballot uint64
+	Option txn.Op
+	Master simnet.Addr
+}
+
+type phase2bMsg struct {
+	Txn    txn.ID
+	Key    string
+	Ballot uint64
+	Accept bool
+	Region simnet.Region
+}
+
+type decideMsg struct {
+	Txn     txn.ID
+	Commit  bool
+	Options []txn.Op
+}

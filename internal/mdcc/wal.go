@@ -1,0 +1,106 @@
+package mdcc
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"sync"
+	"time"
+
+	"planet/internal/txn"
+)
+
+// Entry is one durable log record: a decided transaction and its options.
+type Entry struct {
+	Txn     txn.ID    `json:"txn"`
+	Commit  bool      `json:"commit"`
+	Options []txn.Op  `json:"options"`
+	At      time.Time `json:"at"`
+}
+
+// WAL is the replica's write-ahead log of decisions. It always retains
+// entries in memory (for replay and tests) and, when constructed with a
+// sink, additionally streams them as JSON lines.
+type WAL struct {
+	mu      sync.Mutex
+	entries []Entry
+	sink    io.Writer
+	enc     *json.Encoder
+	err     error
+}
+
+// NewWAL returns a WAL. sink may be nil for memory-only logging.
+func NewWAL(sink io.Writer) *WAL {
+	w := &WAL{sink: sink}
+	if sink != nil {
+		w.enc = json.NewEncoder(sink)
+	}
+	return w
+}
+
+// Append records one entry.
+func (w *WAL) Append(e Entry) {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	w.entries = append(w.entries, e)
+	if w.enc != nil && w.err == nil {
+		w.err = w.enc.Encode(e)
+	}
+}
+
+// Len returns the number of logged entries.
+func (w *WAL) Len() int {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return len(w.entries)
+}
+
+// Err reports the first sink write error, if any.
+func (w *WAL) Err() error {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return w.err
+}
+
+// Replay invokes fn on every entry in append order. fn returning an error
+// stops the replay.
+func (w *WAL) Replay(fn func(Entry) error) error {
+	w.mu.Lock()
+	snapshot := append([]Entry(nil), w.entries...)
+	w.mu.Unlock()
+	for i, e := range snapshot {
+		if err := fn(e); err != nil {
+			return fmt.Errorf("mdcc: wal replay stopped at entry %d: %w", i, err)
+		}
+	}
+	return nil
+}
+
+// Commits returns the committed entries in order (tests, recovery checks).
+func (w *WAL) Commits() []Entry {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	var out []Entry
+	for _, e := range w.entries {
+		if e.Commit {
+			out = append(out, e)
+		}
+	}
+	return out
+}
+
+// ReadWAL decodes JSON-line entries from r, e.g. a log file written through
+// a WAL sink, reconstructing the entry stream for offline recovery.
+func ReadWAL(r io.Reader) ([]Entry, error) {
+	dec := json.NewDecoder(r)
+	var out []Entry
+	for {
+		var e Entry
+		if err := dec.Decode(&e); err == io.EOF {
+			return out, nil
+		} else if err != nil {
+			return out, fmt.Errorf("mdcc: wal decode: %w", err)
+		}
+		out = append(out, e)
+	}
+}

@@ -1,0 +1,41 @@
+package metrics
+
+import (
+	"testing"
+	"time"
+)
+
+// BenchmarkHistogramObserve measures the per-sample recording cost, which
+// sits on every transaction completion path.
+func BenchmarkHistogramObserve(b *testing.B) {
+	h := NewHistogram()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		h.Observe(time.Duration(i%1000) * time.Millisecond)
+	}
+}
+
+// BenchmarkHistogramQuantile measures a percentile query over a populated
+// histogram (reporting path).
+func BenchmarkHistogramQuantile(b *testing.B) {
+	h := NewHistogram()
+	for i := 0; i < 100_000; i++ {
+		h.Observe(time.Duration(i%5000) * time.Microsecond)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		h.Quantile(0.99)
+	}
+}
+
+// BenchmarkCalibrationRecord measures the per-prediction recording cost.
+func BenchmarkCalibrationRecord(b *testing.B) {
+	c := NewCalibration(10)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		c.Record(float64(i%100)/100, i%3 == 0)
+	}
+}

@@ -1,0 +1,172 @@
+package metrics
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Counter is a monotonically increasing event count.
+type Counter struct{ v atomic.Uint64 }
+
+// Inc adds one.
+func (c *Counter) Inc() { c.v.Add(1) }
+
+// Add adds n.
+func (c *Counter) Add(n uint64) { c.v.Add(n) }
+
+// Value returns the current count.
+func (c *Counter) Value() uint64 { return c.v.Load() }
+
+// Throughput measures committed work over a wall-clock interval.
+type Throughput struct {
+	start time.Time
+	n     atomic.Uint64
+}
+
+// NewThroughput starts measuring now.
+func NewThroughput() *Throughput { return &Throughput{start: time.Now()} }
+
+// Record counts one completed unit.
+func (t *Throughput) Record() { t.n.Add(1) }
+
+// RatePerSec returns units per second since construction.
+func (t *Throughput) RatePerSec() float64 {
+	el := time.Since(t.start).Seconds()
+	if el <= 0 {
+		return 0
+	}
+	return float64(t.n.Load()) / el
+}
+
+// Count returns total recorded units.
+func (t *Throughput) Count() uint64 { return t.n.Load() }
+
+// Calibration is a reliability table for probability predictions: it buckets
+// predictions by value and tracks the realized positive rate per bucket.
+// A well-calibrated predictor shows observed ≈ bucket midpoint on every row.
+type Calibration struct {
+	mu      sync.Mutex
+	buckets int
+	n       []uint64
+	hits    []uint64
+	sumPred []float64
+}
+
+// NewCalibration returns a table with the given number of equal-width
+// buckets over [0,1]; buckets is clamped to at least 2.
+func NewCalibration(buckets int) *Calibration {
+	if buckets < 2 {
+		buckets = 2
+	}
+	return &Calibration{
+		buckets: buckets,
+		n:       make([]uint64, buckets),
+		hits:    make([]uint64, buckets),
+		sumPred: make([]float64, buckets),
+	}
+}
+
+// Record logs one (prediction, outcome) pair.
+func (c *Calibration) Record(predicted float64, positive bool) {
+	if predicted < 0 {
+		predicted = 0
+	}
+	if predicted > 1 {
+		predicted = 1
+	}
+	i := int(predicted * float64(c.buckets))
+	if i >= c.buckets {
+		i = c.buckets - 1
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.n[i]++
+	c.sumPred[i] += predicted
+	if positive {
+		c.hits[i]++
+	}
+}
+
+// Row is one calibration bucket's aggregate.
+type Row struct {
+	Lo, Hi        float64 // bucket bounds
+	MeanPredicted float64
+	Observed      float64
+	N             uint64
+}
+
+// Rows returns non-empty buckets in ascending prediction order.
+func (c *Calibration) Rows() []Row {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	var rows []Row
+	w := 1 / float64(c.buckets)
+	for i := 0; i < c.buckets; i++ {
+		if c.n[i] == 0 {
+			continue
+		}
+		rows = append(rows, Row{
+			Lo:            float64(i) * w,
+			Hi:            float64(i+1) * w,
+			MeanPredicted: c.sumPred[i] / float64(c.n[i]),
+			Observed:      float64(c.hits[i]) / float64(c.n[i]),
+			N:             c.n[i],
+		})
+	}
+	return rows
+}
+
+// MeanAbsoluteError returns the sample-weighted mean |predicted - observed|
+// across buckets — the headline calibration-quality number.
+func (c *Calibration) MeanAbsoluteError() float64 {
+	rows := c.Rows()
+	var total, weighted float64
+	for _, r := range rows {
+		total += float64(r.N)
+		weighted += float64(r.N) * absF(r.MeanPredicted-r.Observed)
+	}
+	if total == 0 {
+		return 0
+	}
+	return weighted / total
+}
+
+// String renders the table for the harness.
+func (c *Calibration) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%-12s %-10s %-10s %8s\n", "bucket", "predicted", "observed", "n")
+	for _, r := range c.Rows() {
+		fmt.Fprintf(&b, "[%.2f,%.2f)  %-10.3f %-10.3f %8d\n", r.Lo, r.Hi, r.MeanPredicted, r.Observed, r.N)
+	}
+	fmt.Fprintf(&b, "mean abs calibration error: %.4f\n", c.MeanAbsoluteError())
+	return b.String()
+}
+
+func absF(x float64) float64 {
+	if x < 0 {
+		return -x
+	}
+	return x
+}
+
+// LabeledSummaries formats a set of named histogram summaries as an aligned
+// table, sorted by label, for experiment output.
+func LabeledSummaries(m map[string]Summary, scale float64) string {
+	labels := make([]string, 0, len(m))
+	for k := range m {
+		labels = append(labels, k)
+	}
+	sort.Strings(labels)
+	var b strings.Builder
+	fmt.Fprintf(&b, "%-24s %8s %12s %12s %12s %12s\n", "series", "n", "mean", "p50", "p95", "p99")
+	for _, l := range labels {
+		s := m[l].Scale(scale)
+		fmt.Fprintf(&b, "%-24s %8d %12s %12s %12s %12s\n",
+			l, s.Count, round(s.Mean), round(s.P50), round(s.P95), round(s.P99))
+	}
+	return b.String()
+}

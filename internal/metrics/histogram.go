@@ -1,0 +1,228 @@
+// Package metrics provides the measurement primitives used by the PLANET
+// experiment harness: latency histograms with percentile and CDF queries,
+// simple counters, calibration (reliability) tables for the commit-likelihood
+// predictor, and throughput accounting.
+//
+// Everything here is safe for concurrent use unless documented otherwise,
+// because workload drivers record from many goroutines.
+package metrics
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+)
+
+// Histogram records duration samples with logarithmically spaced buckets,
+// trading a bounded relative error (~5%) for O(1) recording and constant
+// memory. It keeps exact min/max and sum for means.
+type Histogram struct {
+	mu      sync.Mutex
+	buckets []uint64
+	count   uint64
+	sum     float64
+	min     time.Duration
+	max     time.Duration
+}
+
+// bucketGrowth is the per-bucket multiplicative width. 1.05 bounds the
+// relative quantile error at about 5%, plenty for latency reporting.
+const bucketGrowth = 1.05
+
+// histBase is the lower edge of bucket 0 (durations below it land in
+// bucket 0): 1 microsecond.
+const histBase = float64(time.Microsecond)
+
+// numBuckets covers 1µs..~ (1.05^512)µs ≈ 7e10µs ≈ 19h, far beyond any
+// latency this system produces.
+const numBuckets = 512
+
+// NewHistogram returns an empty histogram.
+func NewHistogram() *Histogram {
+	return &Histogram{buckets: make([]uint64, numBuckets)}
+}
+
+// bucketFor maps a duration to a bucket index.
+func bucketFor(d time.Duration) int {
+	if d <= 0 {
+		return 0
+	}
+	v := float64(d) / histBase
+	if v <= 1 {
+		return 0
+	}
+	i := int(math.Log(v) / math.Log(bucketGrowth))
+	if i >= numBuckets {
+		i = numBuckets - 1
+	}
+	return i
+}
+
+// bucketMid returns a representative duration for a bucket (geometric mean
+// of its edges).
+func bucketMid(i int) time.Duration {
+	lo := histBase * math.Pow(bucketGrowth, float64(i))
+	return time.Duration(lo * math.Sqrt(bucketGrowth))
+}
+
+// Observe records one sample.
+func (h *Histogram) Observe(d time.Duration) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	h.buckets[bucketFor(d)]++
+	if h.count == 0 || d < h.min {
+		h.min = d
+	}
+	if d > h.max {
+		h.max = d
+	}
+	h.count++
+	h.sum += float64(d)
+}
+
+// Count returns the number of samples.
+func (h *Histogram) Count() uint64 {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return h.count
+}
+
+// Mean returns the exact mean of all samples (0 when empty).
+func (h *Histogram) Mean() time.Duration {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	if h.count == 0 {
+		return 0
+	}
+	return time.Duration(h.sum / float64(h.count))
+}
+
+// Min returns the smallest recorded sample (0 when empty).
+func (h *Histogram) Min() time.Duration {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return h.min
+}
+
+// Max returns the largest recorded sample (0 when empty).
+func (h *Histogram) Max() time.Duration {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return h.max
+}
+
+// Quantile returns the approximate p-quantile (p in [0,1]); 0 when empty.
+func (h *Histogram) Quantile(p float64) time.Duration {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	if h.count == 0 {
+		return 0
+	}
+	if p <= 0 {
+		return h.min
+	}
+	if p >= 1 {
+		return h.max
+	}
+	target := uint64(p * float64(h.count))
+	var cum uint64
+	for i, c := range h.buckets {
+		cum += c
+		if cum > target {
+			d := bucketMid(i)
+			// Clamp into the exact observed range so p50 of a
+			// single-valued distribution equals that value.
+			if d < h.min {
+				d = h.min
+			}
+			if d > h.max {
+				d = h.max
+			}
+			return d
+		}
+	}
+	return h.max
+}
+
+// CDFPoints returns (duration, cumulative fraction) pairs suitable for
+// plotting the sample CDF, one point per non-empty bucket.
+func (h *Histogram) CDFPoints() []CDFPoint {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	if h.count == 0 {
+		return nil
+	}
+	var pts []CDFPoint
+	var cum uint64
+	for i, c := range h.buckets {
+		if c == 0 {
+			continue
+		}
+		cum += c
+		pts = append(pts, CDFPoint{D: bucketMid(i), P: float64(cum) / float64(h.count)})
+	}
+	return pts
+}
+
+// CDFPoint is one point of an empirical CDF.
+type CDFPoint struct {
+	D time.Duration
+	P float64
+}
+
+// Summary is a fixed set of latency statistics for reporting.
+type Summary struct {
+	Count          uint64
+	Mean, Min, Max time.Duration
+	P50, P95, P99  time.Duration
+}
+
+// Summarize captures the histogram's headline statistics.
+func (h *Histogram) Summarize() Summary {
+	return Summary{
+		Count: h.Count(),
+		Mean:  h.Mean(),
+		Min:   h.Min(),
+		Max:   h.Max(),
+		P50:   h.Quantile(0.50),
+		P95:   h.Quantile(0.95),
+		P99:   h.Quantile(0.99),
+	}
+}
+
+// Scale returns a copy of s with every duration multiplied by f. The bench
+// harness uses it to convert time-compressed measurements back to WAN
+// milliseconds.
+func (s Summary) Scale(f float64) Summary {
+	scale := func(d time.Duration) time.Duration { return time.Duration(float64(d) * f) }
+	return Summary{
+		Count: s.Count,
+		Mean:  scale(s.Mean), Min: scale(s.Min), Max: scale(s.Max),
+		P50: scale(s.P50), P95: scale(s.P95), P99: scale(s.P99),
+	}
+}
+
+// String implements fmt.Stringer.
+func (s Summary) String() string {
+	return fmt.Sprintf("n=%d mean=%s p50=%s p95=%s p99=%s max=%s",
+		s.Count, round(s.Mean), round(s.P50), round(s.P95), round(s.P99), round(s.Max))
+}
+
+func round(d time.Duration) time.Duration { return d.Round(10 * time.Microsecond) }
+
+// FormatCDF renders CDF points as a two-column table (for the harness).
+func FormatCDF(pts []CDFPoint, scale float64) string {
+	var b strings.Builder
+	for _, p := range pts {
+		fmt.Fprintf(&b, "%12s  %.4f\n", time.Duration(float64(p.D)*scale).Round(time.Millisecond), p.P)
+	}
+	return b.String()
+}
+
+// SortDurations sorts a slice ascending (helper shared by reports).
+func SortDurations(s []time.Duration) {
+	sort.Slice(s, func(i, j int) bool { return s[i] < s[j] })
+}

@@ -1,0 +1,263 @@
+package metrics
+
+import (
+	"math"
+	"sort"
+	"strings"
+	"sync"
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+func TestHistogramEmpty(t *testing.T) {
+	h := NewHistogram()
+	if h.Count() != 0 || h.Mean() != 0 || h.Quantile(0.5) != 0 {
+		t.Error("empty histogram not zeroed")
+	}
+	if pts := h.CDFPoints(); pts != nil {
+		t.Errorf("CDF points on empty: %v", pts)
+	}
+}
+
+func TestHistogramSingleValue(t *testing.T) {
+	h := NewHistogram()
+	h.Observe(42 * time.Millisecond)
+	s := h.Summarize()
+	if s.Count != 1 || s.Min != 42*time.Millisecond || s.Max != 42*time.Millisecond {
+		t.Errorf("summary %+v", s)
+	}
+	if s.P50 != 42*time.Millisecond {
+		t.Errorf("p50=%v, want exactly the single sample", s.P50)
+	}
+}
+
+func TestHistogramQuantileAccuracy(t *testing.T) {
+	h := NewHistogram()
+	var exact []time.Duration
+	for i := 1; i <= 10000; i++ {
+		d := time.Duration(i) * 37 * time.Microsecond
+		h.Observe(d)
+		exact = append(exact, d)
+	}
+	sort.Slice(exact, func(i, j int) bool { return exact[i] < exact[j] })
+	for _, p := range []float64{0.1, 0.5, 0.9, 0.95, 0.99} {
+		got := h.Quantile(p)
+		want := exact[int(p*float64(len(exact)))]
+		if ratio := float64(got) / float64(want); ratio < 0.93 || ratio > 1.07 {
+			t.Errorf("p%.0f: got %v, want %v (ratio %.3f)", p*100, got, want, ratio)
+		}
+	}
+}
+
+func TestHistogramMeanExact(t *testing.T) {
+	h := NewHistogram()
+	for _, d := range []time.Duration{10, 20, 30} {
+		h.Observe(d * time.Millisecond)
+	}
+	if got := h.Mean(); got != 20*time.Millisecond {
+		t.Errorf("mean=%v, want 20ms", got)
+	}
+}
+
+func TestHistogramCDFPoints(t *testing.T) {
+	h := NewHistogram()
+	for i := 0; i < 100; i++ {
+		h.Observe(time.Duration(i+1) * time.Millisecond)
+	}
+	pts := h.CDFPoints()
+	if len(pts) == 0 {
+		t.Fatal("no CDF points")
+	}
+	prevP := 0.0
+	prevD := time.Duration(0)
+	for _, pt := range pts {
+		if pt.P < prevP || pt.D < prevD {
+			t.Fatalf("CDF not monotone at %+v", pt)
+		}
+		prevP, prevD = pt.P, pt.D
+	}
+	if last := pts[len(pts)-1].P; math.Abs(last-1) > 1e-9 {
+		t.Errorf("final CDF point %v, want 1", last)
+	}
+}
+
+func TestHistogramConcurrent(t *testing.T) {
+	h := NewHistogram()
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 1000; i++ {
+				h.Observe(time.Duration(i) * time.Microsecond)
+			}
+		}()
+	}
+	wg.Wait()
+	if h.Count() != 8000 {
+		t.Errorf("count=%d", h.Count())
+	}
+}
+
+// Property: quantile is within the histogram's documented ~5% relative
+// error of an exactly computed quantile, for arbitrary sample sets.
+func TestHistogramQuantileProperty(t *testing.T) {
+	f := func(raw []uint32) bool {
+		if len(raw) == 0 {
+			return true
+		}
+		h := NewHistogram()
+		exact := make([]time.Duration, len(raw))
+		for i, r := range raw {
+			d := time.Duration(r%10_000_000) * time.Microsecond
+			h.Observe(d)
+			exact[i] = d
+		}
+		sort.Slice(exact, func(i, j int) bool { return exact[i] < exact[j] })
+		for _, p := range []float64{0.25, 0.5, 0.9} {
+			got := float64(h.Quantile(p))
+			idx := int(p * float64(len(exact)))
+			want := float64(exact[idx])
+			// Allow one bucket width (5%) plus one rank of slack for
+			// bucket-boundary ties.
+			lo, hi := idx-1, idx+1
+			if lo < 0 {
+				lo = 0
+			}
+			if hi >= len(exact) {
+				hi = len(exact) - 1
+			}
+			min := float64(exact[lo])*0.93 - float64(time.Microsecond)
+			max := float64(exact[hi])*1.07 + float64(time.Microsecond)
+			if got < min || got > max {
+				t.Logf("p=%v got=%v want≈%v [%v,%v]", p, got, want, min, max)
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestSummaryScale(t *testing.T) {
+	h := NewHistogram()
+	h.Observe(10 * time.Millisecond)
+	s := h.Summarize().Scale(50)
+	if s.Mean != 500*time.Millisecond {
+		t.Errorf("scaled mean=%v", s.Mean)
+	}
+	if s.Count != 1 {
+		t.Errorf("scaled count=%d", s.Count)
+	}
+}
+
+func TestCounter(t *testing.T) {
+	var c Counter
+	c.Inc()
+	c.Add(4)
+	if c.Value() != 5 {
+		t.Errorf("counter=%d", c.Value())
+	}
+}
+
+func TestThroughput(t *testing.T) {
+	tp := NewThroughput()
+	for i := 0; i < 10; i++ {
+		tp.Record()
+	}
+	time.Sleep(10 * time.Millisecond)
+	if tp.Count() != 10 {
+		t.Errorf("count=%d", tp.Count())
+	}
+	if tp.RatePerSec() <= 0 {
+		t.Errorf("rate=%v", tp.RatePerSec())
+	}
+}
+
+func TestCalibrationDiagonal(t *testing.T) {
+	c := NewCalibration(10)
+	// Perfectly calibrated source: outcome ~ Bernoulli(p).
+	for i := 0; i < 10; i++ {
+		p := float64(i)/10 + 0.05
+		for j := 0; j < 1000; j++ {
+			c.Record(p, float64(j%1000)/1000 < p)
+		}
+	}
+	if mae := c.MeanAbsoluteError(); mae > 0.02 {
+		t.Errorf("calibrated source MAE=%v", mae)
+	}
+	rows := c.Rows()
+	if len(rows) != 10 {
+		t.Fatalf("rows=%d", len(rows))
+	}
+	for _, r := range rows {
+		if r.MeanPredicted < r.Lo || r.MeanPredicted > r.Hi {
+			t.Errorf("bucket [%v,%v) holds mean prediction %v", r.Lo, r.Hi, r.MeanPredicted)
+		}
+	}
+}
+
+func TestCalibrationMiscalibrated(t *testing.T) {
+	c := NewCalibration(10)
+	// Predicts 0.9, reality is 0.5.
+	for j := 0; j < 2000; j++ {
+		c.Record(0.9, j%2 == 0)
+	}
+	if mae := c.MeanAbsoluteError(); mae < 0.35 {
+		t.Errorf("miscalibrated source MAE=%v, want ≈0.4", mae)
+	}
+}
+
+func TestCalibrationClamping(t *testing.T) {
+	c := NewCalibration(4)
+	c.Record(-0.5, true)
+	c.Record(1.5, true)
+	rows := c.Rows()
+	if len(rows) != 2 {
+		t.Fatalf("rows=%v", rows)
+	}
+	if rows[0].Lo != 0 || rows[len(rows)-1].Hi != 1 {
+		t.Errorf("clamped rows: %+v", rows)
+	}
+}
+
+func TestCalibrationString(t *testing.T) {
+	c := NewCalibration(5)
+	c.Record(0.7, true)
+	s := c.String()
+	if !strings.Contains(s, "mean abs calibration error") {
+		t.Errorf("missing MAE line: %q", s)
+	}
+}
+
+func TestLabeledSummaries(t *testing.T) {
+	h := NewHistogram()
+	h.Observe(time.Millisecond)
+	out := LabeledSummaries(map[string]Summary{
+		"b-series": h.Summarize(),
+		"a-series": h.Summarize(),
+	}, 1)
+	ai := strings.Index(out, "a-series")
+	bi := strings.Index(out, "b-series")
+	if ai < 0 || bi < 0 || ai > bi {
+		t.Errorf("labels not sorted:\n%s", out)
+	}
+}
+
+func TestFormatCDF(t *testing.T) {
+	out := FormatCDF([]CDFPoint{{D: time.Millisecond, P: 0.5}}, 2)
+	if !strings.Contains(out, "0.5000") || !strings.Contains(out, "2ms") {
+		t.Errorf("FormatCDF output %q", out)
+	}
+}
+
+func TestSortDurations(t *testing.T) {
+	s := []time.Duration{3, 1, 2}
+	SortDurations(s)
+	if s[0] != 1 || s[2] != 3 {
+		t.Errorf("sorted: %v", s)
+	}
+}

@@ -1,0 +1,79 @@
+package predictor
+
+import (
+	"math/rand"
+	"testing"
+	"time"
+)
+
+// benchPredictor is warmed with realistic vote history.
+func benchPredictor(b *testing.B) *Predictor {
+	b.Helper()
+	p := newTestPredictor()
+	rng := rand.New(rand.NewSource(1))
+	for i := 0; i < 2000; i++ {
+		p.ObserveVote("hot", testRegions[rng.Intn(5)], rng.Float64() < 0.6,
+			time.Duration(20+rng.Intn(200))*time.Millisecond)
+		p.ObserveVote("cold", testRegions[rng.Intn(5)], true,
+			time.Duration(20+rng.Intn(200))*time.Millisecond)
+	}
+	return p
+}
+
+// BenchmarkLikelihood measures the hot-path cost of one in-flight
+// likelihood evaluation (runs on every protocol event).
+func BenchmarkLikelihood(b *testing.B) {
+	p := benchPredictor(b)
+	f := Flight{
+		Options: []OptionFlight{
+			{Key: "hot", Accepts: 2, Remaining: testRegions[2:]},
+			{Key: "cold", Accepts: 1, Remaining: testRegions[1:]},
+		},
+		Elapsed:  80 * time.Millisecond,
+		Deadline: 500 * time.Millisecond,
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if got := p.Likelihood(f); got < 0 || got > 1 {
+			b.Fatalf("likelihood %v", got)
+		}
+	}
+}
+
+// BenchmarkLikelihoodAtSubmit measures the admission-control path.
+func BenchmarkLikelihoodAtSubmit(b *testing.B) {
+	p := benchPredictor(b)
+	keys := []string{"hot", "cold"}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		p.LikelihoodAtSubmit(keys)
+	}
+}
+
+// BenchmarkObserveVote measures the per-vote bookkeeping cost.
+func BenchmarkObserveVote(b *testing.B) {
+	p := benchPredictor(b)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		p.ObserveVote("hot", testRegions[i%5], i%3 != 0, 90*time.Millisecond)
+	}
+}
+
+// BenchmarkMonteCarlo quantifies what the analytic model saves (A2).
+func BenchmarkMonteCarlo(b *testing.B) {
+	p := benchPredictor(b)
+	rng := rand.New(rand.NewSource(2))
+	f := Flight{
+		Options:  []OptionFlight{{Key: "hot", Accepts: 2, Remaining: testRegions[2:]}},
+		Elapsed:  80 * time.Millisecond,
+		Deadline: 500 * time.Millisecond,
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		p.MonteCarlo(f, 1000, rng)
+	}
+}

@@ -1,0 +1,138 @@
+// Package predictor implements PLANET's commit-likelihood estimation: the
+// probability, continuously updated while a transaction is in flight, that
+// it will eventually commit.
+//
+// The model combines two ingredients the coordinator can observe locally:
+//
+//   - message-latency distributions per replica region, learned from the
+//     round-trip times of earlier votes (internal/latency recorders), which
+//     give the probability that outstanding votes arrive before a deadline;
+//
+//   - contention statistics per record, learned from the accept/reject
+//     votes of earlier transactions with exponential time decay, which give
+//     the probability that an outstanding vote is an accept.
+//
+// The two are composed with a Poisson-binomial tail probability over the
+// replicas that have not voted yet, per option, and multiplied across the
+// transaction's options. A Monte-Carlo estimator with the same inputs is
+// provided as a cross-check (ablation A2).
+package predictor
+
+import (
+	"math"
+	"sync"
+	"time"
+)
+
+// decayed is an exponentially decayed pair of accept/total weights.
+type decayed struct {
+	accept float64
+	total  float64
+	last   time.Time
+}
+
+// decayTo ages the weights to now given half-life hl.
+func (d *decayed) decayTo(now time.Time, hl time.Duration) {
+	if d.last.IsZero() || hl <= 0 {
+		d.last = now
+		return
+	}
+	dt := now.Sub(d.last)
+	if dt <= 0 {
+		return
+	}
+	f := math.Exp2(-float64(dt) / float64(hl))
+	d.accept *= f
+	d.total *= f
+	d.last = now
+}
+
+// observe records one accept/reject observation at time now.
+func (d *decayed) observe(now time.Time, accept bool, hl time.Duration) {
+	d.decayTo(now, hl)
+	d.total++
+	if accept {
+		d.accept++
+	}
+}
+
+// rate returns the smoothed accept probability with a Beta(α,β)-style prior
+// pulling toward prior when evidence is thin.
+func (d *decayed) rate(now time.Time, hl time.Duration, prior float64, priorWeight float64) float64 {
+	d.decayTo(now, hl)
+	return (d.accept + prior*priorWeight) / (d.total + priorWeight)
+}
+
+// ConflictTracker learns per-key vote-accept probabilities with exponential
+// decay, falling back to a global rate for keys without history.
+// Safe for concurrent use.
+type ConflictTracker struct {
+	mu       sync.Mutex
+	halfLife time.Duration
+	keys     map[string]*decayed
+	global   decayed
+	maxKeys  int
+}
+
+// NewConflictTracker returns a tracker whose observations decay with the
+// given half-life (in emulator time). halfLife <= 0 disables decay.
+// The tracker caps per-key state at a fixed size and falls back to the
+// global rate for evicted keys.
+func NewConflictTracker(halfLife time.Duration) *ConflictTracker {
+	return &ConflictTracker{
+		halfLife: halfLife,
+		keys:     make(map[string]*decayed),
+		maxKeys:  1 << 16,
+	}
+}
+
+// Observe records one vote on key.
+func (t *ConflictTracker) Observe(key string, accept bool) {
+	now := time.Now()
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	t.global.observe(now, accept, t.halfLife)
+	d := t.keys[key]
+	if d == nil {
+		if len(t.keys) >= t.maxKeys {
+			// Bounded memory: rely on the global rate for new keys.
+			return
+		}
+		d = &decayed{}
+		t.keys[key] = d
+	}
+	d.observe(now, accept, t.halfLife)
+}
+
+// priorStrength is the pseudo-count pulling thin per-key evidence toward
+// the global rate, and the global rate toward optimism (accepts are the
+// common case in an uncontended store).
+const priorStrength = 4
+
+// AcceptProb returns the estimated probability that a vote on key accepts.
+func (t *ConflictTracker) AcceptProb(key string) float64 {
+	now := time.Now()
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	g := t.global.rate(now, t.halfLife, 0.98, priorStrength)
+	d := t.keys[key]
+	if d == nil {
+		return g
+	}
+	return d.rate(now, t.halfLife, g, priorStrength)
+}
+
+// GlobalAcceptProb returns the store-wide vote-accept probability.
+func (t *ConflictTracker) GlobalAcceptProb() float64 {
+	now := time.Now()
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.global.rate(now, t.halfLife, 0.98, priorStrength)
+}
+
+// KeyCount reports how many keys carry dedicated statistics (tests).
+func (t *ConflictTracker) KeyCount() int {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return len(t.keys)
+}

@@ -1,0 +1,253 @@
+package predictor
+
+import (
+	"sync"
+	"time"
+
+	"planet/internal/latency"
+	"planet/internal/simnet"
+)
+
+// Config parameterizes a Predictor. One predictor serves one coordinator
+// (latency is origin-dependent).
+type Config struct {
+	// Regions lists all replica regions. Required.
+	Regions []simnet.Region
+	// FastQuorum is the accepts needed per option. Required.
+	FastQuorum int
+	// ConflictHalfLife ages contention statistics (emulator time).
+	// Defaults to 2 seconds of emulator time.
+	ConflictHalfLife time.Duration
+	// LatencyWindow is the per-region RTT sample window. Defaults to 512.
+	LatencyWindow int
+	// UseConflicts toggles the contention term; disabling it yields the
+	// latency-only ablation model (A2).
+	UseConflicts bool
+	// UseLatency toggles deadline-awareness; without a deadline the term
+	// is inert either way.
+	UseLatency bool
+}
+
+// Predictor estimates commit likelihood. Safe for concurrent use.
+type Predictor struct {
+	cfg       Config
+	conflicts *ConflictTracker
+	classic   *decayedBox
+
+	mu  sync.Mutex
+	rtt map[simnet.Region]*latency.Recorder
+}
+
+// decayedBox wraps a decayed counter with its own lock (package-internal).
+type decayedBox struct {
+	mu sync.Mutex
+	d  decayed
+	hl time.Duration
+}
+
+func (b *decayedBox) observe(accept bool) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.d.observe(time.Now(), accept, b.hl)
+}
+
+func (b *decayedBox) rate(prior float64) float64 {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.d.rate(time.Now(), b.hl, prior, priorStrength)
+}
+
+// New constructs a Predictor.
+func New(cfg Config) *Predictor {
+	if cfg.ConflictHalfLife == 0 {
+		cfg.ConflictHalfLife = 2 * time.Second
+	}
+	if cfg.LatencyWindow == 0 {
+		cfg.LatencyWindow = 512
+	}
+	p := &Predictor{
+		cfg:       cfg,
+		conflicts: NewConflictTracker(cfg.ConflictHalfLife),
+		classic:   &decayedBox{hl: cfg.ConflictHalfLife},
+		rtt:       make(map[simnet.Region]*latency.Recorder, len(cfg.Regions)),
+	}
+	for _, r := range cfg.Regions {
+		p.rtt[r] = latency.NewRecorder(cfg.LatencyWindow)
+	}
+	return p
+}
+
+// ObserveVote feeds one fast-path vote: its round-trip time from the
+// coordinator and whether it accepted.
+func (p *Predictor) ObserveVote(key string, region simnet.Region, accept bool, rtt time.Duration) {
+	if rec := p.recorder(region); rec != nil {
+		rec.Observe(rtt)
+	}
+	p.conflicts.Observe(key, accept)
+}
+
+// ObserveClassicResult feeds one classic-path outcome (fallbacks included).
+func (p *Predictor) ObserveClassicResult(key string, accepted bool) {
+	p.classic.observe(accepted)
+	p.conflicts.Observe(key, accepted)
+}
+
+// recorder returns the region's RTT recorder (nil for unknown regions).
+func (p *Predictor) recorder(region simnet.Region) *latency.Recorder {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.rtt[region]
+}
+
+// RTTQuantile exposes the learned RTT quantile to a region (harness, F7).
+func (p *Predictor) RTTQuantile(region simnet.Region, q float64) (time.Duration, bool) {
+	rec := p.recorder(region)
+	if rec == nil {
+		return 0, false
+	}
+	return rec.Quantile(q)
+}
+
+// AcceptProb exposes the learned vote-accept probability for key.
+func (p *Predictor) AcceptProb(key string) float64 {
+	if !p.cfg.UseConflicts {
+		return 1
+	}
+	return p.conflicts.AcceptProb(key)
+}
+
+// OptionFlight is the predictor's view of one in-flight option.
+type OptionFlight struct {
+	Key string
+	// Accepts counts accept votes received so far.
+	Accepts int
+	// Remaining lists regions that have not voted yet.
+	Remaining []simnet.Region
+	// FellBack marks an option now on the classic path.
+	FellBack bool
+	// Learned is +1 once accepted, -1 once rejected, 0 while open.
+	Learned int
+}
+
+// Flight is the predictor's view of one in-flight transaction.
+type Flight struct {
+	Options []OptionFlight
+	// Elapsed is the time since submission.
+	Elapsed time.Duration
+	// Deadline, when positive, is the application deadline measured from
+	// submission; outstanding votes must arrive before it to count.
+	Deadline time.Duration
+}
+
+// Likelihood estimates P(commit) for an in-flight transaction.
+func (p *Predictor) Likelihood(f Flight) float64 {
+	prob := 1.0
+	for _, opt := range f.Options {
+		prob *= p.optionProb(opt, f.Elapsed, f.Deadline)
+		if prob == 0 {
+			return 0
+		}
+	}
+	return prob
+}
+
+// LikelihoodAtSubmit estimates P(commit) before any protocol work, used by
+// admission control. keys are the transaction's write keys.
+func (p *Predictor) LikelihoodAtSubmit(keys []string) float64 {
+	prob := 1.0
+	for _, k := range keys {
+		prob *= p.optionProb(OptionFlight{Key: k, Remaining: p.cfg.Regions}, 0, 0)
+	}
+	return prob
+}
+
+// optionProb estimates P(option eventually accepted).
+func (p *Predictor) optionProb(opt OptionFlight, elapsed, deadline time.Duration) float64 {
+	switch {
+	case opt.Learned > 0:
+		return 1
+	case opt.Learned < 0:
+		return 0
+	}
+	if opt.FellBack {
+		// Classic outcomes depend on master arbitration; use the decayed
+		// classic success rate, defaulting optimistic-but-hedged.
+		return p.classic.rate(0.7)
+	}
+
+	need := p.cfg.FastQuorum - opt.Accepts
+	if need <= 0 {
+		return 1
+	}
+	if need > len(opt.Remaining) {
+		return 0
+	}
+
+	q := 1.0
+	if p.cfg.UseConflicts {
+		q = p.conflicts.AcceptProb(opt.Key)
+	}
+
+	probs := make([]float64, 0, len(opt.Remaining))
+	for _, region := range opt.Remaining {
+		pr := 1.0
+		if p.cfg.UseLatency && deadline > 0 {
+			pr = p.arrivalProb(region, elapsed, deadline)
+		}
+		probs = append(probs, pr*q)
+	}
+	return tailAtLeast(probs, need)
+}
+
+// arrivalProb returns P(vote arrives before the deadline | not yet arrived),
+// using the learned RTT distribution for the region. With no samples it
+// returns 1 (optimistic until evidence accumulates).
+func (p *Predictor) arrivalProb(region simnet.Region, elapsed, deadline time.Duration) float64 {
+	rec := p.recorder(region)
+	if rec == nil || rec.Count() == 0 {
+		return 1
+	}
+	pastElapsed := 1 - rec.CDF(elapsed)       // P(RTT > elapsed)
+	byDeadline := rec.CDF(deadline)           // P(RTT <= deadline)
+	inWindow := byDeadline - rec.CDF(elapsed) // P(elapsed < RTT <= deadline)
+	if pastElapsed <= 0 {
+		// Every observed RTT is below elapsed: the vote is late relative
+		// to all history. Retain a small residual rather than zero —
+		// tails beyond the window do arrive.
+		return 0.05
+	}
+	pr := inWindow / pastElapsed
+	if pr < 0 {
+		return 0
+	}
+	if pr > 1 {
+		return 1
+	}
+	return pr
+}
+
+// tailAtLeast computes P(at least k of the independent Bernoulli trials in
+// probs succeed) by dynamic programming (Poisson-binomial tail).
+func tailAtLeast(probs []float64, k int) float64 {
+	if k <= 0 {
+		return 1
+	}
+	if k > len(probs) {
+		return 0
+	}
+	// dp[j] = P(exactly j successes so far), capped at k (bucket k holds
+	// "k or more").
+	dp := make([]float64, k+1)
+	dp[0] = 1
+	for _, pr := range probs {
+		for j := k; j >= 1; j-- {
+			if j == k {
+				dp[k] = dp[k] + dp[k-1]*pr
+			} else {
+				dp[j] = dp[j]*(1-pr) + dp[j-1]*pr
+			}
+		}
+		dp[0] *= 1 - pr
+	}
+	return dp[k]
+}

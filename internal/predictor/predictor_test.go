@@ -1,0 +1,292 @@
+package predictor
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+	"time"
+
+	"planet/internal/simnet"
+)
+
+var testRegions = []simnet.Region{"r1", "r2", "r3", "r4", "r5"}
+
+func newTestPredictor() *Predictor {
+	return New(Config{
+		Regions:      testRegions,
+		FastQuorum:   4,
+		UseConflicts: true,
+		UseLatency:   true,
+	})
+}
+
+func TestFreshPredictorIsOptimistic(t *testing.T) {
+	p := newTestPredictor()
+	got := p.LikelihoodAtSubmit([]string{"k"})
+	if got < 0.9 {
+		t.Errorf("fresh prior=%v, want optimistic", got)
+	}
+}
+
+func TestConflictsLowerTheLikelihood(t *testing.T) {
+	p := newTestPredictor()
+	before := p.LikelihoodAtSubmit([]string{"hot"})
+	for i := 0; i < 100; i++ {
+		p.ObserveVote("hot", testRegions[i%5], false, 50*time.Millisecond)
+	}
+	after := p.LikelihoodAtSubmit([]string{"hot"})
+	if after >= before {
+		t.Errorf("likelihood %v did not drop from %v after 100 rejects", after, before)
+	}
+	if after > 0.1 {
+		t.Errorf("likelihood %v still high after 100 rejects", after)
+	}
+}
+
+func TestPerKeyIsolation(t *testing.T) {
+	p := newTestPredictor()
+	for i := 0; i < 50; i++ {
+		p.ObserveVote("hot", testRegions[i%5], false, 50*time.Millisecond)
+		for j := 0; j < 10; j++ {
+			p.ObserveVote("cold", testRegions[(i+j)%5], true, 50*time.Millisecond)
+		}
+	}
+	if hot, cold := p.AcceptProb("hot"), p.AcceptProb("cold"); hot >= cold {
+		t.Errorf("hot accept prob %v not below cold %v", hot, cold)
+	}
+}
+
+func TestLearnedOptionsDominate(t *testing.T) {
+	p := newTestPredictor()
+	if got := p.Likelihood(Flight{Options: []OptionFlight{{Key: "k", Learned: 1}}}); got != 1 {
+		t.Errorf("accepted option likelihood=%v", got)
+	}
+	if got := p.Likelihood(Flight{Options: []OptionFlight{{Key: "k", Learned: -1}}}); got != 0 {
+		t.Errorf("rejected option likelihood=%v", got)
+	}
+	// One rejected option zeroes the transaction regardless of others.
+	got := p.Likelihood(Flight{Options: []OptionFlight{
+		{Key: "a", Learned: 1},
+		{Key: "b", Learned: -1},
+	}})
+	if got != 0 {
+		t.Errorf("mixed likelihood=%v", got)
+	}
+}
+
+func TestQuorumReachedIsCertain(t *testing.T) {
+	p := newTestPredictor()
+	got := p.Likelihood(Flight{Options: []OptionFlight{{
+		Key: "k", Accepts: 4, Remaining: testRegions[4:],
+	}}})
+	if got != 1 {
+		t.Errorf("met quorum likelihood=%v", got)
+	}
+}
+
+func TestQuorumOutOfReachIsZero(t *testing.T) {
+	p := newTestPredictor()
+	// 1 accept, only 1 replica left, quorum 4: impossible.
+	got := p.Likelihood(Flight{Options: []OptionFlight{{
+		Key: "k", Accepts: 1, Remaining: testRegions[:1],
+	}}})
+	if got != 0 {
+		t.Errorf("impossible quorum likelihood=%v", got)
+	}
+}
+
+func TestLikelihoodMonotoneInAccepts(t *testing.T) {
+	p := newTestPredictor()
+	for i := 0; i < 40; i++ {
+		p.ObserveVote("k", testRegions[i%5], i%4 != 0, 60*time.Millisecond)
+	}
+	prev := -1.0
+	for accepts := 0; accepts <= 4; accepts++ {
+		got := p.Likelihood(Flight{Options: []OptionFlight{{
+			Key: "k", Accepts: accepts, Remaining: testRegions[accepts:],
+		}}})
+		if got < prev {
+			t.Errorf("likelihood %v decreased with accepts=%d (prev %v)", got, accepts, prev)
+		}
+		prev = got
+	}
+}
+
+func TestLikelihoodBoundsProperty(t *testing.T) {
+	p := newTestPredictor()
+	rng := rand.New(rand.NewSource(9))
+	for i := 0; i < 200; i++ {
+		p.ObserveVote("k", testRegions[rng.Intn(5)], rng.Float64() < 0.7,
+			time.Duration(10+rng.Intn(200))*time.Millisecond)
+	}
+	f := func(accepts, remaining uint8, fellBack bool, elapsedMs, deadlineMs uint16) bool {
+		a := int(accepts % 5)
+		r := int(remaining % 6)
+		fl := Flight{
+			Options: []OptionFlight{{
+				Key: "k", Accepts: a, Remaining: testRegions[:r], FellBack: fellBack,
+			}},
+			Elapsed:  time.Duration(elapsedMs) * time.Millisecond,
+			Deadline: time.Duration(deadlineMs) * time.Millisecond,
+		}
+		got := p.Likelihood(fl)
+		return got >= 0 && got <= 1 && !math.IsNaN(got)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 1000}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestDeadlinePressureLowersLikelihood(t *testing.T) {
+	p := newTestPredictor()
+	// All observed RTTs near 100ms.
+	for i := 0; i < 200; i++ {
+		for _, r := range testRegions {
+			p.ObserveVote("k", r, true, time.Duration(90+i%20)*time.Millisecond)
+		}
+	}
+	base := Flight{
+		Options:  []OptionFlight{{Key: "k", Remaining: testRegions}},
+		Deadline: time.Second,
+	}
+	relaxed := p.Likelihood(base)
+
+	tight := base
+	tight.Deadline = 50 * time.Millisecond // below every observed RTT
+	rushed := p.Likelihood(tight)
+	if rushed >= relaxed {
+		t.Errorf("tight deadline likelihood %v not below relaxed %v", rushed, relaxed)
+	}
+	if rushed > 0.2 {
+		t.Errorf("impossible deadline likelihood=%v", rushed)
+	}
+}
+
+// tailAtLeast must match the brute-force enumeration over all outcomes.
+func TestTailAtLeastExact(t *testing.T) {
+	brute := func(probs []float64, k int) float64 {
+		n := len(probs)
+		total := 0.0
+		for mask := 0; mask < 1<<n; mask++ {
+			cnt := 0
+			p := 1.0
+			for i := 0; i < n; i++ {
+				if mask&(1<<i) != 0 {
+					cnt++
+					p *= probs[i]
+				} else {
+					p *= 1 - probs[i]
+				}
+			}
+			if cnt >= k {
+				total += p
+			}
+		}
+		return total
+	}
+	rng := rand.New(rand.NewSource(11))
+	for trial := 0; trial < 200; trial++ {
+		n := 1 + rng.Intn(7)
+		probs := make([]float64, n)
+		for i := range probs {
+			probs[i] = rng.Float64()
+		}
+		k := rng.Intn(n + 2)
+		got := tailAtLeast(probs, k)
+		want := brute(probs, k)
+		if math.Abs(got-want) > 1e-9 {
+			t.Fatalf("tailAtLeast(%v, %d)=%v, want %v", probs, k, got, want)
+		}
+	}
+}
+
+func TestTailAtLeastEdges(t *testing.T) {
+	if got := tailAtLeast(nil, 0); got != 1 {
+		t.Errorf("k=0 over empty = %v", got)
+	}
+	if got := tailAtLeast([]float64{0.5}, 2); got != 0 {
+		t.Errorf("k>n = %v", got)
+	}
+}
+
+func TestMonteCarloMatchesAnalytic(t *testing.T) {
+	p := newTestPredictor()
+	rng := rand.New(rand.NewSource(13))
+	for i := 0; i < 300; i++ {
+		p.ObserveVote("k", testRegions[rng.Intn(5)], rng.Float64() < 0.8,
+			time.Duration(30+rng.Intn(150))*time.Millisecond)
+	}
+	flights := []Flight{
+		{Options: []OptionFlight{{Key: "k", Remaining: testRegions}}, Deadline: 400 * time.Millisecond},
+		{Options: []OptionFlight{{Key: "k", Accepts: 2, Remaining: testRegions[2:]}},
+			Elapsed: 50 * time.Millisecond, Deadline: 400 * time.Millisecond},
+		{Options: []OptionFlight{{Key: "k", FellBack: true}}},
+	}
+	for i, fl := range flights {
+		analytic := p.Likelihood(fl)
+		mc := p.MonteCarlo(fl, 30000, rng)
+		if math.Abs(analytic-mc) > 0.05 {
+			t.Errorf("flight %d: analytic %v vs monte-carlo %v", i, analytic, mc)
+		}
+	}
+}
+
+func TestConflictTrackerDecay(t *testing.T) {
+	tr := NewConflictTracker(20 * time.Millisecond)
+	for i := 0; i < 200; i++ {
+		tr.Observe("k", false)
+	}
+	low := tr.AcceptProb("k")
+	time.Sleep(200 * time.Millisecond) // 10 half-lives
+	recovered := tr.AcceptProb("k")
+	if recovered <= low+0.1 {
+		t.Errorf("accept prob %v did not recover from %v after decay", recovered, low)
+	}
+}
+
+func TestConflictTrackerBoundedKeys(t *testing.T) {
+	tr := NewConflictTracker(time.Hour)
+	tr.maxKeys = 8
+	for i := 0; i < 100; i++ {
+		tr.Observe(string(rune('a'+i%26))+string(rune('0'+i/26)), true)
+	}
+	if tr.KeyCount() > 8 {
+		t.Errorf("key count %d exceeds cap", tr.KeyCount())
+	}
+	// Overflow keys fall back to the global rate.
+	if g := tr.GlobalAcceptProb(); g < 0.9 {
+		t.Errorf("global accept prob %v", g)
+	}
+}
+
+func TestDisabledTermsNeutral(t *testing.T) {
+	p := New(Config{Regions: testRegions, FastQuorum: 4})
+	for i := 0; i < 100; i++ {
+		p.ObserveVote("k", testRegions[i%5], false, 50*time.Millisecond)
+	}
+	// Conflicts disabled: accept prob pinned to 1.
+	if got := p.AcceptProb("k"); got != 1 {
+		t.Errorf("AcceptProb with conflicts disabled = %v", got)
+	}
+	if got := p.LikelihoodAtSubmit([]string{"k"}); got != 1 {
+		t.Errorf("prior with all terms disabled = %v", got)
+	}
+}
+
+func TestRTTQuantile(t *testing.T) {
+	p := newTestPredictor()
+	if _, ok := p.RTTQuantile("r1", 0.5); ok {
+		t.Error("quantile before any samples")
+	}
+	for i := 1; i <= 100; i++ {
+		p.ObserveVote("k", "r1", true, time.Duration(i)*time.Millisecond)
+	}
+	q, ok := p.RTTQuantile("r1", 0.5)
+	if !ok || q < 45*time.Millisecond || q > 56*time.Millisecond {
+		t.Errorf("p50 RTT=%v ok=%v", q, ok)
+	}
+	if _, ok := p.RTTQuantile("unknown", 0.5); ok {
+		t.Error("quantile for unknown region")
+	}
+}

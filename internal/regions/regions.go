@@ -1,0 +1,131 @@
+// Package regions provides the datacenter topologies used by the PLANET
+// experiments. The five-region preset mirrors the paper's evaluation setup
+// (five Amazon EC2 regions); the three- and seven-region presets back the
+// scaling experiment (F8).
+//
+// Round-trip times are modeled on published inter-region EC2 measurements
+// from the paper's era. Each directed link gets a shifted log-normal
+// one-way delay whose median is half the RTT; the log-normal body gives the
+// jitter and tail behaviour PLANET's predictor is designed around.
+package regions
+
+import (
+	"fmt"
+	"time"
+
+	"planet/internal/latency"
+	"planet/internal/simnet"
+)
+
+// The canonical region names (paper: California, Virginia, Ireland,
+// Singapore, Tokyo; extended set adds Sydney and São Paulo).
+const (
+	California simnet.Region = "us-west"
+	Virginia   simnet.Region = "us-east"
+	Ireland    simnet.Region = "eu-west"
+	Singapore  simnet.Region = "ap-southeast"
+	Tokyo      simnet.Region = "ap-northeast"
+	Sydney     simnet.Region = "ap-sydney"
+	SaoPaulo   simnet.Region = "sa-east"
+)
+
+// rtts holds round-trip medians in milliseconds between region pairs.
+var rtts = map[[2]simnet.Region]time.Duration{
+	{California, Virginia}:  75 * time.Millisecond,
+	{California, Ireland}:   155 * time.Millisecond,
+	{California, Singapore}: 175 * time.Millisecond,
+	{California, Tokyo}:     115 * time.Millisecond,
+	{California, Sydney}:    160 * time.Millisecond,
+	{California, SaoPaulo}:  195 * time.Millisecond,
+	{Virginia, Ireland}:     80 * time.Millisecond,
+	{Virginia, Singapore}:   230 * time.Millisecond,
+	{Virginia, Tokyo}:       160 * time.Millisecond,
+	{Virginia, Sydney}:      200 * time.Millisecond,
+	{Virginia, SaoPaulo}:    120 * time.Millisecond,
+	{Ireland, Singapore}:    270 * time.Millisecond,
+	{Ireland, Tokyo}:        240 * time.Millisecond,
+	{Ireland, Sydney}:       300 * time.Millisecond,
+	{Ireland, SaoPaulo}:     190 * time.Millisecond,
+	{Singapore, Tokyo}:      70 * time.Millisecond,
+	{Singapore, Sydney}:     175 * time.Millisecond,
+	{Singapore, SaoPaulo}:   340 * time.Millisecond,
+	{Tokyo, Sydney}:         105 * time.Millisecond,
+	{Tokyo, SaoPaulo}:       290 * time.Millisecond,
+	{Sydney, SaoPaulo}:      310 * time.Millisecond,
+}
+
+// RTT returns the modeled median round-trip time between two regions, or an
+// error for an unknown pair.
+func RTT(a, b simnet.Region) (time.Duration, error) {
+	if a == b {
+		return 500 * time.Microsecond, nil
+	}
+	if d, ok := rtts[[2]simnet.Region{a, b}]; ok {
+		return d, nil
+	}
+	if d, ok := rtts[[2]simnet.Region{b, a}]; ok {
+		return d, nil
+	}
+	return 0, fmt.Errorf("regions: no RTT model for %s <-> %s", a, b)
+}
+
+// DefaultSigma is the log-normal sigma used for link jitter: wide enough to
+// produce the tail latencies PLANET exists to mask, narrow enough that the
+// latency ordering of regions is preserved.
+const DefaultSigma = 0.18
+
+// Topology bundles a region set with its latency matrix.
+type Topology struct {
+	Regions []simnet.Region
+	Matrix  *simnet.Matrix
+}
+
+// Build constructs a Topology over the given regions with jitter sigma.
+// Unknown region pairs are an error.
+func Build(regionSet []simnet.Region, sigma float64) (Topology, error) {
+	if len(regionSet) < 2 {
+		return Topology{}, fmt.Errorf("regions: topology needs at least 2 regions, got %d", len(regionSet))
+	}
+	m := simnet.NewMatrix(nil)
+	for i, a := range regionSet {
+		for _, b := range regionSet[i+1:] {
+			rtt, err := RTT(a, b)
+			if err != nil {
+				return Topology{}, err
+			}
+			oneWay := rtt / 2
+			floor := time.Duration(float64(oneWay) * 0.85)
+			m.SetLink(a, b, latency.NewLogNormal(floor, oneWay-floor, sigma))
+		}
+	}
+	rs := make([]simnet.Region, len(regionSet))
+	copy(rs, regionSet)
+	return Topology{Regions: rs, Matrix: m}, nil
+}
+
+// Five returns the paper's five-datacenter topology.
+func Five() Topology {
+	t, err := Build([]simnet.Region{California, Virginia, Ireland, Singapore, Tokyo}, DefaultSigma)
+	if err != nil {
+		panic(err) // static preset; cannot fail
+	}
+	return t
+}
+
+// Three returns a three-datacenter topology (California, Virginia, Ireland).
+func Three() Topology {
+	t, err := Build([]simnet.Region{California, Virginia, Ireland}, DefaultSigma)
+	if err != nil {
+		panic(err)
+	}
+	return t
+}
+
+// Seven returns a seven-datacenter topology for the scaling experiment.
+func Seven() Topology {
+	t, err := Build([]simnet.Region{California, Virginia, Ireland, Singapore, Tokyo, Sydney, SaoPaulo}, DefaultSigma)
+	if err != nil {
+		panic(err)
+	}
+	return t
+}

@@ -1,0 +1,118 @@
+package regions
+
+import (
+	"math/rand"
+	"testing"
+	"time"
+
+	"planet/internal/simnet"
+)
+
+func TestRTTSymmetric(t *testing.T) {
+	ab, err := RTT(California, Tokyo)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ba, err := RTT(Tokyo, California)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ab != ba {
+		t.Errorf("RTT asymmetric: %v vs %v", ab, ba)
+	}
+}
+
+func TestRTTSelf(t *testing.T) {
+	d, err := RTT(Ireland, Ireland)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d <= 0 || d > 5*time.Millisecond {
+		t.Errorf("self RTT=%v", d)
+	}
+}
+
+func TestRTTUnknown(t *testing.T) {
+	if _, err := RTT("mars", California); err == nil {
+		t.Error("unknown region accepted")
+	}
+}
+
+func TestPresetsComplete(t *testing.T) {
+	for _, topo := range []Topology{Three(), Five(), Seven()} {
+		for i, a := range topo.Regions {
+			for _, b := range topo.Regions[i+1:] {
+				if _, err := RTT(a, b); err != nil {
+					t.Errorf("missing RTT %s <-> %s", a, b)
+				}
+			}
+		}
+	}
+	if n := len(Five().Regions); n != 5 {
+		t.Errorf("Five has %d regions", n)
+	}
+	if n := len(Seven().Regions); n != 7 {
+		t.Errorf("Seven has %d regions", n)
+	}
+}
+
+func TestTopologyMedianMatchesModel(t *testing.T) {
+	topo := Five()
+	rng := rand.New(rand.NewSource(5))
+	// One-way samples between California and Virginia should straddle
+	// half the modeled RTT.
+	want, err := RTT(California, Virginia)
+	if err != nil {
+		t.Fatal(err)
+	}
+	oneWay := want / 2
+	dist := topo.Matrix.Link(California, Virginia)
+	var below, above int
+	for i := 0; i < 4000; i++ {
+		if dist.Sample(rng) <= oneWay {
+			below++
+		} else {
+			above++
+		}
+	}
+	// The median of the link distribution is the one-way time, so samples
+	// split roughly evenly.
+	if below < 1500 || above < 1500 {
+		t.Errorf("one-way samples split %d below / %d above the modeled median", below, above)
+	}
+}
+
+func TestBuildValidation(t *testing.T) {
+	if _, err := Build([]simnet.Region{California}, DefaultSigma); err == nil {
+		t.Error("single-region topology accepted")
+	}
+	if _, err := Build([]simnet.Region{California, "atlantis"}, DefaultSigma); err == nil {
+		t.Error("unknown region accepted")
+	}
+}
+
+func TestBuildCopiesRegionSlice(t *testing.T) {
+	in := []simnet.Region{California, Virginia}
+	topo, err := Build(in, DefaultSigma)
+	if err != nil {
+		t.Fatal(err)
+	}
+	in[0] = "mutated"
+	if topo.Regions[0] != California {
+		t.Error("topology aliases caller's region slice")
+	}
+}
+
+func TestLatencyOrderingPreserved(t *testing.T) {
+	// The nearest and farthest pairs must stay ordered after jitter:
+	// Singapore-Tokyo (70ms) below Ireland-Singapore (270ms) with margin.
+	topo := Five()
+	rng := rand.New(rand.NewSource(7))
+	near := topo.Matrix.Link(Singapore, Tokyo)
+	far := topo.Matrix.Link(Ireland, Singapore)
+	for i := 0; i < 1000; i++ {
+		if near.Sample(rng) >= far.Sample(rng) {
+			t.Fatal("nearest pair sampled slower than farthest pair")
+		}
+	}
+}

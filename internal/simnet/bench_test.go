@@ -1,0 +1,35 @@
+package simnet
+
+import (
+	"sync"
+	"testing"
+	"time"
+
+	"planet/internal/latency"
+)
+
+// BenchmarkSendDeliver measures raw emulator message throughput: sample a
+// delay, schedule, deliver. This bounds how much load the experiment
+// harness can put through one process.
+func BenchmarkSendDeliver(b *testing.B) {
+	m := NewMatrix(latency.Constant(10 * time.Microsecond))
+	m.SetLink("x", "y", latency.NewLogNormal(20*time.Microsecond, 10*time.Microsecond, 0.2))
+	n, err := New(Config{Latency: m, TimeScale: 1})
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer n.Close()
+
+	var wg sync.WaitGroup
+	dst := Addr{Region: "y", Name: "sink"}
+	n.Register(dst, func(Message) { wg.Done() })
+	src := Addr{Region: "x", Name: "src"}
+
+	b.ReportAllocs()
+	b.ResetTimer()
+	wg.Add(b.N)
+	for i := 0; i < b.N; i++ {
+		n.Send(src, dst, i)
+	}
+	wg.Wait()
+}

@@ -1,0 +1,263 @@
+// Package simnet emulates a multi-region wide-area network inside one
+// process. Nodes register a handler under an Addr (region + name); messages
+// sent between nodes are delivered asynchronously after a delay sampled from
+// a per-region-pair latency distribution, optionally scaled down by a global
+// time-scale factor so WAN-shaped experiments complete in milliseconds.
+//
+// The emulator supports message loss, region partitions, and per-link
+// overrides, which the failure-injection tests use. All delivery happens on
+// timer goroutines, so handlers must be internally synchronized and must not
+// block for long.
+package simnet
+
+import (
+	"fmt"
+	"math/rand"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"planet/internal/latency"
+)
+
+// Region names a datacenter/availability region.
+type Region string
+
+// Addr identifies a node on the network.
+type Addr struct {
+	Region Region
+	Name   string
+}
+
+// String implements fmt.Stringer.
+func (a Addr) String() string { return string(a.Region) + "/" + a.Name }
+
+// Message is one delivered payload.
+type Message struct {
+	From, To Addr
+	Payload  any
+	// SentAt is the (scaled, wall-clock) send timestamp.
+	SentAt time.Time
+}
+
+// Handler consumes delivered messages. Handlers run on shared timer
+// goroutines: they must synchronize internally and return quickly.
+type Handler func(Message)
+
+// linkKey orders a directed region pair.
+type linkKey struct{ from, to Region }
+
+// Matrix holds one-way delay distributions per directed region pair, plus a
+// default intra-region distribution. It is immutable after construction.
+type Matrix struct {
+	links map[linkKey]latency.Dist
+	local latency.Dist
+}
+
+// NewMatrix returns an empty matrix whose intra-region delay is local.
+// A nil local defaults to a 250µs-median log-normal.
+func NewMatrix(local latency.Dist) *Matrix {
+	if local == nil {
+		local = latency.NewLogNormal(100*time.Microsecond, 150*time.Microsecond, 0.3)
+	}
+	return &Matrix{links: make(map[linkKey]latency.Dist), local: local}
+}
+
+// SetLink installs dist as the one-way delay for from→to and to→from.
+func (m *Matrix) SetLink(from, to Region, dist latency.Dist) {
+	m.links[linkKey{from, to}] = dist
+	m.links[linkKey{to, from}] = dist
+}
+
+// Link returns the one-way distribution for from→to (the local distribution
+// when the regions are equal or the pair is unknown).
+func (m *Matrix) Link(from, to Region) latency.Dist {
+	if from == to {
+		return m.local
+	}
+	if d, ok := m.links[linkKey{from, to}]; ok {
+		return d
+	}
+	return m.local
+}
+
+// Regions returns the distinct regions mentioned by the matrix links.
+func (m *Matrix) Regions() []Region {
+	seen := make(map[Region]bool)
+	var out []Region
+	for k := range m.links {
+		if !seen[k.from] {
+			seen[k.from] = true
+			out = append(out, k.from)
+		}
+		if !seen[k.to] {
+			seen[k.to] = true
+			out = append(out, k.to)
+		}
+	}
+	return out
+}
+
+// Config parameterizes a Network.
+type Config struct {
+	// Latency supplies per-pair one-way delays. Required.
+	Latency *Matrix
+	// TimeScale multiplies sampled delays before they are realized; 0.01
+	// runs a 150ms link as 1.5ms. Values <= 0 default to 1 (real time).
+	TimeScale float64
+	// Seed makes delay sampling and loss deterministic.
+	Seed int64
+	// LossRate drops messages uniformly at random, in [0,1).
+	LossRate float64
+}
+
+// Network is the in-process WAN. Safe for concurrent use.
+type Network struct {
+	cfg    Config
+	scale  float64
+	mu     sync.Mutex
+	rng    *rand.Rand
+	nodes  map[Addr]Handler
+	down   map[Region]bool
+	cut    map[linkKey]bool
+	closed atomic.Bool
+
+	pending atomic.Int64 // messages sampled but not yet delivered
+
+	// Stats.
+	Sent      atomic.Uint64
+	Delivered atomic.Uint64
+	Dropped   atomic.Uint64
+}
+
+// New builds a Network from cfg.
+func New(cfg Config) (*Network, error) {
+	if cfg.Latency == nil {
+		return nil, fmt.Errorf("simnet: Config.Latency is required")
+	}
+	if cfg.LossRate < 0 || cfg.LossRate >= 1 {
+		return nil, fmt.Errorf("simnet: LossRate %v out of [0,1)", cfg.LossRate)
+	}
+	scale := cfg.TimeScale
+	if scale <= 0 {
+		scale = 1
+	}
+	return &Network{
+		cfg:   cfg,
+		scale: scale,
+		rng:   rand.New(rand.NewSource(cfg.Seed)),
+		nodes: make(map[Addr]Handler),
+		down:  make(map[Region]bool),
+		cut:   make(map[linkKey]bool),
+	}, nil
+}
+
+// TimeScale returns the effective scale factor (always > 0).
+func (n *Network) TimeScale() float64 { return n.scale }
+
+// Register installs h as the handler for addr, replacing any previous one.
+func (n *Network) Register(addr Addr, h Handler) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	n.nodes[addr] = h
+}
+
+// Deregister removes addr; in-flight messages to it are dropped on arrival.
+func (n *Network) Deregister(addr Addr) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	delete(n.nodes, addr)
+}
+
+// SetRegionDown isolates (or restores) an entire region: messages to or
+// from it are dropped.
+func (n *Network) SetRegionDown(r Region, isDown bool) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	if isDown {
+		n.down[r] = true
+	} else {
+		delete(n.down, r)
+	}
+}
+
+// SetLinkCut severs (or restores) the directed link from→to.
+func (n *Network) SetLinkCut(from, to Region, isCut bool) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	k := linkKey{from, to}
+	if isCut {
+		n.cut[k] = true
+	} else {
+		delete(n.cut, k)
+	}
+}
+
+// Send schedules payload for delivery from→to. It never blocks; messages to
+// unknown, partitioned, or lossy destinations are silently dropped, exactly
+// as a real datagram network would.
+func (n *Network) Send(from, to Addr, payload any) {
+	if n.closed.Load() {
+		return
+	}
+	n.Sent.Add(1)
+
+	n.mu.Lock()
+	if n.down[from.Region] || n.down[to.Region] || n.cut[linkKey{from.Region, to.Region}] {
+		n.mu.Unlock()
+		n.Dropped.Add(1)
+		return
+	}
+	if n.cfg.LossRate > 0 && n.rng.Float64() < n.cfg.LossRate {
+		n.mu.Unlock()
+		n.Dropped.Add(1)
+		return
+	}
+	delay := n.cfg.Latency.Link(from.Region, to.Region).Sample(n.rng)
+	n.mu.Unlock()
+
+	scaled := time.Duration(float64(delay) * n.scale)
+	msg := Message{From: from, To: to, Payload: payload, SentAt: time.Now()}
+	n.pending.Add(1)
+	time.AfterFunc(scaled, func() {
+		defer n.pending.Add(-1)
+		if n.closed.Load() {
+			n.Dropped.Add(1)
+			return
+		}
+		n.mu.Lock()
+		h := n.nodes[to]
+		blocked := n.down[to.Region]
+		n.mu.Unlock()
+		if h == nil || blocked {
+			n.Dropped.Add(1)
+			return
+		}
+		n.Delivered.Add(1)
+		h(msg)
+	})
+}
+
+// SampleDelay draws one unscaled one-way delay for the pair, for calibration
+// probes and the predictor's bootstrap.
+func (n *Network) SampleDelay(from, to Region) time.Duration {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	return n.cfg.Latency.Link(from, to).Sample(n.rng)
+}
+
+// Close stops future sends and suppresses undelivered messages.
+func (n *Network) Close() { n.closed.Store(true) }
+
+// Quiesce waits until no messages are in flight or the timeout elapses,
+// and reports whether the network drained.
+func (n *Network) Quiesce(timeout time.Duration) bool {
+	deadline := time.Now().Add(timeout)
+	for n.pending.Load() != 0 {
+		if time.Now().After(deadline) {
+			return false
+		}
+		time.Sleep(200 * time.Microsecond)
+	}
+	return true
+}

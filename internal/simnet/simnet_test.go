@@ -1,0 +1,260 @@
+package simnet
+
+import (
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"planet/internal/latency"
+)
+
+const (
+	east Region = "east"
+	west Region = "west"
+)
+
+// newTestNet builds a two-region network with a 10ms one-way link,
+// compressed 10x (so 1ms real time).
+func newTestNet(t *testing.T, cfg Config) *Network {
+	t.Helper()
+	if cfg.Latency == nil {
+		m := NewMatrix(latency.Constant(100 * time.Microsecond))
+		m.SetLink(east, west, latency.Constant(10*time.Millisecond))
+		cfg.Latency = m
+	}
+	if cfg.TimeScale == 0 {
+		cfg.TimeScale = 0.1
+	}
+	n, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(n.Close)
+	return n
+}
+
+func TestDelivery(t *testing.T) {
+	n := newTestNet(t, Config{})
+	got := make(chan Message, 1)
+	dst := Addr{west, "node"}
+	src := Addr{east, "node"}
+	n.Register(dst, func(m Message) { got <- m })
+
+	start := time.Now()
+	n.Send(src, dst, "hello")
+	select {
+	case m := <-got:
+		if m.Payload != "hello" || m.From != src || m.To != dst {
+			t.Errorf("message %+v", m)
+		}
+		// 10ms scaled by 0.1 = 1ms.
+		if e := time.Since(start); e < 500*time.Microsecond {
+			t.Errorf("delivered too fast: %v", e)
+		}
+	case <-time.After(2 * time.Second):
+		t.Fatal("message never delivered")
+	}
+	if n.Delivered.Load() != 1 || n.Sent.Load() != 1 {
+		t.Errorf("stats sent=%d delivered=%d", n.Sent.Load(), n.Delivered.Load())
+	}
+}
+
+func TestUnknownDestinationDropped(t *testing.T) {
+	n := newTestNet(t, Config{})
+	n.Send(Addr{east, "a"}, Addr{west, "ghost"}, 1)
+	if !n.Quiesce(2 * time.Second) {
+		t.Fatal("no quiesce")
+	}
+	if n.Dropped.Load() != 1 {
+		t.Errorf("dropped=%d, want 1", n.Dropped.Load())
+	}
+}
+
+func TestRegionPartition(t *testing.T) {
+	n := newTestNet(t, Config{})
+	var delivered atomic.Int32
+	dst := Addr{west, "node"}
+	n.Register(dst, func(Message) { delivered.Add(1) })
+
+	n.SetRegionDown(west, true)
+	n.Send(Addr{east, "a"}, dst, 1)
+	if !n.Quiesce(2 * time.Second) {
+		t.Fatal("no quiesce")
+	}
+	if delivered.Load() != 0 {
+		t.Error("message crossed a partition")
+	}
+
+	n.SetRegionDown(west, false)
+	n.Send(Addr{east, "a"}, dst, 2)
+	if !n.Quiesce(2 * time.Second) {
+		t.Fatal("no quiesce")
+	}
+	if delivered.Load() != 1 {
+		t.Error("message lost after partition healed")
+	}
+}
+
+func TestPartitionDropsInFlight(t *testing.T) {
+	// A message already in flight when the destination region goes down
+	// must not be delivered (the region is unreachable at arrival time).
+	n := newTestNet(t, Config{})
+	var delivered atomic.Int32
+	dst := Addr{west, "node"}
+	n.Register(dst, func(Message) { delivered.Add(1) })
+
+	n.Send(Addr{east, "a"}, dst, 1) // 1ms scaled flight time
+	n.SetRegionDown(west, true)
+	if !n.Quiesce(2 * time.Second) {
+		t.Fatal("no quiesce")
+	}
+	if delivered.Load() != 0 {
+		t.Error("in-flight message delivered into a downed region")
+	}
+}
+
+func TestLinkCutIsDirected(t *testing.T) {
+	n := newTestNet(t, Config{})
+	var eastGot, westGot atomic.Int32
+	n.Register(Addr{west, "n"}, func(Message) { westGot.Add(1) })
+	n.Register(Addr{east, "n"}, func(Message) { eastGot.Add(1) })
+
+	n.SetLinkCut(east, west, true)
+	n.Send(Addr{east, "n"}, Addr{west, "n"}, 1) // cut
+	n.Send(Addr{west, "n"}, Addr{east, "n"}, 2) // open direction
+	if !n.Quiesce(2 * time.Second) {
+		t.Fatal("no quiesce")
+	}
+	if westGot.Load() != 0 {
+		t.Error("cut direction delivered")
+	}
+	if eastGot.Load() != 1 {
+		t.Error("open direction dropped")
+	}
+}
+
+func TestLossRate(t *testing.T) {
+	n := newTestNet(t, Config{LossRate: 0.5, Seed: 42})
+	var delivered atomic.Int32
+	dst := Addr{west, "node"}
+	n.Register(dst, func(Message) { delivered.Add(1) })
+	const total = 2000
+	for i := 0; i < total; i++ {
+		n.Send(Addr{east, "a"}, dst, i)
+	}
+	if !n.Quiesce(5 * time.Second) {
+		t.Fatal("no quiesce")
+	}
+	got := int(delivered.Load())
+	if got < total*4/10 || got > total*6/10 {
+		t.Errorf("delivered %d of %d with 50%% loss", got, total)
+	}
+}
+
+func TestLossRateValidation(t *testing.T) {
+	m := NewMatrix(nil)
+	if _, err := New(Config{Latency: m, LossRate: 1.0}); err == nil {
+		t.Error("LossRate=1 accepted")
+	}
+	if _, err := New(Config{Latency: m, LossRate: -0.1}); err == nil {
+		t.Error("negative LossRate accepted")
+	}
+	if _, err := New(Config{}); err == nil {
+		t.Error("nil matrix accepted")
+	}
+}
+
+func TestCloseSuppressesDelivery(t *testing.T) {
+	n := newTestNet(t, Config{})
+	var delivered atomic.Int32
+	dst := Addr{west, "node"}
+	n.Register(dst, func(Message) { delivered.Add(1) })
+	n.Send(Addr{east, "a"}, dst, 1)
+	n.Close()
+	n.Quiesce(2 * time.Second)
+	if delivered.Load() != 0 {
+		t.Error("delivery after Close")
+	}
+	n.Send(Addr{east, "a"}, dst, 2) // no-op
+	if n.Sent.Load() != 1 {
+		t.Error("send after Close counted")
+	}
+}
+
+func TestDeregister(t *testing.T) {
+	n := newTestNet(t, Config{})
+	var delivered atomic.Int32
+	dst := Addr{west, "node"}
+	n.Register(dst, func(Message) { delivered.Add(1) })
+	n.Deregister(dst)
+	n.Send(Addr{east, "a"}, dst, 1)
+	if !n.Quiesce(2 * time.Second) {
+		t.Fatal("no quiesce")
+	}
+	if delivered.Load() != 0 {
+		t.Error("delivered to deregistered node")
+	}
+}
+
+func TestIntraRegionUsesLocalDist(t *testing.T) {
+	n := newTestNet(t, Config{})
+	d := n.SampleDelay(east, east)
+	if d != 100*time.Microsecond {
+		t.Errorf("local delay=%v, want 100µs", d)
+	}
+	if d := n.SampleDelay(east, west); d != 10*time.Millisecond {
+		t.Errorf("link delay=%v, want 10ms", d)
+	}
+}
+
+func TestMatrixRegions(t *testing.T) {
+	m := NewMatrix(nil)
+	m.SetLink("a", "b", latency.Constant(time.Millisecond))
+	m.SetLink("b", "c", latency.Constant(time.Millisecond))
+	rs := m.Regions()
+	if len(rs) != 3 {
+		t.Errorf("regions=%v", rs)
+	}
+	// Unknown pairs fall back to the local distribution.
+	if m.Link("a", "zzz") == nil {
+		t.Error("unknown link returned nil")
+	}
+}
+
+func TestConcurrentSendStress(t *testing.T) {
+	n := newTestNet(t, Config{TimeScale: 0.01})
+	var delivered atomic.Int64
+	for _, r := range []Region{east, west} {
+		n.Register(Addr{r, "n"}, func(Message) { delivered.Add(1) })
+	}
+	var wg sync.WaitGroup
+	const perG, gs = 500, 8
+	for g := 0; g < gs; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < perG; i++ {
+				from, to := east, west
+				if (g+i)%2 == 0 {
+					from, to = west, east
+				}
+				n.Send(Addr{from, "n"}, Addr{to, "n"}, i)
+			}
+		}(g)
+	}
+	wg.Wait()
+	if !n.Quiesce(10 * time.Second) {
+		t.Fatal("no quiesce")
+	}
+	if delivered.Load() != perG*gs {
+		t.Errorf("delivered=%d, want %d", delivered.Load(), perG*gs)
+	}
+}
+
+func TestAddrString(t *testing.T) {
+	a := Addr{Region: "r1", Name: "replica"}
+	if a.String() != "r1/replica" {
+		t.Errorf("Addr.String()=%q", a.String())
+	}
+}

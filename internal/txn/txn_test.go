@@ -1,0 +1,130 @@
+package txn
+
+import (
+	"errors"
+	"strings"
+	"sync"
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+func TestNewIDUniqueAndConcurrent(t *testing.T) {
+	const goroutines, per = 16, 1000
+	var mu sync.Mutex
+	seen := make(map[ID]bool, goroutines*per)
+	var wg sync.WaitGroup
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			local := make([]ID, per)
+			for i := range local {
+				local[i] = NewID()
+			}
+			mu.Lock()
+			defer mu.Unlock()
+			for _, id := range local {
+				if seen[id] {
+					t.Errorf("duplicate ID %v", id)
+					return
+				}
+				seen[id] = true
+			}
+		}()
+	}
+	wg.Wait()
+	if len(seen) != goroutines*per {
+		t.Errorf("got %d unique ids, want %d", len(seen), goroutines*per)
+	}
+}
+
+func TestStageTerminal(t *testing.T) {
+	terminal := map[Stage]bool{
+		StageInit:        false,
+		StageRejected:    true,
+		StageAccepted:    false,
+		StageInFlight:    false,
+		StageSpeculative: false,
+		StageCommitted:   true,
+		StageAborted:     true,
+	}
+	for s, want := range terminal {
+		if s.Terminal() != want {
+			t.Errorf("%v.Terminal()=%v, want %v", s, s.Terminal(), want)
+		}
+	}
+}
+
+func TestStageStrings(t *testing.T) {
+	for s := StageInit; s <= StageAborted; s++ {
+		if strings.HasPrefix(s.String(), "stage(") {
+			t.Errorf("stage %d has no name", s)
+		}
+	}
+	if !strings.HasPrefix(Stage(200).String(), "stage(") {
+		t.Error("unknown stage should fall back to numeric form")
+	}
+}
+
+func TestOpKindStrings(t *testing.T) {
+	if OpSet.String() != "set" || OpAdd.String() != "add" {
+		t.Error("op kind names wrong")
+	}
+	if !strings.HasPrefix(OpKind(9).String(), "opkind(") {
+		t.Error("unknown kind should fall back to numeric form")
+	}
+}
+
+func TestOpString(t *testing.T) {
+	set := Op{Kind: OpSet, Key: "k", Value: []byte("abc"), ReadVersion: 3}
+	if got := set.String(); !strings.Contains(got, "k@v3") {
+		t.Errorf("set string %q", got)
+	}
+	add := Op{Kind: OpAdd, Key: "k", Delta: -2}
+	if got := add.String(); !strings.Contains(got, "-2") {
+		t.Errorf("add string %q", got)
+	}
+}
+
+func TestOutcomeString(t *testing.T) {
+	base := time.Now()
+	cases := []struct {
+		o    Outcome
+		want string
+	}{
+		{Outcome{ID: 1, Committed: true, Submitted: base, Decided: base.Add(time.Second)}, "committed"},
+		{Outcome{ID: 2, Err: errors.New("boom"), Submitted: base, Decided: base.Add(time.Second)}, "aborted"},
+		{Outcome{ID: 3, Rejected: true, Err: errors.New("no")}, "rejected"},
+	}
+	for _, tc := range cases {
+		if got := tc.o.String(); !strings.Contains(got, tc.want) {
+			t.Errorf("%+v String()=%q, want substring %q", tc.o, got, tc.want)
+		}
+	}
+}
+
+func TestOutcomeDuration(t *testing.T) {
+	base := time.Now()
+	o := Outcome{Submitted: base, Decided: base.Add(250 * time.Millisecond)}
+	if o.Duration() != 250*time.Millisecond {
+		t.Errorf("duration=%v", o.Duration())
+	}
+}
+
+// Property: stage ordering respects the lifecycle (terminal stages are
+// never "less" than in-flight stages in the numeric encoding used for
+// monotonic advancement).
+func TestStageOrderingProperty(t *testing.T) {
+	f := func(a, b uint8) bool {
+		sa, sb := Stage(a%7), Stage(b%7)
+		// Committed and Aborted are the maximal stages.
+		if sa == StageCommitted || sa == StageAborted {
+			return sb <= sa || sb == StageCommitted || sb == StageAborted
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,174 @@
+package workload
+
+import (
+	"fmt"
+	"math/rand"
+	"sync"
+	"time"
+
+	planet "planet/internal/core"
+	"planet/internal/simnet"
+)
+
+// Options is the configuration shared by the drivers.
+type Options struct {
+	// DB is the database under test. Required.
+	DB *planet.DB
+	// Template builds the transactions. Required.
+	Template Template
+	// Regions restricts transaction origins; empty means all cluster
+	// regions round-robin.
+	Regions []simnet.Region
+	// SpeculateAt enables speculative commits at the given likelihood.
+	SpeculateAt float64
+	// Deadline is the per-transaction deadline (emulator time).
+	Deadline time.Duration
+	// Seed makes key choices deterministic.
+	Seed int64
+	// SkipSeed skips seeding the template's key space (for re-runs over
+	// a warm cluster).
+	SkipSeed bool
+}
+
+// validate fills defaults and reports misconfiguration.
+func (o *Options) validate() error {
+	if o.DB == nil {
+		return fmt.Errorf("workload: Options.DB is required")
+	}
+	if o.Template == nil {
+		return fmt.Errorf("workload: Options.Template is required")
+	}
+	if len(o.Regions) == 0 {
+		o.Regions = o.DB.Cluster().Regions()
+	}
+	if !o.SkipSeed {
+		o.Template.Seed(o.DB.Cluster())
+	}
+	return nil
+}
+
+// Closed runs a closed-loop workload: Clients concurrent clients, each
+// submitting PerClient transactions back to back, waiting for the final
+// decision (not just speculation) before the next.
+type Closed struct {
+	Options
+	Clients   int
+	PerClient int
+}
+
+// Run executes the workload and returns its report.
+func (c Closed) Run() (*Report, error) {
+	if err := c.validate(); err != nil {
+		return nil, err
+	}
+	if c.Clients <= 0 {
+		c.Clients = 1
+	}
+	if c.PerClient <= 0 {
+		c.PerClient = 1
+	}
+	report := NewReport()
+	start := time.Now()
+
+	var wg sync.WaitGroup
+	errs := make(chan error, c.Clients)
+	for i := 0; i < c.Clients; i++ {
+		region := c.Regions[i%len(c.Regions)]
+		rng := rand.New(rand.NewSource(c.Seed + int64(i)*7919))
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			s, err := c.DB.Session(region)
+			if err != nil {
+				errs <- err
+				return
+			}
+			for j := 0; j < c.PerClient; j++ {
+				tx, err := c.Template.Build(s, rng)
+				if err != nil {
+					errs <- fmt.Errorf("workload: build: %w", err)
+					return
+				}
+				h, err := tx.Commit(report.callbacks(region, c.SpeculateAt, c.Deadline))
+				if err != nil {
+					errs <- fmt.Errorf("workload: commit: %w", err)
+					return
+				}
+				h.Wait()
+			}
+		}()
+	}
+	wg.Wait()
+	close(errs)
+	report.Elapsed = time.Since(start)
+	if err := <-errs; err != nil {
+		return report, err
+	}
+	return report, nil
+}
+
+// Open runs an open-loop workload: transactions arrive as a Poisson process
+// at Rate per second (emulator time) regardless of completion — the load
+// shape under which admission control earns its keep.
+type Open struct {
+	Options
+	// Rate is the mean arrival rate, transactions per second.
+	Rate float64
+	// Count is the total number of transactions to submit.
+	Count int
+}
+
+// Run executes the workload and returns its report.
+func (o Open) Run() (*Report, error) {
+	if err := o.validate(); err != nil {
+		return nil, err
+	}
+	if o.Rate <= 0 {
+		return nil, fmt.Errorf("workload: Open.Rate must be positive, got %v", o.Rate)
+	}
+	if o.Count <= 0 {
+		o.Count = 100
+	}
+
+	report := NewReport()
+	rng := rand.New(rand.NewSource(o.Seed))
+	sessions := make([]*planet.Session, len(o.Regions))
+	for i, r := range o.Regions {
+		s, err := o.DB.Session(r)
+		if err != nil {
+			return nil, err
+		}
+		sessions[i] = s
+	}
+
+	start := time.Now()
+	var wg sync.WaitGroup
+	var firstErr error
+	next := time.Now()
+	for i := 0; i < o.Count; i++ {
+		// Poisson arrivals: exponential inter-arrival gaps.
+		next = next.Add(time.Duration(rng.ExpFloat64() / o.Rate * float64(time.Second)))
+		if d := time.Until(next); d > 0 {
+			time.Sleep(d)
+		}
+		s := sessions[i%len(sessions)]
+		tx, err := o.Template.Build(s, rng)
+		if err != nil {
+			firstErr = fmt.Errorf("workload: build: %w", err)
+			break
+		}
+		h, err := tx.Commit(report.callbacks(s.Region(), o.SpeculateAt, o.Deadline))
+		if err != nil {
+			firstErr = fmt.Errorf("workload: commit: %w", err)
+			break
+		}
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			h.Wait()
+		}()
+	}
+	wg.Wait()
+	report.Elapsed = time.Since(start)
+	return report, firstErr
+}

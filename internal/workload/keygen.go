@@ -1,0 +1,95 @@
+// Package workload provides the benchmark workloads PLANET's evaluation
+// needs: key-popularity generators (uniform, Zipf, hotspot), transaction
+// templates modeled on the paper's TPC-W-derived "buy" microbenchmark, and
+// closed-loop and open-loop (Poisson) drivers with result collection.
+package workload
+
+import (
+	"fmt"
+	"math/rand"
+)
+
+// KeyGen draws keys according to a popularity distribution. Implementations
+// are stateless with respect to the RNG, which the caller owns, so drivers
+// can run one RNG per client goroutine.
+type KeyGen interface {
+	// Next draws one key.
+	Next(rng *rand.Rand) string
+	// Keys returns the full key space (for seeding).
+	Keys() []string
+}
+
+// keyName formats the canonical key for an index under a prefix.
+func keyName(prefix string, i int) string { return fmt.Sprintf("%s%06d", prefix, i) }
+
+// Uniform draws uniformly from N keys.
+type Uniform struct {
+	Prefix string
+	N      int
+}
+
+// Next implements KeyGen.
+func (u Uniform) Next(rng *rand.Rand) string { return keyName(u.Prefix, rng.Intn(u.N)) }
+
+// Keys implements KeyGen.
+func (u Uniform) Keys() []string { return allKeys(u.Prefix, u.N) }
+
+// Zipf draws from N keys with a Zipfian popularity skew (s > 1).
+type Zipf struct {
+	Prefix string
+	N      int
+	S      float64 // skew exponent, > 1
+}
+
+// Next implements KeyGen.
+func (z Zipf) Next(rng *rand.Rand) string {
+	s := z.S
+	if s <= 1 {
+		s = 1.01
+	}
+	zf := rand.NewZipf(rng, s, 1, uint64(z.N-1))
+	return keyName(z.Prefix, int(zf.Uint64()))
+}
+
+// Keys implements KeyGen.
+func (z Zipf) Keys() []string { return allKeys(z.Prefix, z.N) }
+
+// Hotspot sends HotProb of the draws to a small hot set and the rest
+// uniformly to the cold set — the contention knob for experiments F5/F6.
+type Hotspot struct {
+	Prefix   string
+	HotKeys  int
+	ColdKeys int
+	HotProb  float64
+}
+
+// Next implements KeyGen.
+func (h Hotspot) Next(rng *rand.Rand) string {
+	if rng.Float64() < h.HotProb {
+		return keyName(h.Prefix+"hot-", rng.Intn(h.HotKeys))
+	}
+	return keyName(h.Prefix+"cold-", rng.Intn(h.ColdKeys))
+}
+
+// Keys implements KeyGen.
+func (h Hotspot) Keys() []string {
+	keys := allKeys(h.Prefix+"hot-", h.HotKeys)
+	return append(keys, allKeys(h.Prefix+"cold-", h.ColdKeys)...)
+}
+
+// Fixed draws uniformly from an explicit key list.
+type Fixed struct{ List []string }
+
+// Next implements KeyGen.
+func (f Fixed) Next(rng *rand.Rand) string { return f.List[rng.Intn(len(f.List))] }
+
+// Keys implements KeyGen.
+func (f Fixed) Keys() []string { return append([]string(nil), f.List...) }
+
+func allKeys(prefix string, n int) []string {
+	keys := make([]string, n)
+	for i := range keys {
+		keys[i] = keyName(prefix, i)
+	}
+	return keys
+}

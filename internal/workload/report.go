@@ -1,0 +1,175 @@
+package workload
+
+import (
+	"fmt"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	planet "planet/internal/core"
+	"planet/internal/metrics"
+	"planet/internal/simnet"
+	"planet/internal/txn"
+)
+
+// Report aggregates the results of one workload run. All recording methods
+// are safe for concurrent use.
+type Report struct {
+	// Accept, Speculative and Final are latencies from submission to the
+	// corresponding stage; Perceived is the user-visible response time:
+	// the speculative latency when the transaction speculated, otherwise
+	// the final latency (rejections respond immediately).
+	Accept      *metrics.Histogram
+	Speculative *metrics.Histogram
+	Final       *metrics.Histogram
+	Perceived   *metrics.Histogram
+
+	Committed  atomic.Uint64
+	Aborted    atomic.Uint64
+	Rejected   atomic.Uint64
+	Speculated atomic.Uint64
+	Apologies  atomic.Uint64
+
+	mu        sync.Mutex
+	perRegion map[simnet.Region]*metrics.Histogram
+
+	// Elapsed is the wall-clock duration of the run (set by drivers).
+	Elapsed time.Duration
+}
+
+// NewReport returns an empty report.
+func NewReport() *Report {
+	return &Report{
+		Accept:      metrics.NewHistogram(),
+		Speculative: metrics.NewHistogram(),
+		Final:       metrics.NewHistogram(),
+		Perceived:   metrics.NewHistogram(),
+		perRegion:   make(map[simnet.Region]*metrics.Histogram),
+	}
+}
+
+// regionHist returns the per-region final-latency histogram.
+func (r *Report) regionHist(region simnet.Region) *metrics.Histogram {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	h := r.perRegion[region]
+	if h == nil {
+		h = metrics.NewHistogram()
+		r.perRegion[region] = h
+	}
+	return h
+}
+
+// PerRegion returns final-latency summaries keyed by origin region.
+func (r *Report) PerRegion() map[string]metrics.Summary {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	out := make(map[string]metrics.Summary, len(r.perRegion))
+	for region, h := range r.perRegion {
+		out[string(region)] = h.Summarize()
+	}
+	return out
+}
+
+// Decided counts transactions that ran to a commit/abort decision.
+func (r *Report) Decided() uint64 { return r.Committed.Load() + r.Aborted.Load() }
+
+// Total counts all finished transactions including rejections.
+func (r *Report) Total() uint64 { return r.Decided() + r.Rejected.Load() }
+
+// CommitRate is committed / decided (rejections excluded).
+func (r *Report) CommitRate() float64 {
+	d := r.Decided()
+	if d == 0 {
+		return 0
+	}
+	return float64(r.Committed.Load()) / float64(d)
+}
+
+// SpeculationRate is speculated / decided.
+func (r *Report) SpeculationRate() float64 {
+	d := r.Decided()
+	if d == 0 {
+		return 0
+	}
+	return float64(r.Speculated.Load()) / float64(d)
+}
+
+// ApologyRate is apologies / speculated: how often the guess was wrong.
+func (r *Report) ApologyRate() float64 {
+	s := r.Speculated.Load()
+	if s == 0 {
+		return 0
+	}
+	return float64(r.Apologies.Load()) / float64(s)
+}
+
+// GoodputPerSec is committed transactions per second of run time.
+func (r *Report) GoodputPerSec() float64 {
+	if r.Elapsed <= 0 {
+		return 0
+	}
+	return float64(r.Committed.Load()) / r.Elapsed.Seconds()
+}
+
+// String renders a one-run summary (latencies in raw emulator time).
+func (r *Report) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "total=%d committed=%d aborted=%d rejected=%d speculated=%d apologies=%d\n",
+		r.Total(), r.Committed.Load(), r.Aborted.Load(), r.Rejected.Load(),
+		r.Speculated.Load(), r.Apologies.Load())
+	fmt.Fprintf(&b, "commit-rate=%.3f spec-rate=%.3f apology-rate=%.3f goodput=%.1f/s\n",
+		r.CommitRate(), r.SpeculationRate(), r.ApologyRate(), r.GoodputPerSec())
+	fmt.Fprintf(&b, "final:     %s\n", r.Final.Summarize())
+	fmt.Fprintf(&b, "perceived: %s\n", r.Perceived.Summarize())
+	return b.String()
+}
+
+// callbackRecorder builds the CommitOptions that record one transaction
+// into the report, composing with any caller-specified speculation config.
+func (r *Report) callbacks(region simnet.Region, speculateAt float64, deadline time.Duration) planet.CommitOptions {
+	var start = time.Now()
+	var specElapsed atomic.Int64
+	return planet.CommitOptions{
+		SpeculateAt: speculateAt,
+		Deadline:    deadline,
+		OnAccept: func(p planet.Progress) {
+			r.Accept.Observe(time.Since(start))
+		},
+		OnSpeculative: func(p planet.Progress) {
+			e := time.Since(start)
+			specElapsed.Store(int64(e))
+			r.Speculative.Observe(e)
+			r.Speculated.Add(1)
+		},
+		OnFinal: func(o txn.Outcome) {
+			e := time.Since(start)
+			switch {
+			case o.Rejected:
+				r.Rejected.Add(1)
+				r.Perceived.Observe(e)
+			case o.Committed:
+				r.Committed.Add(1)
+				r.Final.Observe(e)
+				r.regionHist(region).Observe(e)
+				if se := specElapsed.Load(); se > 0 {
+					r.Perceived.Observe(time.Duration(se))
+				} else {
+					r.Perceived.Observe(e)
+				}
+			default:
+				r.Aborted.Add(1)
+				r.Final.Observe(e)
+				if se := specElapsed.Load(); se > 0 {
+					r.Perceived.Observe(time.Duration(se))
+				} else {
+					r.Perceived.Observe(e)
+				}
+			}
+		},
+		OnApology: func(txn.Outcome) {
+			r.Apologies.Add(1)
+		},
+	}
+}
