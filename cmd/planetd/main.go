@@ -3,6 +3,7 @@
 // this library would take.
 //
 //	planetd [-addr :8480] [-region us-west] [-scale 0.05] [-admission 0.4]
+//	        [-slowtxn 250ms] [-logaborted]
 //
 // Try it:
 //
@@ -11,46 +12,76 @@
 //	curl -s -X POST localhost:8480/v1/txn \
 //	     -d '{"ops":[{"kind":"add","key":"demo-counter","delta":1}],"speculateAt":0.95}'
 //	curl -s 'localhost:8480/v1/txn/txn-1?wait=1'
+//	curl -s 'localhost:8480/v1/txn/txn-1/trace'
 //	curl -s 'localhost:8480/v1/stats'
+//	curl -s 'localhost:8480/v1/metrics'
+//
+// planetd shuts down gracefully on SIGINT/SIGTERM: in-flight requests
+// drain (bounded by a short timeout) and the cluster is closed.
 package main
 
 import (
+	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"log"
 	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
 
 	"planet/internal/cluster"
 	planet "planet/internal/core"
 	"planet/internal/httpapi"
+	"planet/internal/obs"
 	"planet/internal/simnet"
 )
 
 func main() {
+	if err := run(); err != nil {
+		log.Fatal(err)
+	}
+}
+
+func run() error {
 	var (
-		addr      = flag.String("addr", ":8480", "listen address")
-		region    = flag.String("region", "us-west", "gateway region")
-		scale     = flag.Float64("scale", 0.05, "WAN time compression")
-		admission = flag.Float64("admission", 0, "admission MinLikelihood (0 disables)")
+		addr       = flag.String("addr", ":8480", "listen address")
+		region     = flag.String("region", "us-west", "gateway region")
+		scale      = flag.Float64("scale", 0.05, "WAN time compression")
+		admission  = flag.Float64("admission", 0, "admission MinLikelihood (0 disables)")
+		slowtxn    = flag.Duration("slowtxn", 0, "log traces of transactions at least this slow (0 disables)")
+		logaborted = flag.Bool("logaborted", false, "log every aborted transaction's trace")
+		traceCap   = flag.Int("tracecap", 512, "completed traces retained for /v1/traces")
 	)
 	flag.Parse()
 
 	c, err := cluster.New(cluster.Config{TimeScale: *scale})
 	if err != nil {
-		log.Fatal(err)
+		return err
 	}
 	defer c.Close()
 
+	reg := obs.NewRegistry()
+	tracer := obs.NewTracer(obs.TracerConfig{
+		Capacity:      *traceCap,
+		SlowThreshold: *slowtxn,
+		LogAborted:    *logaborted,
+		Logf:          log.Printf,
+	})
 	db, err := planet.Open(planet.Config{
 		Cluster:   c,
 		Admission: planet.AdmissionPolicy{MinLikelihood: *admission, ProbeFraction: 0.05},
+		Registry:  reg,
+		Tracer:    tracer,
 	})
 	if err != nil {
-		log.Fatal(err)
+		return err
 	}
 	sess, err := db.Session(simnet.Region(*region))
 	if err != nil {
-		log.Fatalf("%v (regions: %v)", err, c.Regions())
+		return fmt.Errorf("%v (regions: %v)", err, c.Regions())
 	}
 
 	// Seed a few records so curl examples work out of the box.
@@ -58,9 +89,28 @@ func main() {
 	c.SeedInt("demo-counter", 0, 0, 1<<40)
 	c.SeedInt("demo-stock", 100, 0, 100)
 
-	srv := httpapi.NewServer(db, sess)
+	srv := &http.Server{Addr: *addr, Handler: httpapi.NewServer(db, sess)}
 	fmt.Printf("planetd: %d-region cluster up, gateway for %s on %s\n",
 		len(c.Regions()), *region, *addr)
 	fmt.Printf("seeded keys: demo (bytes), demo-counter (int), demo-stock (bounded 0..100)\n")
-	log.Fatal(http.ListenAndServe(*addr, srv))
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	errc := make(chan error, 1)
+	go func() { errc <- srv.ListenAndServe() }()
+
+	select {
+	case err := <-errc:
+		return err
+	case <-ctx.Done():
+		// Graceful drain: stop accepting, let in-flight requests finish,
+		// then fall through to the deferred cluster Close.
+		fmt.Println("planetd: shutting down")
+		shctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+		defer cancel()
+		if err := srv.Shutdown(shctx); err != nil && !errors.Is(err, http.ErrServerClosed) {
+			return err
+		}
+		return nil
+	}
 }

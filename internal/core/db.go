@@ -11,6 +11,7 @@ import (
 	"planet/internal/cluster"
 	"planet/internal/mdcc"
 	"planet/internal/metrics"
+	"planet/internal/obs"
 	"planet/internal/predictor"
 	"planet/internal/simnet"
 )
@@ -65,6 +66,12 @@ type Config struct {
 	// Calibrate, when true, records (likelihood, outcome) pairs into a
 	// calibration table retrievable via DB.Calibration.
 	Calibrate bool
+	// Registry, when non-nil, receives protocol metrics from every layer
+	// (stage counters, vote latencies, simnet traffic) for Prometheus
+	// exposition.
+	Registry *obs.Registry
+	// Tracer, when non-nil, records per-transaction lifecycle traces.
+	Tracer *obs.Tracer
 }
 
 // Stats aggregates transaction outcomes across the DB.
@@ -80,9 +87,11 @@ type Stats struct {
 // DB is a PLANET database handle over a cluster. Open one per deployment,
 // then create per-region Sessions for clients.
 type DB struct {
-	cfg   Config
-	preds map[simnet.Region]*predictor.Predictor
-	calib *metrics.Calibration
+	cfg    Config
+	preds  map[simnet.Region]*predictor.Predictor
+	calib  *metrics.Calibration
+	tracer *obs.Tracer
+	inst   *dbInstruments
 
 	inFlight map[simnet.Region]*atomic.Int64
 
@@ -108,6 +117,7 @@ func Open(cfg Config) (*DB, error) {
 		preds:    make(map[simnet.Region]*predictor.Predictor, len(regionList)),
 		inFlight: make(map[simnet.Region]*atomic.Int64, len(regionList)),
 		rng:      rand.New(rand.NewSource(1)),
+		tracer:   cfg.Tracer,
 	}
 	if cfg.Calibrate {
 		db.calib = metrics.NewCalibration(10)
@@ -122,6 +132,15 @@ func Open(cfg Config) (*DB, error) {
 		})
 		db.inFlight[r] = &atomic.Int64{}
 	}
+	if reg := cfg.Registry; reg != nil {
+		db.inst = newDBInstruments(reg, regionList, db.inFlight)
+		// Instrument the layers below: simnet traffic and per-region
+		// coordinator protocol activity all land in the same registry.
+		cfg.Cluster.Net.SetObserver(obs.NewNetInstruments(reg))
+		for _, r := range regionList {
+			cfg.Cluster.Coordinator(r).SetObserver(obs.NewCoordInstruments(reg, r))
+		}
+	}
 	return db, nil
 }
 
@@ -133,6 +152,12 @@ func (db *DB) Predictor(r simnet.Region) *predictor.Predictor { return db.preds[
 
 // Calibration returns the calibration table (nil unless Config.Calibrate).
 func (db *DB) Calibration() *metrics.Calibration { return db.calib }
+
+// Registry returns the metrics registry (nil unless configured).
+func (db *DB) Registry() *obs.Registry { return db.cfg.Registry }
+
+// Tracer returns the lifecycle tracer (nil unless configured).
+func (db *DB) Tracer() *obs.Tracer { return db.tracer }
 
 // Stats snapshots the outcome counters.
 func (db *DB) Stats() Stats {

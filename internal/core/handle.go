@@ -6,6 +6,7 @@ import (
 	"time"
 
 	"planet/internal/mdcc"
+	"planet/internal/obs"
 	"planet/internal/predictor"
 	"planet/internal/simnet"
 	"planet/internal/txn"
@@ -139,6 +140,9 @@ func (t *Txn) Commit(opts CommitOptions) (*Handle, error) {
 	h.cbq = make(chan func(), len(regionList)*len(ops)+2*len(ops)+16)
 	go h.dispatch()
 
+	db.tracer.Begin(h.id)
+	db.tracer.Record(h.id, obs.Event{Kind: obs.EvSubmitted})
+
 	// Admission control: consult the predictor before any protocol work.
 	prior := s.pred.LikelihoodAtSubmit(t.Keys())
 	h.likelihood = prior
@@ -147,11 +151,15 @@ func (t *Txn) Commit(opts CommitOptions) (*Handle, error) {
 		inFlight := db.inFlight[s.region]
 		if pol.MinLikelihood > 0 && prior < pol.MinLikelihood && !db.probe(pol.ProbeFraction) {
 			db.rejected.Add(1)
+			db.tracer.Record(h.id, obs.Event{Kind: obs.EvAdmission,
+				Likelihood: prior, Note: "below-min-likelihood"})
 			h.reject()
 			return h, nil
 		}
 		if pol.MaxInFlight > 0 && inFlight.Load() >= int64(pol.MaxInFlight) {
 			db.rejected.Add(1)
+			db.tracer.Record(h.id, obs.Event{Kind: obs.EvAdmission,
+				Likelihood: prior, Note: "max-in-flight"})
 			h.reject()
 			return h, nil
 		}
@@ -160,7 +168,21 @@ func (t *Txn) Commit(opts CommitOptions) (*Handle, error) {
 	db.submitted.Add(1)
 	db.inFlight[s.region].Add(1)
 	h.stage = txn.StageAccepted
+	db.inst.stage(txn.StageAccepted)
+	db.tracer.Record(h.id, obs.Event{Kind: obs.EvAdmission, Accept: true, Likelihood: prior})
 	h.enqueue(h.opts.OnAccept, h.progressLocked())
+
+	// The prior may already clear the speculation threshold — an
+	// uncontended transaction needs no votes to be a near-certain commit,
+	// so the speculative stage fires at submission.
+	if opts.SpeculateAt > 0 && prior >= opts.SpeculateAt {
+		h.speculated = true
+		h.stage = txn.StageSpeculative
+		db.speculated.Add(1)
+		db.inst.stage(txn.StageSpeculative)
+		db.tracer.Record(h.id, obs.Event{Kind: obs.EvSpeculative, Likelihood: prior})
+		h.enqueue(h.opts.OnSpeculative, h.progressLocked())
+	}
 
 	if opts.Deadline > 0 {
 		h.timer = time.AfterFunc(opts.Deadline, h.onDeadline)
@@ -260,6 +282,10 @@ func (h *Handle) reject() {
 		ID: h.id, Rejected: true, Err: ErrAdmission,
 		Submitted: h.start, Decided: time.Now(),
 	}
+	h.db.inst.stage(txn.StageRejected)
+	h.db.inst.finished(outcomeRejected, h.outcome.Duration())
+	h.db.tracer.Record(h.id, obs.Event{Kind: obs.EvFinal, Note: ErrAdmission.Error()})
+	h.db.tracer.Finish(h.id, outcomeRejected, false)
 	h.enqueueOutcome(h.opts.OnFinal, h.outcome)
 	h.cbq <- nil
 }
@@ -271,6 +297,10 @@ func (h *Handle) onDeadline() {
 	if h.terminal {
 		return
 	}
+	if h.db.inst != nil {
+		h.db.inst.deadlines.Inc()
+	}
+	h.db.tracer.Record(h.id, obs.Event{Kind: obs.EvDeadline, Likelihood: h.likelihood})
 	h.enqueue(h.opts.OnDeadline, h.progressLocked())
 }
 
@@ -309,6 +339,7 @@ func (hs *handleSink) Progress(e mdcc.ProgressEvent) {
 	if h.terminal {
 		return
 	}
+	var evKind obs.EventKind
 	switch e.Kind {
 	case mdcc.KindSubmitted, mdcc.KindDecided:
 		return
@@ -324,12 +355,15 @@ func (hs *handleSink) Progress(e mdcc.ProgressEvent) {
 		}
 		if h.stage == txn.StageAccepted {
 			h.stage = txn.StageInFlight
+			h.db.inst.stage(txn.StageInFlight)
 		}
 		h.session.pred.ObserveVote(e.Key, e.Region, e.Accept, e.Elapsed)
+		evKind = obs.EvVote
 	case mdcc.KindFallback:
 		if tr := h.tracks[e.Key]; tr != nil {
 			tr.fellBack = true
 		}
+		evKind = obs.EvFallback
 	case mdcc.KindOptionLearned:
 		tr := h.tracks[e.Key]
 		if tr == nil || tr.learned != 0 {
@@ -344,17 +378,29 @@ func (hs *handleSink) Progress(e mdcc.ProgressEvent) {
 		if tr.fellBack {
 			h.session.pred.ObserveClassicResult(e.Key, e.Accept)
 		}
+		evKind = obs.EvLearned
 	}
 
 	h.likelihood = h.session.pred.Likelihood(h.flightLocked())
 	if h.db.calib != nil && len(h.samples) < maxCalibSamples {
 		h.samples = append(h.samples, h.likelihood)
 	}
+	if h.db.tracer != nil {
+		note := ""
+		if e.Reason != mdcc.ReasonNone {
+			note = e.Reason.String()
+		}
+		h.db.tracer.Record(h.id, obs.Event{Kind: evKind, Key: e.Key,
+			Region: string(e.Region), Accept: e.Accept,
+			Likelihood: h.likelihood, Note: note})
+	}
 
 	if !h.speculated && h.opts.SpeculateAt > 0 && h.likelihood >= h.opts.SpeculateAt {
 		h.speculated = true
 		h.stage = txn.StageSpeculative
 		h.db.speculated.Add(1)
+		h.db.inst.stage(txn.StageSpeculative)
+		h.db.tracer.Record(h.id, obs.Event{Kind: obs.EvSpeculative, Likelihood: h.likelihood})
 		h.enqueue(h.opts.OnSpeculative, h.progressLocked())
 	}
 	h.enqueue(h.opts.OnProgress, h.progressLocked())
@@ -379,10 +425,12 @@ func (h *Handle) finishLocked(committed bool, err error, submitFailed bool) {
 	if h.timer != nil {
 		h.timer.Stop()
 	}
+	outcome := outcomeAborted
 	if committed {
 		h.stage = txn.StageCommitted
 		h.db.committed.Add(1)
 		h.likelihood = 1
+		outcome = outcomeCommitted
 	} else {
 		h.stage = txn.StageAborted
 		h.db.aborted.Add(1)
@@ -392,15 +440,29 @@ func (h *Handle) finishLocked(committed bool, err error, submitFailed bool) {
 		ID: h.id, Committed: committed, Err: err,
 		Submitted: h.start, Decided: time.Now(), Speculated: h.speculated,
 	}
+	h.db.inst.stage(h.stage)
+	h.db.inst.finished(outcome, h.outcome.Duration())
 	if h.db.calib != nil && !submitFailed {
 		for _, s := range h.samples {
 			h.db.calib.Record(s, committed)
 		}
 	}
+	if h.db.tracer != nil {
+		note := ""
+		if err != nil {
+			note = err.Error()
+		}
+		h.db.tracer.Record(h.id, obs.Event{Kind: obs.EvFinal, Accept: committed, Note: note})
+	}
 	h.enqueueOutcome(h.opts.OnFinal, h.outcome)
 	if h.speculated && !committed {
 		h.db.apologies.Add(1)
+		if h.db.inst != nil {
+			h.db.inst.apologies.Inc()
+		}
+		h.db.tracer.Record(h.id, obs.Event{Kind: obs.EvApology})
 		h.enqueueOutcome(h.opts.OnApology, h.outcome)
 	}
+	h.db.tracer.Finish(h.id, outcome, h.speculated)
 	h.cbq <- nil
 }

@@ -1,0 +1,74 @@
+package planet
+
+import (
+	"sync/atomic"
+	"time"
+
+	"planet/internal/obs"
+	"planet/internal/simnet"
+	"planet/internal/txn"
+)
+
+// dbInstruments caches the DB's registry handles so the transaction hot
+// path never takes the registry's get-or-create locks.
+type dbInstruments struct {
+	stages    map[txn.Stage]*obs.Counter
+	apologies *obs.Counter
+	deadlines *obs.Counter
+	durations map[string]*obs.Histogram // by outcome label
+}
+
+// outcome labels for planet_txn_duration_seconds.
+const (
+	outcomeCommitted = "committed"
+	outcomeAborted   = "aborted"
+	outcomeRejected  = "rejected"
+)
+
+// newDBInstruments pre-registers every per-stage and per-outcome series so
+// a fresh deployment exposes them at zero before any traffic arrives.
+func newDBInstruments(reg *obs.Registry, regionList []simnet.Region, inFlight map[simnet.Region]*atomic.Int64) *dbInstruments {
+	inst := &dbInstruments{
+		stages:    make(map[txn.Stage]*obs.Counter),
+		durations: make(map[string]*obs.Histogram, 3),
+	}
+	stageHelp := "Transactions that reached each lifecycle stage."
+	for _, st := range []txn.Stage{txn.StageRejected, txn.StageAccepted, txn.StageInFlight,
+		txn.StageSpeculative, txn.StageCommitted, txn.StageAborted} {
+		inst.stages[st] = reg.Counter("planet_txn_stage_total", stageHelp, obs.L("stage", st.String()))
+	}
+	inst.apologies = reg.Counter("planet_txn_apologies_total",
+		"Speculative commits that were later aborted (guaranteed apologies).")
+	inst.deadlines = reg.Counter("planet_txn_deadline_fired_total",
+		"Transactions whose application deadline passed before the decision.")
+	durHelp := "Submit-to-decision latency by outcome (scaled emulator time)."
+	for _, oc := range []string{outcomeCommitted, outcomeAborted, outcomeRejected} {
+		inst.durations[oc] = reg.Histogram("planet_txn_duration_seconds", durHelp, obs.L("outcome", oc))
+	}
+	for _, r := range regionList {
+		ctr := inFlight[r]
+		reg.GaugeFunc("planet_txn_in_flight", "Transactions currently in commit processing.",
+			func() float64 { return float64(ctr.Load()) }, obs.L("region", string(r)))
+	}
+	return inst
+}
+
+// stage counts one stage transition (nil-safe).
+func (i *dbInstruments) stage(st txn.Stage) {
+	if i == nil {
+		return
+	}
+	if c := i.stages[st]; c != nil {
+		c.Inc()
+	}
+}
+
+// finished records the outcome duration (nil-safe).
+func (i *dbInstruments) finished(outcome string, d time.Duration) {
+	if i == nil {
+		return
+	}
+	if h := i.durations[outcome]; h != nil {
+		h.Observe(d)
+	}
+}

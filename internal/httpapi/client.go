@@ -7,6 +7,7 @@ import (
 	"io"
 	"net/http"
 	"net/url"
+	"strconv"
 	"time"
 )
 
@@ -123,17 +124,76 @@ func (c *Client) status(id string, wait bool) (Status, error) {
 	return out, nil
 }
 
-// Stats fetches the DB-wide outcome counters as a generic map.
-func (c *Client) Stats() (map[string]uint64, error) {
+// Stats fetches the DB-wide outcome counters as a generic map (float64
+// values: the response mixes counters with the speculation-accuracy ratio).
+func (c *Client) Stats() (map[string]float64, error) {
 	resp, err := c.httpc().Get(c.Base + "/v1/stats")
 	if err != nil {
 		return nil, fmt.Errorf("httpapi: stats: %w", err)
 	}
-	var out map[string]uint64
+	var out map[string]float64
 	if err := decode(resp, &out); err != nil {
 		return nil, err
 	}
 	return out, nil
+}
+
+// Trace fetches a transaction's recorded lifecycle events.
+func (c *Client) Trace(id string) (TraceResponse, error) {
+	resp, err := c.httpc().Get(c.Base + "/v1/txn/" + url.PathEscape(id) + "/trace")
+	if err != nil {
+		return TraceResponse{}, fmt.Errorf("httpapi: trace: %w", err)
+	}
+	var out TraceResponse
+	if err := decode(resp, &out); err != nil {
+		return TraceResponse{}, err
+	}
+	return out, nil
+}
+
+// Traces fetches recent completed traces. abortedOnly/slowOnly narrow the
+// result; limit <= 0 uses the server default.
+func (c *Client) Traces(abortedOnly, slowOnly bool, limit int) ([]TraceResponse, error) {
+	q := url.Values{}
+	if abortedOnly {
+		q.Set("aborted", "1")
+	}
+	if slowOnly {
+		q.Set("slow", "1")
+	}
+	if limit > 0 {
+		q.Set("limit", strconv.Itoa(limit))
+	}
+	u := c.Base + "/v1/traces"
+	if enc := q.Encode(); enc != "" {
+		u += "?" + enc
+	}
+	resp, err := c.httpc().Get(u)
+	if err != nil {
+		return nil, fmt.Errorf("httpapi: traces: %w", err)
+	}
+	var out TracesResponse
+	if err := decode(resp, &out); err != nil {
+		return nil, err
+	}
+	return out.Traces, nil
+}
+
+// Metrics fetches the Prometheus exposition text.
+func (c *Client) Metrics() (string, error) {
+	resp, err := c.httpc().Get(c.Base + "/v1/metrics")
+	if err != nil {
+		return "", fmt.Errorf("httpapi: metrics: %w", err)
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(io.LimitReader(resp.Body, 8<<20))
+	if err != nil {
+		return "", fmt.Errorf("httpapi: read metrics: %w", err)
+	}
+	if resp.StatusCode != http.StatusOK {
+		return "", fmt.Errorf("httpapi: metrics: %s", resp.Status)
+	}
+	return string(body), nil
 }
 
 // SubmitAndWait is the blocking convenience path.

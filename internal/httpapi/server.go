@@ -7,7 +7,14 @@
 //	GET  /v1/read?key=K[&quorum=1]     read committed state
 //	POST /v1/txn                       submit a transaction (JSON body)
 //	GET  /v1/txn/{id}[?wait=1]         stage/likelihood/outcome
+//	GET  /v1/txn/{id}/trace            recorded lifecycle events
+//	GET  /v1/traces[?aborted=1&slow=1&limit=N]  recent completed traces
 //	GET  /v1/stats                     DB-wide outcome counters
+//	GET  /v1/metrics                   Prometheus text exposition
+//
+// The trace and metrics resources require the DB to be opened with an
+// obs.Tracer / obs.Registry; without one they return 404. Every response —
+// including errors — is JSON, except /v1/metrics which is Prometheus text.
 //
 // The package also provides the matching Client. Both sides are pure
 // stdlib (net/http, encoding/json).
@@ -18,11 +25,13 @@ import (
 	"errors"
 	"fmt"
 	"net/http"
+	"strconv"
 	"strings"
 	"sync"
 	"time"
 
 	planet "planet/internal/core"
+	"planet/internal/obs"
 	"planet/internal/txn"
 )
 
@@ -97,6 +106,8 @@ type Server struct {
 	session *planet.Session
 	db      *planet.DB
 	mux     *http.ServeMux
+	reg     *obs.Registry
+	tracer  *obs.Tracer
 
 	mu     sync.Mutex
 	txns   map[string]*tracked
@@ -104,20 +115,60 @@ type Server struct {
 	maxTxn int
 }
 
-// NewServer builds a gateway for one region of db.
+// NewServer builds a gateway for one region of db. When the DB carries an
+// obs.Registry, every route is wrapped in request-latency middleware and
+// the /v1/metrics and trace endpoints go live.
 func NewServer(db *planet.DB, session *planet.Session) *Server {
 	s := &Server{
 		session: session,
 		db:      db,
 		mux:     http.NewServeMux(),
+		reg:     db.Registry(),
+		tracer:  db.Tracer(),
 		txns:    make(map[string]*tracked),
 		maxTxn:  4096,
 	}
-	s.mux.HandleFunc("/v1/read", s.handleRead)
-	s.mux.HandleFunc("/v1/txn", s.handleSubmit)
-	s.mux.HandleFunc("/v1/txn/", s.handleStatus)
-	s.mux.HandleFunc("/v1/stats", s.handleStats)
+	s.mux.HandleFunc("/v1/read", s.route("/v1/read", s.handleRead))
+	s.mux.HandleFunc("/v1/txn", s.route("/v1/txn", s.handleSubmit))
+	s.mux.HandleFunc("/v1/txn/", s.route("/v1/txn/{id}", s.handleStatus))
+	s.mux.HandleFunc("/v1/stats", s.route("/v1/stats", s.handleStats))
+	s.mux.HandleFunc("/v1/traces", s.route("/v1/traces", s.handleTraces))
+	s.mux.HandleFunc("/v1/metrics", s.route("/v1/metrics", s.handleMetrics))
+	// Unknown routes get the same JSON error envelope as everything else.
+	s.mux.HandleFunc("/", s.route("other", func(w http.ResponseWriter, r *http.Request) {
+		writeErr(w, http.StatusNotFound, "no route %s", r.URL.Path)
+	}))
 	return s
+}
+
+// statusWriter captures the response code for the request middleware.
+type statusWriter struct {
+	http.ResponseWriter
+	code int
+}
+
+// WriteHeader implements http.ResponseWriter.
+func (w *statusWriter) WriteHeader(code int) {
+	w.code = code
+	w.ResponseWriter.WriteHeader(code)
+}
+
+// route wraps h in per-route latency/count middleware; with no registry it
+// returns h unchanged.
+func (s *Server) route(route string, h http.HandlerFunc) http.HandlerFunc {
+	if s.reg == nil {
+		return h
+	}
+	hist := s.reg.Histogram("planet_http_request_duration_seconds",
+		"Gateway request latency by route.", obs.L("route", route))
+	return func(w http.ResponseWriter, r *http.Request) {
+		start := time.Now()
+		sw := &statusWriter{ResponseWriter: w, code: http.StatusOK}
+		h(sw, r)
+		hist.Observe(time.Since(start))
+		s.reg.Counter("planet_http_requests_total", "Gateway requests by route and status code.",
+			obs.L("route", route), obs.L("code", strconv.Itoa(sw.code))).Inc()
+	}
 }
 
 // ServeHTTP implements http.Handler.
@@ -245,13 +296,17 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusAccepted, SubmitResponse{Txn: id})
 }
 
-// handleStatus serves GET /v1/txn/{id}[?wait=1].
+// handleStatus serves GET /v1/txn/{id}[?wait=1] and /v1/txn/{id}/trace.
 func (s *Server) handleStatus(w http.ResponseWriter, r *http.Request) {
 	if r.Method != http.MethodGet {
 		writeErr(w, http.StatusMethodNotAllowed, "use GET")
 		return
 	}
 	id := strings.TrimPrefix(r.URL.Path, "/v1/txn/")
+	if rest, ok := strings.CutSuffix(id, "/trace"); ok {
+		s.handleTrace(w, rest)
+		return
+	}
 	s.mu.Lock()
 	tr := s.txns[id]
 	s.mu.Unlock()
@@ -296,13 +351,180 @@ func (s *Server) statusOf(id string, tr *tracked) Status {
 	return st
 }
 
+// StatsResponse is the GET /v1/stats body. All counters are cumulative
+// since the DB was opened.
+type StatsResponse struct {
+	// Submitted counts transactions accepted into commit processing
+	// (admission rejections excluded).
+	Submitted uint64
+	// Committed and Aborted count final decisions.
+	Committed uint64
+	Aborted   uint64
+	// Rejected counts admission-control refusals.
+	Rejected uint64
+	// Speculated counts transactions that reported a speculative commit
+	// before their final decision.
+	Speculated uint64
+	// Apologies counts speculative commits later contradicted by an
+	// abort — each one triggered the guaranteed apology callback.
+	Apologies uint64
+	// SpeculationAccuracy is the fraction of speculative commits that
+	// the final decision confirmed: 1 - Apologies/Speculated, and 1.0
+	// when nothing has speculated yet.
+	SpeculationAccuracy float64
+}
+
 // handleStats serves GET /v1/stats.
 func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 	if r.Method != http.MethodGet {
 		writeErr(w, http.StatusMethodNotAllowed, "use GET")
 		return
 	}
-	writeJSON(w, http.StatusOK, s.db.Stats())
+	st := s.db.Stats()
+	resp := StatsResponse{
+		Submitted:  st.Submitted,
+		Committed:  st.Committed,
+		Aborted:    st.Aborted,
+		Rejected:   st.Rejected,
+		Speculated: st.Speculated,
+		Apologies:  st.Apologies,
+	}
+	if s.reg != nil {
+		// Prefer the registry series (the same sites increment both, but
+		// the registry is the system of record for exposition).
+		if v, ok := s.reg.Value("planet_txn_stage_total", obs.L("stage", "speculative")); ok {
+			resp.Speculated = uint64(v)
+		}
+		if v, ok := s.reg.Value("planet_txn_apologies_total"); ok {
+			resp.Apologies = uint64(v)
+		}
+	}
+	resp.SpeculationAccuracy = 1
+	if resp.Speculated > 0 {
+		resp.SpeculationAccuracy = 1 - float64(resp.Apologies)/float64(resp.Speculated)
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+// TraceEvent is the wire form of one recorded lifecycle event.
+type TraceEvent struct {
+	// OffsetMs is the event time relative to submission.
+	OffsetMs float64 `json:"offsetMs"`
+	Kind     string  `json:"kind"`
+	Key      string  `json:"key,omitempty"`
+	Region   string  `json:"region,omitempty"`
+	// Accept carries the event's verdict (vote accept, admission
+	// verdict, option outcome, final commit).
+	Accept     bool    `json:"accept"`
+	Likelihood float64 `json:"likelihood,omitempty"`
+	Note       string  `json:"note,omitempty"`
+}
+
+// TraceResponse is the GET /v1/txn/{id}/trace body and the element type of
+// GET /v1/traces.
+type TraceResponse struct {
+	Txn        string       `json:"txn"`
+	Done       bool         `json:"done"`
+	Outcome    string       `json:"outcome,omitempty"`
+	Speculated bool         `json:"speculated"`
+	Slow       bool         `json:"slow,omitempty"`
+	DurationMs float64      `json:"durationMs"`
+	Events     []TraceEvent `json:"events"`
+}
+
+// TracesResponse is the GET /v1/traces body.
+type TracesResponse struct {
+	Traces []TraceResponse `json:"traces"`
+}
+
+// traceJSON converts a recorded trace to its wire form.
+func traceJSON(tr obs.Trace) TraceResponse {
+	resp := TraceResponse{
+		Txn:        tr.ID.String(),
+		Done:       tr.Done,
+		Outcome:    tr.Outcome,
+		Speculated: tr.Speculated,
+		Slow:       tr.Slow,
+		DurationMs: float64(tr.Duration()) / float64(time.Millisecond),
+		Events:     make([]TraceEvent, 0, len(tr.Events)),
+	}
+	for _, e := range tr.Events {
+		resp.Events = append(resp.Events, TraceEvent{
+			OffsetMs:   float64(e.At.Sub(tr.Start)) / float64(time.Millisecond),
+			Kind:       e.Kind.String(),
+			Key:        e.Key,
+			Region:     e.Region,
+			Accept:     e.Accept,
+			Likelihood: e.Likelihood,
+			Note:       e.Note,
+		})
+	}
+	return resp
+}
+
+// handleTrace serves GET /v1/txn/{id}/trace (dispatched by handleStatus).
+func (s *Server) handleTrace(w http.ResponseWriter, rawID string) {
+	if s.tracer == nil {
+		writeErr(w, http.StatusNotFound, "tracing is not enabled on this deployment")
+		return
+	}
+	id, err := txn.ParseID(rawID)
+	if err != nil {
+		writeErr(w, http.StatusBadRequest, "bad transaction id %q", rawID)
+		return
+	}
+	tr, ok := s.tracer.Lookup(id)
+	if !ok {
+		writeErr(w, http.StatusNotFound, "no trace for %q (evicted, unsampled, or unknown)", rawID)
+		return
+	}
+	writeJSON(w, http.StatusOK, traceJSON(tr))
+}
+
+// handleTraces serves GET /v1/traces?aborted=1&slow=1&limit=N.
+func (s *Server) handleTraces(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		writeErr(w, http.StatusMethodNotAllowed, "use GET")
+		return
+	}
+	if s.tracer == nil {
+		writeErr(w, http.StatusNotFound, "tracing is not enabled on this deployment")
+		return
+	}
+	q := r.URL.Query()
+	filter := obs.TraceFilter{
+		AbortedOnly: q.Get("aborted") == "1",
+		SlowOnly:    q.Get("slow") == "1",
+		Limit:       50,
+	}
+	if raw := q.Get("limit"); raw != "" {
+		n, err := strconv.Atoi(raw)
+		if err != nil || n <= 0 {
+			writeErr(w, http.StatusBadRequest, "bad limit %q", raw)
+			return
+		}
+		filter.Limit = n
+	}
+	resp := TracesResponse{Traces: make([]TraceResponse, 0, filter.Limit)}
+	for _, tr := range s.tracer.Recent(filter) {
+		resp.Traces = append(resp.Traces, traceJSON(tr))
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+// handleMetrics serves GET /v1/metrics in Prometheus text format.
+func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		writeErr(w, http.StatusMethodNotAllowed, "use GET")
+		return
+	}
+	if s.reg == nil {
+		writeErr(w, http.StatusNotFound, "metrics are not enabled on this deployment")
+		return
+	}
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	w.WriteHeader(http.StatusOK)
+	_ = s.reg.WritePrometheus(w)
 }
 
 // TrackedCount reports how many transactions the server currently retains

@@ -57,6 +57,17 @@ type commitState struct {
 	timer   *time.Timer
 }
 
+// CoordObserver receives a coordinator's protocol instrumentation: votes as
+// they arrive, fallbacks to classic Paxos, commit timeouts, and final
+// decisions. Callbacks run with the coordinator lock held and must be fast
+// and must not call back into the coordinator.
+type CoordObserver interface {
+	Vote(region simnet.Region, accept bool, elapsed time.Duration)
+	Fallback()
+	Timeout()
+	Decided(commit bool, elapsed time.Duration)
+}
+
 // Coordinator drives commit processing for transactions originating in its
 // region. It is a learner for option outcomes and the decision authority
 // for the transactions it coordinates.
@@ -66,10 +77,18 @@ type Coordinator struct {
 	mu     sync.Mutex
 	active map[txn.ID]*commitState
 	reads  map[uint64]*readWaiter
+	obs    CoordObserver
 
 	// Stats for tests and experiments.
 	Fallbacks uint64
 	Timeouts  uint64
+}
+
+// SetObserver installs o (nil clears). Typically wired once at startup.
+func (c *Coordinator) SetObserver(o CoordObserver) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.obs = o
 }
 
 // NewCoordinator constructs and registers a coordinator on cfg.Net.
@@ -192,6 +211,9 @@ func (c *Coordinator) onVote(v voteMsg) {
 	// Emit the vote before any learn/decide it triggers, so sinks see
 	// vote counts that are consistent with option outcomes.
 	elapsed := time.Since(s.start)
+	if c.obs != nil {
+		c.obs.Vote(v.Region, v.Accept, elapsed)
+	}
 	s.sink.Progress(ProgressEvent{Txn: s.id, Kind: KindVote, Key: v.Key,
 		Region: v.Region, Accept: v.Accept, Reason: v.Reason, Elapsed: elapsed})
 
@@ -207,6 +229,9 @@ func (c *Coordinator) onVote(v voteMsg) {
 		st.status = optClassic
 		st.reason = ReasonNone
 		c.Fallbacks++
+		if c.obs != nil {
+			c.obs.Fallback()
+		}
 		c.cfg.Net.Send(c.cfg.Addr, c.cfg.MasterFor(v.Key),
 			classicProposeMsg{Txn: s.id, Coord: c.cfg.Addr, Option: st.op})
 		s.sink.Progress(ProgressEvent{Txn: s.id, Kind: KindFallback, Key: v.Key, Elapsed: elapsed})
@@ -266,6 +291,9 @@ func (c *Coordinator) onTimeout(id txn.ID) {
 		return
 	}
 	c.Timeouts++
+	if c.obs != nil {
+		c.obs.Timeout()
+	}
 	c.decideLocked(s, false, ErrTimeout)
 	c.mu.Unlock()
 }
@@ -284,6 +312,9 @@ func (c *Coordinator) decideLocked(s *commitState, commit bool, err error) {
 
 	for _, rep := range c.cfg.Replicas {
 		c.cfg.Net.Send(c.cfg.Addr, rep, decideMsg{Txn: s.id, Commit: commit, Options: s.ops})
+	}
+	if c.obs != nil {
+		c.obs.Decided(commit, time.Since(s.start))
 	}
 	s.sink.Progress(ProgressEvent{Txn: s.id, Kind: KindDecided,
 		Accept: commit, Elapsed: time.Since(s.start)})

@@ -1,0 +1,22 @@
+// Package obs is PLANET's observability layer: a metrics registry with
+// Prometheus-style text exposition, and a per-transaction lifecycle tracer.
+//
+// The registry layers named, labeled counters, gauges, and latency
+// histograms on the primitives in internal/metrics. Instruments are
+// get-or-create — calling Registry.Counter twice with the same name and
+// labels returns the same instrument — so call sites can be written
+// declaratively without a separate registration phase. WritePrometheus
+// renders every series in the Prometheus text exposition format (counters
+// and gauges verbatim, histograms as summaries with quantile labels).
+//
+// The tracer records timestamped lifecycle events (submitted, admission
+// verdict, per-region votes, fallback, speculative fire, deadline fire,
+// final decision, apology) into per-transaction event lists. Completed
+// traces land in a bounded ring buffer for retrospective inspection, with
+// an optional slow/aborted-transaction log. Every method is safe on a nil
+// *Tracer and returns immediately, so instrumented code needs no guards
+// and pays nothing when tracing is off.
+//
+// Both halves are safe for concurrent use: events and samples arrive from
+// coordinator, simnet timer, and callback-dispatch goroutines at once.
+package obs

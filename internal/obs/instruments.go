@@ -1,0 +1,151 @@
+package obs
+
+import (
+	"sync"
+	"time"
+
+	"planet/internal/simnet"
+)
+
+// NetInstruments publishes simnet traffic into a Registry. It implements
+// simnet.Observer: counters for sent/delivered/dropped messages per
+// directed region pair, and a per-link one-way delay histogram.
+type NetInstruments struct {
+	reg *Registry
+
+	mu    sync.RWMutex
+	links map[linkID]*linkInstruments
+}
+
+// linkID keys instruments by directed region pair.
+type linkID struct{ from, to simnet.Region }
+
+// linkInstruments caches one link's handles so the per-message path does
+// only one map lookup.
+type linkInstruments struct {
+	sent, delivered, dropped *Counter
+	delay                    *Histogram
+}
+
+// NewNetInstruments builds (and pre-registers) network instruments on reg.
+func NewNetInstruments(reg *Registry) *NetInstruments {
+	return &NetInstruments{reg: reg, links: make(map[linkID]*linkInstruments)}
+}
+
+// link returns (creating if needed) the instruments for from→to.
+func (ni *NetInstruments) link(from, to simnet.Region) *linkInstruments {
+	id := linkID{from, to}
+	ni.mu.RLock()
+	li := ni.links[id]
+	ni.mu.RUnlock()
+	if li != nil {
+		return li
+	}
+	labels := []Label{L("from", string(from)), L("to", string(to))}
+	li = &linkInstruments{
+		sent:      ni.reg.Counter("planet_simnet_messages_sent_total", "Messages submitted to the emulated network.", labels...),
+		delivered: ni.reg.Counter("planet_simnet_messages_delivered_total", "Messages delivered to a registered handler.", labels...),
+		dropped:   ni.reg.Counter("planet_simnet_messages_dropped_total", "Messages dropped by loss, partitions, or shutdown.", labels...),
+		delay:     ni.reg.Histogram("planet_simnet_link_delay_seconds", "Sampled one-way link delay (scaled emulator time).", labels...),
+	}
+	ni.mu.Lock()
+	if prev := ni.links[id]; prev != nil {
+		li = prev
+	} else {
+		ni.links[id] = li
+	}
+	ni.mu.Unlock()
+	return li
+}
+
+// MessageSent implements simnet.Observer.
+func (ni *NetInstruments) MessageSent(from, to simnet.Region, delay time.Duration) {
+	li := ni.link(from, to)
+	li.sent.Inc()
+	li.delay.Observe(delay)
+}
+
+// MessageDelivered implements simnet.Observer.
+func (ni *NetInstruments) MessageDelivered(from, to simnet.Region) {
+	ni.link(from, to).delivered.Inc()
+}
+
+// MessageDropped implements simnet.Observer.
+func (ni *NetInstruments) MessageDropped(from, to simnet.Region) {
+	ni.link(from, to).dropped.Inc()
+}
+
+// CoordInstruments publishes one coordinator's protocol activity into a
+// Registry. It implements mdcc.CoordObserver.
+type CoordInstruments struct {
+	accepts, rejects *Counter
+	fallbacks        *Counter
+	timeouts         *Counter
+	commits, aborts  *Counter
+	decisionLat      *Histogram
+
+	reg *Registry
+
+	mu      sync.RWMutex
+	voteLat map[simnet.Region]*Histogram
+}
+
+// NewCoordInstruments builds instruments for the coordinator of region.
+func NewCoordInstruments(reg *Registry, region simnet.Region) *CoordInstruments {
+	coord := L("coordinator", string(region))
+	return &CoordInstruments{
+		reg:       reg,
+		accepts:   reg.Counter("planet_mdcc_votes_total", "Fast-path votes received, by verdict.", coord, L("verdict", "accept")),
+		rejects:   reg.Counter("planet_mdcc_votes_total", "Fast-path votes received, by verdict.", coord, L("verdict", "reject")),
+		fallbacks: reg.Counter("planet_mdcc_fallbacks_total", "Options that fell back from fast to classic Paxos.", coord),
+		timeouts:  reg.Counter("planet_mdcc_timeouts_total", "Transactions aborted by the commit timeout.", coord),
+		commits:   reg.Counter("planet_mdcc_decisions_total", "Final decisions, by outcome.", coord, L("outcome", "commit")),
+		aborts:    reg.Counter("planet_mdcc_decisions_total", "Final decisions, by outcome.", coord, L("outcome", "abort")),
+		decisionLat: reg.Histogram("planet_mdcc_decision_latency_seconds",
+			"Submit-to-decision latency at the coordinator (scaled emulator time).", coord),
+		voteLat: make(map[simnet.Region]*Histogram),
+	}
+}
+
+// voteHist returns the vote-latency histogram for the voting region.
+func (ci *CoordInstruments) voteHist(region simnet.Region) *Histogram {
+	ci.mu.RLock()
+	h := ci.voteLat[region]
+	ci.mu.RUnlock()
+	if h != nil {
+		return h
+	}
+	h = ci.reg.Histogram("planet_mdcc_vote_latency_seconds",
+		"Submit-to-vote latency per voting region (scaled emulator time).",
+		L("region", string(region)))
+	ci.mu.Lock()
+	ci.voteLat[region] = h
+	ci.mu.Unlock()
+	return h
+}
+
+// Vote implements mdcc.CoordObserver.
+func (ci *CoordInstruments) Vote(region simnet.Region, accept bool, elapsed time.Duration) {
+	if accept {
+		ci.accepts.Inc()
+	} else {
+		ci.rejects.Inc()
+	}
+	ci.voteHist(region).Observe(elapsed)
+}
+
+// Fallback implements mdcc.CoordObserver.
+func (ci *CoordInstruments) Fallback() { ci.fallbacks.Inc() }
+
+// Timeout implements mdcc.CoordObserver.
+func (ci *CoordInstruments) Timeout() { ci.timeouts.Inc() }
+
+// Decided implements mdcc.CoordObserver.
+func (ci *CoordInstruments) Decided(commit bool, elapsed time.Duration) {
+	if commit {
+		ci.commits.Inc()
+	} else {
+		ci.aborts.Inc()
+	}
+	ci.decisionLat.Observe(elapsed)
+}

@@ -1,0 +1,145 @@
+package obs
+
+import (
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestCounterGetOrCreate(t *testing.T) {
+	r := NewRegistry()
+	a := r.Counter("planet_test_total", "help", L("stage", "accepted"))
+	b := r.Counter("planet_test_total", "help", L("stage", "accepted"))
+	if a != b {
+		t.Fatal("same name+labels returned distinct counters")
+	}
+	other := r.Counter("planet_test_total", "help", L("stage", "aborted"))
+	if a == other {
+		t.Fatal("distinct labels shared a counter")
+	}
+	a.Inc()
+	a.Add(2)
+	if got := a.Value(); got != 3 {
+		t.Errorf("counter = %d, want 3", got)
+	}
+	if v, ok := r.Value("planet_test_total", L("stage", "accepted")); !ok || v != 3 {
+		t.Errorf("Value = %v,%v want 3,true", v, ok)
+	}
+	if _, ok := r.Value("planet_test_total", L("stage", "ghost")); ok {
+		t.Error("unknown series reported found")
+	}
+}
+
+func TestGauge(t *testing.T) {
+	r := NewRegistry()
+	g := r.Gauge("planet_test_gauge", "help")
+	g.Set(2.5)
+	g.Add(-1)
+	if got := g.Value(); got != 1.5 {
+		t.Errorf("gauge = %v, want 1.5", got)
+	}
+	n := 42.0
+	r.GaugeFunc("planet_test_gauge_fn", "help", func() float64 { return n })
+	if v, ok := r.Value("planet_test_gauge_fn"); !ok || v != 42 {
+		t.Errorf("gauge func = %v,%v", v, ok)
+	}
+}
+
+func TestPrometheusExposition(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("planet_txn_total", "Transactions.", L("stage", "committed")).Add(7)
+	r.Gauge("planet_in_flight", "In flight.").Set(3)
+	h := r.Histogram("planet_latency_seconds", "Latency.", L("region", "us-west"))
+	for i := 0; i < 100; i++ {
+		h.Observe(10 * time.Millisecond)
+	}
+
+	var b strings.Builder
+	if err := r.WritePrometheus(&b); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	for _, want := range []string{
+		"# HELP planet_txn_total Transactions.",
+		"# TYPE planet_txn_total counter",
+		`planet_txn_total{stage="committed"} 7`,
+		"# TYPE planet_in_flight gauge",
+		"planet_in_flight 3",
+		"# TYPE planet_latency_seconds summary",
+		`planet_latency_seconds{region="us-west",quantile="0.5"} 0.01`,
+		`planet_latency_seconds_count{region="us-west"} 100`,
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("exposition missing %q:\n%s", want, out)
+		}
+	}
+	// Families must appear in sorted order for diff-stable scraping.
+	if strings.Index(out, "planet_in_flight") > strings.Index(out, "planet_txn_total") {
+		t.Error("families not sorted by name")
+	}
+}
+
+func TestLabelEscaping(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("planet_esc_total", "h", L("k", "a\"b\\c\nd")).Inc()
+	var b strings.Builder
+	if err := r.WritePrometheus(&b); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(b.String(), `planet_esc_total{k="a\"b\\c\nd"} 1`) {
+		t.Errorf("bad escaping:\n%s", b.String())
+	}
+}
+
+func TestTypeMismatchPanics(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("planet_mixed", "h")
+	defer func() {
+		if recover() == nil {
+			t.Error("re-registering a counter as a gauge did not panic")
+		}
+	}()
+	r.Gauge("planet_mixed", "h")
+}
+
+func TestInvalidNamePanics(t *testing.T) {
+	r := NewRegistry()
+	defer func() {
+		if recover() == nil {
+			t.Error("invalid metric name did not panic")
+		}
+	}()
+	r.Counter("bad name!", "h")
+}
+
+// TestRegistryConcurrency exercises get-or-create and increments from many
+// goroutines; run under -race.
+func TestRegistryConcurrency(t *testing.T) {
+	r := NewRegistry()
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 500; i++ {
+				r.Counter("planet_conc_total", "h", L("g", "x")).Inc()
+				r.Histogram("planet_conc_seconds", "h").Observe(time.Millisecond)
+				r.Gauge("planet_conc_gauge", "h").Add(1)
+			}
+		}()
+	}
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		for i := 0; i < 50; i++ {
+			var b strings.Builder
+			_ = r.WritePrometheus(&b)
+		}
+	}()
+	wg.Wait()
+	<-done
+	if v, _ := r.Value("planet_conc_total", L("g", "x")); v != 4000 {
+		t.Errorf("concurrent counter = %v, want 4000", v)
+	}
+}

@@ -1,0 +1,346 @@
+package obs
+
+import (
+	"fmt"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"planet/internal/txn"
+)
+
+// EventKind enumerates per-transaction lifecycle events.
+type EventKind uint8
+
+const (
+	// EvSubmitted: the transaction entered the system.
+	EvSubmitted EventKind = iota
+	// EvAdmission: admission control ruled (Accept = admitted) with the
+	// predicted commit likelihood at submission.
+	EvAdmission
+	// EvVote: one replica's fast-path vote on one option arrived.
+	EvVote
+	// EvFallback: one option fell back from fast to classic Paxos.
+	EvFallback
+	// EvLearned: one option reached a definitive accept/reject.
+	EvLearned
+	// EvSpeculative: the likelihood crossed the speculation threshold.
+	EvSpeculative
+	// EvDeadline: the application deadline passed before the decision.
+	EvDeadline
+	// EvFinal: the final decision (Accept = committed).
+	EvFinal
+	// EvApology: the transaction speculated and then aborted.
+	EvApology
+)
+
+// String implements fmt.Stringer.
+func (k EventKind) String() string {
+	switch k {
+	case EvSubmitted:
+		return "submitted"
+	case EvAdmission:
+		return "admission"
+	case EvVote:
+		return "vote"
+	case EvFallback:
+		return "fallback"
+	case EvLearned:
+		return "learned"
+	case EvSpeculative:
+		return "speculative"
+	case EvDeadline:
+		return "deadline"
+	case EvFinal:
+		return "final"
+	case EvApology:
+		return "apology"
+	default:
+		return fmt.Sprintf("event(%d)", uint8(k))
+	}
+}
+
+// Event is one timestamped lifecycle observation.
+type Event struct {
+	At   time.Time
+	Kind EventKind
+	// Key and Region identify the option/replica for vote, fallback, and
+	// learn events.
+	Key    string
+	Region string
+	// Accept carries the event's verdict: vote accept, admission verdict,
+	// option outcome, or final commit.
+	Accept bool
+	// Likelihood is the predicted commit likelihood after the event.
+	Likelihood float64
+	// Note carries free-form detail (reject reason, error text).
+	Note string
+}
+
+// Trace is one transaction's recorded lifecycle.
+type Trace struct {
+	ID    txn.ID
+	Start time.Time
+	// End and Outcome are set once the transaction finishes; Outcome is
+	// one of "committed", "aborted", "rejected".
+	End        time.Time
+	Done       bool
+	Outcome    string
+	Speculated bool
+	// Slow marks traces whose duration reached the tracer's threshold.
+	Slow   bool
+	Events []Event
+}
+
+// Duration returns the submit-to-finish time (time so far if unfinished).
+func (tr Trace) Duration() time.Duration {
+	if !tr.Done {
+		return time.Since(tr.Start)
+	}
+	return tr.End.Sub(tr.Start)
+}
+
+// String renders the trace as an indented event log for slow-txn logging.
+func (tr Trace) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s %s in %s (%d events)", tr.ID, tr.Outcome, tr.Duration(), len(tr.Events))
+	for _, e := range tr.Events {
+		fmt.Fprintf(&b, "\n  +%-12s %-11s", e.At.Sub(tr.Start), e.Kind)
+		if e.Key != "" {
+			fmt.Fprintf(&b, " key=%s", e.Key)
+		}
+		if e.Region != "" {
+			fmt.Fprintf(&b, " region=%s", e.Region)
+		}
+		switch e.Kind {
+		case EvVote, EvLearned, EvAdmission, EvFinal:
+			fmt.Fprintf(&b, " accept=%v", e.Accept)
+		}
+		if e.Likelihood > 0 {
+			fmt.Fprintf(&b, " likelihood=%.3f", e.Likelihood)
+		}
+		if e.Note != "" {
+			fmt.Fprintf(&b, " (%s)", e.Note)
+		}
+	}
+	return b.String()
+}
+
+// TracerConfig parameterizes NewTracer. The zero value keeps 256 completed
+// traces, traces every transaction, and logs nothing.
+type TracerConfig struct {
+	// Capacity bounds the ring buffer of completed traces (default 256).
+	Capacity int
+	// SampleEvery traces one in every N transactions; values <= 1 trace
+	// all of them.
+	SampleEvery int
+	// SlowThreshold marks (and logs) transactions at least this slow;
+	// zero disables.
+	SlowThreshold time.Duration
+	// LogAborted also logs every aborted transaction's trace.
+	LogAborted bool
+	// Logf receives slow/aborted trace logs (e.g. log.Printf). Nil
+	// disables logging but still marks Trace.Slow.
+	Logf func(format string, args ...any)
+}
+
+// activeTrace is a trace still receiving events. Its own mutex keeps event
+// appends off the tracer-wide lock.
+type activeTrace struct {
+	mu sync.Mutex
+	tr Trace
+}
+
+// Tracer records transaction lifecycles. All methods are safe on a nil
+// receiver (no-ops), giving instrumented code a zero-cost disabled path.
+type Tracer struct {
+	cfg TracerConfig
+
+	seq atomic.Uint64 // sampling counter
+
+	mu     sync.RWMutex
+	active map[txn.ID]*activeTrace
+	ring   []Trace // completed traces, ring[next-1] newest
+	next   int
+}
+
+// initialEventCap preallocates each trace's event slice: submit, admission,
+// 2×5 votes, learns, and the terminal events fit without growing for a
+// typical 2-key transaction on a 5-region cluster.
+const initialEventCap = 16
+
+// NewTracer builds a tracer from cfg.
+func NewTracer(cfg TracerConfig) *Tracer {
+	if cfg.Capacity <= 0 {
+		cfg.Capacity = 256
+	}
+	return &Tracer{
+		cfg:    cfg,
+		active: make(map[txn.ID]*activeTrace),
+		ring:   make([]Trace, 0, cfg.Capacity),
+	}
+}
+
+// Begin starts (subject to sampling) a trace for id. Returns whether the
+// transaction is being traced.
+func (t *Tracer) Begin(id txn.ID) bool {
+	if t == nil {
+		return false
+	}
+	if n := t.cfg.SampleEvery; n > 1 && t.seq.Add(1)%uint64(n) != 0 {
+		return false
+	}
+	at := &activeTrace{tr: Trace{
+		ID:     id,
+		Start:  time.Now(),
+		Events: make([]Event, 0, initialEventCap),
+	}}
+	t.mu.Lock()
+	t.active[id] = at
+	t.mu.Unlock()
+	return true
+}
+
+// Record appends one event to id's trace; unknown (unsampled or already
+// finished) ids are ignored. A zero e.At is stamped with the current time.
+func (t *Tracer) Record(id txn.ID, e Event) {
+	if t == nil {
+		return
+	}
+	t.mu.RLock()
+	at := t.active[id]
+	t.mu.RUnlock()
+	if at == nil {
+		return
+	}
+	at.mu.Lock()
+	// Stamp under the trace lock so timestamps are non-decreasing in
+	// event order even when events race in from different goroutines.
+	if e.At.IsZero() {
+		e.At = time.Now()
+	}
+	at.tr.Events = append(at.tr.Events, e)
+	at.mu.Unlock()
+}
+
+// Finish seals id's trace with its outcome, moves it into the completed
+// ring, and applies the slow/aborted log policy.
+func (t *Tracer) Finish(id txn.ID, outcome string, speculated bool) {
+	if t == nil {
+		return
+	}
+	t.mu.Lock()
+	at := t.active[id]
+	delete(t.active, id)
+	t.mu.Unlock()
+	if at == nil {
+		return
+	}
+
+	at.mu.Lock()
+	tr := at.tr
+	at.mu.Unlock()
+	tr.Done = true
+	tr.End = time.Now()
+	tr.Outcome = outcome
+	tr.Speculated = speculated
+	tr.Slow = t.cfg.SlowThreshold > 0 && tr.Duration() >= t.cfg.SlowThreshold
+
+	t.mu.Lock()
+	if len(t.ring) < cap(t.ring) {
+		t.ring = append(t.ring, tr)
+	} else {
+		t.ring[t.next] = tr
+	}
+	t.next = (t.next + 1) % cap(t.ring)
+	t.mu.Unlock()
+
+	if t.cfg.Logf != nil {
+		switch {
+		case tr.Slow:
+			t.cfg.Logf("obs: slow transaction: %s", tr)
+		case t.cfg.LogAborted && outcome == "aborted":
+			t.cfg.Logf("obs: aborted transaction: %s", tr)
+		}
+	}
+}
+
+// Lookup returns id's trace — in-flight or completed — and whether it was
+// found. The returned copy is safe to retain.
+func (t *Tracer) Lookup(id txn.ID) (Trace, bool) {
+	if t == nil {
+		return Trace{}, false
+	}
+	t.mu.RLock()
+	at := t.active[id]
+	t.mu.RUnlock()
+	if at != nil {
+		at.mu.Lock()
+		tr := at.tr
+		tr.Events = append([]Event(nil), tr.Events...)
+		at.mu.Unlock()
+		return tr, true
+	}
+	for _, tr := range t.completed() {
+		if tr.ID == id {
+			return tr, true
+		}
+	}
+	return Trace{}, false
+}
+
+// completed snapshots the ring newest-first.
+func (t *Tracer) completed() []Trace {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	n := len(t.ring)
+	out := make([]Trace, 0, n)
+	for i := 0; i < n; i++ {
+		// Walk backwards from the newest entry.
+		idx := ((t.next-1-i)%n + n) % n
+		out = append(out, t.ring[idx])
+	}
+	return out
+}
+
+// TraceFilter selects completed traces for Recent.
+type TraceFilter struct {
+	// AbortedOnly keeps only traces with outcome "aborted".
+	AbortedOnly bool
+	// SlowOnly keeps only traces marked slow.
+	SlowOnly bool
+	// Limit caps the result length; <= 0 means no cap.
+	Limit int
+}
+
+// Recent returns completed traces, newest first, matching f.
+func (t *Tracer) Recent(f TraceFilter) []Trace {
+	if t == nil {
+		return nil
+	}
+	var out []Trace
+	for _, tr := range t.completed() {
+		if f.AbortedOnly && tr.Outcome != "aborted" {
+			continue
+		}
+		if f.SlowOnly && !tr.Slow {
+			continue
+		}
+		out = append(out, tr)
+		if f.Limit > 0 && len(out) >= f.Limit {
+			break
+		}
+	}
+	return out
+}
+
+// ActiveCount reports in-flight traced transactions (tests, gauges).
+func (t *Tracer) ActiveCount() int {
+	if t == nil {
+		return 0
+	}
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	return len(t.active)
+}

@@ -1,0 +1,213 @@
+package obs
+
+import (
+	"fmt"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"planet/internal/txn"
+)
+
+func TestTracerLifecycle(t *testing.T) {
+	tr := NewTracer(TracerConfig{})
+	id := txn.NewID()
+	if !tr.Begin(id) {
+		t.Fatal("Begin refused with no sampling configured")
+	}
+	tr.Record(id, Event{Kind: EvSubmitted})
+	tr.Record(id, Event{Kind: EvAdmission, Accept: true, Likelihood: 0.9})
+	tr.Record(id, Event{Kind: EvVote, Key: "k", Region: "us-west", Accept: true, Likelihood: 0.95})
+
+	live, ok := tr.Lookup(id)
+	if !ok || live.Done || len(live.Events) != 3 {
+		t.Fatalf("live lookup = %+v, %v", live, ok)
+	}
+
+	tr.Record(id, Event{Kind: EvFinal, Accept: true})
+	tr.Finish(id, "committed", false)
+	if tr.ActiveCount() != 0 {
+		t.Error("trace still active after Finish")
+	}
+
+	done, ok := tr.Lookup(id)
+	if !ok || !done.Done || done.Outcome != "committed" {
+		t.Fatalf("completed lookup = %+v, %v", done, ok)
+	}
+	if len(done.Events) != 4 {
+		t.Fatalf("got %d events, want 4", len(done.Events))
+	}
+	for i := 1; i < len(done.Events); i++ {
+		if done.Events[i].At.Before(done.Events[i-1].At) {
+			t.Errorf("event %d timestamp precedes event %d", i, i-1)
+		}
+	}
+	if done.Events[0].Kind != EvSubmitted || done.Events[3].Kind != EvFinal {
+		t.Errorf("event order: %v .. %v", done.Events[0].Kind, done.Events[3].Kind)
+	}
+}
+
+func TestTracerRingEviction(t *testing.T) {
+	tr := NewTracer(TracerConfig{Capacity: 4})
+	var ids []txn.ID
+	for i := 0; i < 10; i++ {
+		id := txn.NewID()
+		ids = append(ids, id)
+		tr.Begin(id)
+		tr.Record(id, Event{Kind: EvSubmitted})
+		tr.Finish(id, "committed", false)
+	}
+	recent := tr.Recent(TraceFilter{})
+	if len(recent) != 4 {
+		t.Fatalf("ring holds %d traces, want 4", len(recent))
+	}
+	// Newest first: the last four finished ids in reverse order.
+	for i := 0; i < 4; i++ {
+		if want := ids[len(ids)-1-i]; recent[i].ID != want {
+			t.Errorf("recent[%d] = %s, want %s", i, recent[i].ID, want)
+		}
+	}
+	if _, ok := tr.Lookup(ids[0]); ok {
+		t.Error("evicted trace still resolvable")
+	}
+}
+
+func TestTracerFilters(t *testing.T) {
+	tr := NewTracer(TracerConfig{Capacity: 16, SlowThreshold: time.Nanosecond})
+	for i := 0; i < 6; i++ {
+		id := txn.NewID()
+		tr.Begin(id)
+		outcome := "committed"
+		if i%2 == 0 {
+			outcome = "aborted"
+		}
+		tr.Finish(id, outcome, false)
+	}
+	aborted := tr.Recent(TraceFilter{AbortedOnly: true})
+	if len(aborted) != 3 {
+		t.Errorf("aborted filter got %d, want 3", len(aborted))
+	}
+	for _, a := range aborted {
+		if a.Outcome != "aborted" {
+			t.Errorf("filter leaked outcome %q", a.Outcome)
+		}
+	}
+	if got := tr.Recent(TraceFilter{Limit: 2}); len(got) != 2 {
+		t.Errorf("limit 2 got %d", len(got))
+	}
+	// Every trace exceeds the 1ns slow threshold.
+	if got := tr.Recent(TraceFilter{SlowOnly: true}); len(got) != 6 {
+		t.Errorf("slow filter got %d, want 6", len(got))
+	}
+}
+
+func TestTracerSampling(t *testing.T) {
+	tr := NewTracer(TracerConfig{SampleEvery: 4})
+	traced := 0
+	for i := 0; i < 100; i++ {
+		id := txn.NewID()
+		if tr.Begin(id) {
+			traced++
+			tr.Finish(id, "committed", false)
+		}
+	}
+	if traced != 25 {
+		t.Errorf("sampled %d of 100, want 25", traced)
+	}
+}
+
+func TestTracerSlowLog(t *testing.T) {
+	var mu sync.Mutex
+	var logged []string
+	logf := func(format string, args ...any) {
+		mu.Lock()
+		logged = append(logged, fmt.Sprintf(format, args...))
+		mu.Unlock()
+	}
+	tr := NewTracer(TracerConfig{SlowThreshold: time.Nanosecond, Logf: logf})
+	id := txn.NewID()
+	tr.Begin(id)
+	tr.Record(id, Event{Kind: EvSubmitted})
+	time.Sleep(time.Millisecond)
+	tr.Finish(id, "committed", false)
+	if len(logged) != 1 || !strings.Contains(logged[0], "slow transaction") {
+		t.Fatalf("slow log = %q", logged)
+	}
+	if !strings.Contains(logged[0], id.String()) {
+		t.Errorf("log misses txn id: %q", logged[0])
+	}
+
+	// Aborted logging is off by default.
+	id2 := txn.NewID()
+	tr2 := NewTracer(TracerConfig{Logf: logf, LogAborted: true})
+	tr2.Begin(id2)
+	tr2.Finish(id2, "aborted", true)
+	if len(logged) != 2 || !strings.Contains(logged[1], "aborted transaction") {
+		t.Fatalf("aborted log = %q", logged)
+	}
+}
+
+func TestNilTracerIsSafe(t *testing.T) {
+	var tr *Tracer
+	id := txn.NewID()
+	if tr.Begin(id) {
+		t.Error("nil tracer claims to trace")
+	}
+	tr.Record(id, Event{Kind: EvSubmitted})
+	tr.Finish(id, "committed", false)
+	if _, ok := tr.Lookup(id); ok {
+		t.Error("nil tracer found a trace")
+	}
+	if got := tr.Recent(TraceFilter{}); got != nil {
+		t.Errorf("nil tracer returned traces: %v", got)
+	}
+	if tr.ActiveCount() != 0 {
+		t.Error("nil tracer has active traces")
+	}
+}
+
+// TestTracerConcurrency floods one tracer from many goroutines: events for
+// private transactions plus cross-cutting Lookup/Recent readers. Run under
+// -race.
+func TestTracerConcurrency(t *testing.T) {
+	tr := NewTracer(TracerConfig{Capacity: 32})
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 100; i++ {
+				id := txn.NewID()
+				tr.Begin(id)
+				for e := 0; e < 5; e++ {
+					tr.Record(id, Event{Kind: EvVote, Key: "k", Accept: true})
+				}
+				tr.Finish(id, "committed", false)
+			}
+		}()
+	}
+	stop := make(chan struct{})
+	var readers sync.WaitGroup
+	readers.Add(1)
+	go func() {
+		defer readers.Done()
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+				tr.Recent(TraceFilter{Limit: 5})
+				tr.ActiveCount()
+			}
+		}
+	}()
+	wg.Wait()
+	close(stop)
+	readers.Wait()
+	for _, got := range tr.Recent(TraceFilter{}) {
+		if len(got.Events) != 5 {
+			t.Fatalf("trace %s has %d events, want 5", got.ID, len(got.Events))
+		}
+	}
+}

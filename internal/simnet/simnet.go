@@ -44,6 +44,20 @@ type Message struct {
 // goroutines: they must synchronize internally and return quickly.
 type Handler func(Message)
 
+// Observer receives per-message instrumentation callbacks. Implementations
+// must be safe for concurrent use and fast: they run inline on the send
+// path and on delivery timer goroutines.
+type Observer interface {
+	// MessageSent fires for every accepted send with the sampled
+	// (scaled) one-way delay.
+	MessageSent(from, to Region, delay time.Duration)
+	// MessageDelivered fires when a handler receives the message.
+	MessageDelivered(from, to Region)
+	// MessageDropped fires for losses, partitions, unknown destinations,
+	// and shutdown drops.
+	MessageDropped(from, to Region)
+}
+
 // linkKey orders a directed region pair.
 type linkKey struct{ from, to Region }
 
@@ -124,10 +138,26 @@ type Network struct {
 
 	pending atomic.Int64 // messages sampled but not yet delivered
 
+	obs atomic.Value // Observer, set via SetObserver
+
 	// Stats.
 	Sent      atomic.Uint64
 	Delivered atomic.Uint64
 	Dropped   atomic.Uint64
+}
+
+// obsHolder wraps an Observer so atomic.Value always stores one concrete
+// type (nil included).
+type obsHolder struct{ o Observer }
+
+// SetObserver installs o to receive per-message instrumentation; a nil o
+// clears it. Safe to call while traffic is flowing.
+func (n *Network) SetObserver(o Observer) { n.obs.Store(obsHolder{o}) }
+
+// observer returns the installed observer, or nil.
+func (n *Network) observer() Observer {
+	h, _ := n.obs.Load().(obsHolder)
+	return h.o
 }
 
 // New builds a Network from cfg.
@@ -201,28 +231,33 @@ func (n *Network) Send(from, to Addr, payload any) {
 		return
 	}
 	n.Sent.Add(1)
+	obs := n.observer()
 
 	n.mu.Lock()
 	if n.down[from.Region] || n.down[to.Region] || n.cut[linkKey{from.Region, to.Region}] {
 		n.mu.Unlock()
-		n.Dropped.Add(1)
+		n.drop(obs, from, to)
 		return
 	}
 	if n.cfg.LossRate > 0 && n.rng.Float64() < n.cfg.LossRate {
 		n.mu.Unlock()
-		n.Dropped.Add(1)
+		n.drop(obs, from, to)
 		return
 	}
 	delay := n.cfg.Latency.Link(from.Region, to.Region).Sample(n.rng)
 	n.mu.Unlock()
 
 	scaled := time.Duration(float64(delay) * n.scale)
+	if obs != nil {
+		obs.MessageSent(from.Region, to.Region, scaled)
+	}
 	msg := Message{From: from, To: to, Payload: payload, SentAt: time.Now()}
 	n.pending.Add(1)
 	time.AfterFunc(scaled, func() {
 		defer n.pending.Add(-1)
+		obs := n.observer()
 		if n.closed.Load() {
-			n.Dropped.Add(1)
+			n.drop(obs, from, to)
 			return
 		}
 		n.mu.Lock()
@@ -230,12 +265,23 @@ func (n *Network) Send(from, to Addr, payload any) {
 		blocked := n.down[to.Region]
 		n.mu.Unlock()
 		if h == nil || blocked {
-			n.Dropped.Add(1)
+			n.drop(obs, from, to)
 			return
 		}
 		n.Delivered.Add(1)
+		if obs != nil {
+			obs.MessageDelivered(from.Region, to.Region)
+		}
 		h(msg)
 	})
+}
+
+// drop accounts one dropped message.
+func (n *Network) drop(obs Observer, from, to Addr) {
+	n.Dropped.Add(1)
+	if obs != nil {
+		obs.MessageDropped(from.Region, to.Region)
+	}
 }
 
 // SampleDelay draws one unscaled one-way delay for the pair, for calibration

@@ -9,6 +9,8 @@ package txn
 
 import (
 	"fmt"
+	"strconv"
+	"strings"
 	"sync/atomic"
 	"time"
 )
@@ -25,6 +27,19 @@ func NewID() ID { return ID(nextID.Add(1)) }
 
 // String implements fmt.Stringer.
 func (id ID) String() string { return fmt.Sprintf("txn-%d", uint64(id)) }
+
+// ParseID parses the String form ("txn-42") back into an ID.
+func ParseID(s string) (ID, error) {
+	num, ok := strings.CutPrefix(s, "txn-")
+	if !ok {
+		return 0, fmt.Errorf("txn: malformed id %q", s)
+	}
+	n, err := strconv.ParseUint(num, 10, 64)
+	if err != nil || n == 0 {
+		return 0, fmt.Errorf("txn: malformed id %q", s)
+	}
+	return ID(n), nil
+}
 
 // OpKind distinguishes the write operations a transaction may buffer.
 type OpKind uint8

@@ -128,3 +128,16 @@ func TestStageOrderingProperty(t *testing.T) {
 		t.Error(err)
 	}
 }
+
+func TestParseID(t *testing.T) {
+	id := ID(42)
+	got, err := ParseID(id.String())
+	if err != nil || got != id {
+		t.Errorf("ParseID(%q) = %v, %v", id.String(), got, err)
+	}
+	for _, bad := range []string{"", "42", "txn-", "txn-0", "txn-abc", "TXN-42", "txn--1"} {
+		if _, err := ParseID(bad); err == nil {
+			t.Errorf("ParseID(%q) accepted", bad)
+		}
+	}
+}

@@ -1,0 +1,10 @@
+#!/bin/sh
+# verify.sh — the checks a change must pass before merging:
+# vet, full build, full test suite, then a race-detector pass over the
+# packages with the most concurrency (core, mdcc, obs).
+set -eux
+
+go vet ./...
+go build ./...
+go test ./...
+go test -race -short ./internal/core ./internal/mdcc ./internal/obs
