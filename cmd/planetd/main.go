@@ -3,7 +3,7 @@
 // this library would take.
 //
 //	planetd [-addr :8480] [-region us-west] [-scale 0.05] [-admission 0.4]
-//	        [-slowtxn 250ms] [-logaborted]
+//	        [-slowtxn 250ms] [-logaborted] [-chaos mixed] [-chaosapi] [-shedat 0.5]
 //
 // Try it:
 //
@@ -15,6 +15,17 @@
 //	curl -s 'localhost:8480/v1/txn/txn-1/trace'
 //	curl -s 'localhost:8480/v1/stats'
 //	curl -s 'localhost:8480/v1/metrics'
+//
+// With -chaosapi, faults can be injected at runtime:
+//
+//	planetd -chaosapi &
+//	curl -s -X POST localhost:8480/v1/chaos/latency \
+//	     -d '{"from":"us-west","to":"eu-west","factor":5}'
+//	curl -s -X POST localhost:8480/v1/chaos/scenario -d '{"preset":"mixed"}'
+//	curl -s 'localhost:8480/v1/chaos/events'
+//
+// With -chaos <preset|seed:N>, the named fault scenario starts against the
+// cluster at boot (implies -chaosapi).
 //
 // planetd shuts down gracefully on SIGINT/SIGTERM: in-flight requests
 // drain (bounded by a short timeout) and the cluster is closed.
@@ -29,9 +40,12 @@ import (
 	"net/http"
 	"os"
 	"os/signal"
+	"strconv"
+	"strings"
 	"syscall"
 	"time"
 
+	"planet/internal/chaos"
 	"planet/internal/cluster"
 	planet "planet/internal/core"
 	"planet/internal/httpapi"
@@ -54,10 +68,14 @@ func run() error {
 		slowtxn    = flag.Duration("slowtxn", 0, "log traces of transactions at least this slow (0 disables)")
 		logaborted = flag.Bool("logaborted", false, "log every aborted transaction's trace")
 		traceCap   = flag.Int("tracecap", 512, "completed traces retained for /v1/traces")
+		chaosRun   = flag.String("chaos", "", "run a fault scenario at boot: preset name or seed:<N> (implies -chaosapi)")
+		chaosAPI   = flag.Bool("chaosapi", false, "enable runtime fault injection via POST /v1/chaos/*")
+		shedAt     = flag.Float64("shedat", 0.5, "shed speculation in a region whose recent timeout rate reaches this (0 disables)")
 	)
 	flag.Parse()
 
-	c, err := cluster.New(cluster.Config{TimeScale: *scale})
+	// WAL on: crash/restart chaos faults recover replica state by replay.
+	c, err := cluster.New(cluster.Config{TimeScale: *scale, WAL: true})
 	if err != nil {
 		return err
 	}
@@ -73,6 +91,7 @@ func run() error {
 	db, err := planet.Open(planet.Config{
 		Cluster:   c,
 		Admission: planet.AdmissionPolicy{MinLikelihood: *admission, ProbeFraction: 0.05},
+		Health:    planet.HealthPolicy{MaxTimeoutRate: *shedAt},
 		Registry:  reg,
 		Tracer:    tracer,
 	})
@@ -89,10 +108,50 @@ func run() error {
 	c.SeedInt("demo-counter", 0, 0, 1<<40)
 	c.SeedInt("demo-stock", 100, 0, 100)
 
-	srv := &http.Server{Addr: *addr, Handler: httpapi.NewServer(db, sess)}
+	gw := httpapi.NewServer(db, sess)
+	var eng *chaos.Engine
+	if *chaosAPI || *chaosRun != "" {
+		eng, err = chaos.New(chaos.Config{
+			Cluster:  c,
+			Registry: reg,
+			Tracer:   tracer,
+			Logf:     log.Printf,
+		})
+		if err != nil {
+			return err
+		}
+		gw.EnableChaos(eng)
+	}
+	if *chaosRun != "" {
+		var sc chaos.Scenario
+		if seedStr, ok := strings.CutPrefix(*chaosRun, "seed:"); ok {
+			seed, err := strconv.ParseInt(seedStr, 10, 64)
+			if err != nil {
+				return fmt.Errorf("planetd: bad -chaos seed %q: %v", seedStr, err)
+			}
+			sc, err = chaos.Generate(c.Regions(), chaos.GenConfig{Seed: seed})
+			if err != nil {
+				return err
+			}
+		} else {
+			sc, err = chaos.Preset(*chaosRun, c.Regions())
+			if err != nil {
+				return err
+			}
+		}
+		if err := eng.Run(sc); err != nil {
+			return err
+		}
+		defer eng.Stop()
+	}
+
+	srv := &http.Server{Addr: *addr, Handler: gw}
 	fmt.Printf("planetd: %d-region cluster up, gateway for %s on %s\n",
 		len(c.Regions()), *region, *addr)
 	fmt.Printf("seeded keys: demo (bytes), demo-counter (int), demo-stock (bounded 0..100)\n")
+	if eng != nil {
+		fmt.Printf("chaos: POST /v1/chaos/* enabled (presets: %v)\n", chaos.PresetNames())
+	}
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()

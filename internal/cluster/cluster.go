@@ -183,6 +183,49 @@ func (c *Cluster) SeedInt(key string, value, lo, hi int64) {
 	}
 }
 
+// CrashReplica simulates a replica process failure in region r: the node
+// leaves the network and loses its in-memory state. RestartReplica recovers
+// it from its seeded baseline and WAL.
+func (c *Cluster) CrashReplica(r simnet.Region) error {
+	rep := c.replicas[r]
+	if rep == nil {
+		return fmt.Errorf("cluster: no replica in region %q", r)
+	}
+	rep.Crash()
+	return nil
+}
+
+// RestartReplica restores region r's crashed replica via WAL replay and
+// rejoins it to the network.
+func (c *Cluster) RestartReplica(r simnet.Region) error {
+	rep := c.replicas[r]
+	if rep == nil {
+		return fmt.Errorf("cluster: no replica in region %q", r)
+	}
+	return rep.Restore()
+}
+
+// CrashCoordinator simulates a coordinator process failure in region r:
+// every transaction it was coordinating fails with mdcc.ErrCrashed.
+func (c *Cluster) CrashCoordinator(r simnet.Region) error {
+	coord := c.coords[r]
+	if coord == nil {
+		return fmt.Errorf("cluster: no coordinator in region %q", r)
+	}
+	coord.Crash()
+	return nil
+}
+
+// RestartCoordinator rejoins region r's crashed coordinator to the network.
+func (c *Cluster) RestartCoordinator(r simnet.Region) error {
+	coord := c.coords[r]
+	if coord == nil {
+		return fmt.Errorf("cluster: no coordinator in region %q", r)
+	}
+	coord.Restart()
+	return nil
+}
+
 // ScaleDuration converts an unscaled WAN duration into emulator time.
 func (c *Cluster) ScaleDuration(d time.Duration) time.Duration {
 	return time.Duration(float64(d) * c.scale)

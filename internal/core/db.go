@@ -72,6 +72,9 @@ type Config struct {
 	Registry *obs.Registry
 	// Tracer, when non-nil, records per-transaction lifecycle traces.
 	Tracer *obs.Tracer
+	// Health configures per-region degradation tracking; degraded regions
+	// shed speculation. The zero value disables tracking.
+	Health HealthPolicy
 }
 
 // Stats aggregates transaction outcomes across the DB.
@@ -94,9 +97,10 @@ type DB struct {
 	inst   *dbInstruments
 
 	inFlight map[simnet.Region]*atomic.Int64
+	health   map[simnet.Region]*regionHealth // nil entries when disabled
 
 	rngMu sync.Mutex
-	rng   *rand.Rand // admission probes
+	rng   *rand.Rand // admission probes, retry jitter
 
 	submitted  atomic.Uint64
 	committed  atomic.Uint64
@@ -104,6 +108,7 @@ type DB struct {
 	rejected   atomic.Uint64
 	speculated atomic.Uint64
 	apologies  atomic.Uint64
+	specShed   atomic.Uint64
 }
 
 // Open wires a DB over cfg.Cluster.
@@ -116,8 +121,21 @@ func Open(cfg Config) (*DB, error) {
 		cfg:      cfg,
 		preds:    make(map[simnet.Region]*predictor.Predictor, len(regionList)),
 		inFlight: make(map[simnet.Region]*atomic.Int64, len(regionList)),
+		health:   make(map[simnet.Region]*regionHealth, len(regionList)),
 		rng:      rand.New(rand.NewSource(1)),
 		tracer:   cfg.Tracer,
+	}
+	if cfg.Health.enabled() {
+		if cfg.Health.Window <= 0 {
+			cfg.Health.Window = defaultHealthWindow
+		}
+		if cfg.Health.MinSamples <= 0 {
+			cfg.Health.MinSamples = defaultHealthMinSamples
+		}
+		db.cfg.Health = cfg.Health
+		for _, r := range regionList {
+			db.health[r] = newRegionHealth(cfg.Health)
+		}
 	}
 	if cfg.Calibrate {
 		db.calib = metrics.NewCalibration(10)
@@ -139,6 +157,18 @@ func Open(cfg Config) (*DB, error) {
 		cfg.Cluster.Net.SetObserver(obs.NewNetInstruments(reg))
 		for _, r := range regionList {
 			cfg.Cluster.Coordinator(r).SetObserver(obs.NewCoordInstruments(reg, r))
+		}
+		for _, r := range regionList {
+			if hr := db.health[r]; hr != nil {
+				reg.GaugeFunc("planet_region_degraded",
+					"Whether the region's recent timeout rate crossed the health threshold (1 = degraded).",
+					func() float64 {
+						if hr.degraded() {
+							return 1
+						}
+						return 0
+					}, obs.L("region", string(r)))
+			}
 		}
 	}
 	return db, nil
@@ -169,6 +199,21 @@ func (db *DB) Stats() Stats {
 		Speculated: db.speculated.Load(),
 		Apologies:  db.apologies.Load(),
 	}
+}
+
+// RegionDegraded reports whether the region's health tracker currently
+// judges it degraded (always false when Config.Health is disabled).
+func (db *DB) RegionDegraded(r simnet.Region) bool { return db.health[r].degraded() }
+
+// SpeculationShed reports how many transactions had speculation disabled
+// because their home region was degraded.
+func (db *DB) SpeculationShed() uint64 { return db.specShed.Load() }
+
+// jitter draws a multiplier in [0.5, 1.5) for retry backoff.
+func (db *DB) jitter() float64 {
+	db.rngMu.Lock()
+	defer db.rngMu.Unlock()
+	return 0.5 + db.rng.Float64()
 }
 
 // probe draws whether a below-threshold transaction is admitted anyway.

@@ -1,6 +1,8 @@
 package planet
 
 import (
+	"context"
+	"errors"
 	"fmt"
 	"sync"
 	"time"
@@ -117,6 +119,20 @@ func (t *Txn) Commit(opts CommitOptions) (*Handle, error) {
 	s := t.session
 	db := s.db
 	regionList := db.cfg.Cluster.Regions()
+
+	// Health shedding: a degraded home region means votes are probably
+	// about to time out, so optimistic speculation would mostly turn into
+	// apologies. Drop it for this transaction; the commit itself proceeds.
+	shedSpec := false
+	if opts.SpeculateAt > 0 && db.RegionDegraded(s.region) {
+		opts.SpeculateAt = 0
+		shedSpec = true
+		db.specShed.Add(1)
+		if db.inst != nil {
+			db.inst.specShed.Inc()
+		}
+	}
+
 	h := &Handle{
 		id:      txn.NewID(),
 		db:      db,
@@ -141,7 +157,11 @@ func (t *Txn) Commit(opts CommitOptions) (*Handle, error) {
 	go h.dispatch()
 
 	db.tracer.Begin(h.id)
-	db.tracer.Record(h.id, obs.Event{Kind: obs.EvSubmitted})
+	subEv := obs.Event{Kind: obs.EvSubmitted}
+	if shedSpec {
+		subEv.Note = "speculation shed: region degraded"
+	}
+	db.tracer.Record(h.id, subEv)
 
 	// Admission control: consult the predictor before any protocol work.
 	prior := s.pred.LikelihoodAtSubmit(t.Keys())
@@ -226,6 +246,20 @@ func (h *Handle) Wait() txn.Outcome {
 	h.mu.Lock()
 	defer h.mu.Unlock()
 	return h.outcome
+}
+
+// WaitCtx waits like Wait but abandons the wait when ctx is done,
+// returning ctx's error. The transaction itself keeps running — callbacks
+// still fire and the outcome remains retrievable via Wait or Done.
+func (h *Handle) WaitCtx(ctx context.Context) (txn.Outcome, error) {
+	select {
+	case <-h.done:
+		h.mu.Lock()
+		defer h.mu.Unlock()
+		return h.outcome, nil
+	case <-ctx.Done():
+		return txn.Outcome{}, ctx.Err()
+	}
 }
 
 // Done returns a channel closed after the final callback.
@@ -425,6 +459,10 @@ func (h *Handle) finishLocked(committed bool, err error, submitFailed bool) {
 	if h.timer != nil {
 		h.timer.Stop()
 	}
+	// Feed the region health tracker: a timeout signals the home region
+	// cannot reach its quorum; any other outcome counts as a healthy
+	// sample and decays the window back toward recovery.
+	h.db.health[h.session.region].observe(errors.Is(err, mdcc.ErrTimeout))
 	outcome := outcomeAborted
 	if committed {
 		h.stage = txn.StageCommitted

@@ -1,0 +1,101 @@
+package planet
+
+import (
+	"sync"
+)
+
+// HealthPolicy configures the per-region health tracker. A region whose
+// recent commit attempts keep timing out is probably partitioned from its
+// quorum; speculating there would pile up guaranteed apologies, so the DB
+// sheds speculation (forces SpeculateAt to zero) for sessions in degraded
+// regions until the timeout rate recovers. The zero value disables health
+// tracking.
+type HealthPolicy struct {
+	// Window is the sliding window of recent transaction outcomes
+	// considered per region (default 50).
+	Window int
+	// MaxTimeoutRate marks a region degraded when the fraction of
+	// timed-out outcomes in the window reaches this value. Zero disables
+	// the tracker entirely.
+	MaxTimeoutRate float64
+	// MinSamples is the minimum number of outcomes in the window before a
+	// region can be judged degraded (default 10), so one early timeout on
+	// a cold region does not shed speculation.
+	MinSamples int
+}
+
+// Defaults applied by Open when the policy is enabled.
+const (
+	defaultHealthWindow     = 50
+	defaultHealthMinSamples = 10
+)
+
+// enabled reports whether the policy can degrade anything.
+func (p HealthPolicy) enabled() bool { return p.MaxTimeoutRate > 0 }
+
+// regionHealth is a fixed-size ring of recent outcome observations for one
+// region: true marks a timeout. It keeps a running timeout count so the
+// degraded check is O(1).
+type regionHealth struct {
+	policy HealthPolicy
+
+	mu       sync.Mutex
+	ring     []bool
+	next     int
+	filled   int
+	timeouts int
+}
+
+// newRegionHealth builds a tracker for a normalized (non-zero) policy.
+func newRegionHealth(policy HealthPolicy) *regionHealth {
+	return &regionHealth{policy: policy, ring: make([]bool, policy.Window)}
+}
+
+// observe records one finished transaction's fate (nil-safe).
+func (h *regionHealth) observe(timedOut bool) {
+	if h == nil {
+		return
+	}
+	h.mu.Lock()
+	if h.filled == len(h.ring) {
+		// Evict the slot being overwritten from the running count.
+		if h.ring[h.next] {
+			h.timeouts--
+		}
+	} else {
+		h.filled++
+	}
+	h.ring[h.next] = timedOut
+	if timedOut {
+		h.timeouts++
+	}
+	h.next = (h.next + 1) % len(h.ring)
+	h.mu.Unlock()
+}
+
+// degraded reports whether the window's timeout rate crossed the policy
+// threshold (nil-safe: a nil tracker is never degraded).
+func (h *regionHealth) degraded() bool {
+	if h == nil {
+		return false
+	}
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	if h.filled < h.policy.MinSamples {
+		return false
+	}
+	return float64(h.timeouts)/float64(h.filled) >= h.policy.MaxTimeoutRate
+}
+
+// rate returns the current timeout rate and sample count (tests, gauges).
+func (h *regionHealth) rate() (float64, int) {
+	if h == nil {
+		return 0, 0
+	}
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	if h.filled == 0 {
+		return 0, 0
+	}
+	return float64(h.timeouts) / float64(h.filled), h.filled
+}

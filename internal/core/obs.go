@@ -15,6 +15,7 @@ type dbInstruments struct {
 	stages    map[txn.Stage]*obs.Counter
 	apologies *obs.Counter
 	deadlines *obs.Counter
+	specShed  *obs.Counter
 	durations map[string]*obs.Histogram // by outcome label
 }
 
@@ -41,6 +42,8 @@ func newDBInstruments(reg *obs.Registry, regionList []simnet.Region, inFlight ma
 		"Speculative commits that were later aborted (guaranteed apologies).")
 	inst.deadlines = reg.Counter("planet_txn_deadline_fired_total",
 		"Transactions whose application deadline passed before the decision.")
+	inst.specShed = reg.Counter("planet_txn_speculation_shed_total",
+		"Transactions whose speculation was disabled because their home region was degraded.")
 	durHelp := "Submit-to-decision latency by outcome (scaled emulator time)."
 	for _, oc := range []string{outcomeCommitted, outcomeAborted, outcomeRejected} {
 		inst.durations[oc] = reg.Histogram("planet_txn_duration_seconds", durHelp, obs.L("outcome", oc))

@@ -11,6 +11,8 @@
 //	GET  /v1/traces[?aborted=1&slow=1&limit=N]  recent completed traces
 //	GET  /v1/stats                     DB-wide outcome counters
 //	GET  /v1/metrics                   Prometheus text exposition
+//	POST /v1/chaos/*                   runtime fault injection (see chaos.go;
+//	                                   requires EnableChaos, else 404)
 //
 // The trace and metrics resources require the DB to be opened with an
 // obs.Tracer / obs.Registry; without one they return 404. Every response —
@@ -30,6 +32,7 @@ import (
 	"sync"
 	"time"
 
+	"planet/internal/chaos"
 	planet "planet/internal/core"
 	"planet/internal/obs"
 	"planet/internal/txn"
@@ -113,6 +116,7 @@ type Server struct {
 	txns   map[string]*tracked
 	order  []string
 	maxTxn int
+	chaos  *chaos.Engine // nil unless EnableChaos
 }
 
 // NewServer builds a gateway for one region of db. When the DB carries an
@@ -134,6 +138,7 @@ func NewServer(db *planet.DB, session *planet.Session) *Server {
 	s.mux.HandleFunc("/v1/stats", s.route("/v1/stats", s.handleStats))
 	s.mux.HandleFunc("/v1/traces", s.route("/v1/traces", s.handleTraces))
 	s.mux.HandleFunc("/v1/metrics", s.route("/v1/metrics", s.handleMetrics))
+	s.mux.HandleFunc("/v1/chaos/", s.route("/v1/chaos/*", s.handleChaos))
 	// Unknown routes get the same JSON error envelope as everything else.
 	s.mux.HandleFunc("/", s.route("other", func(w http.ResponseWriter, r *http.Request) {
 		writeErr(w, http.StatusNotFound, "no route %s", r.URL.Path)

@@ -74,10 +74,11 @@ type CoordObserver interface {
 type Coordinator struct {
 	cfg CoordinatorConfig
 
-	mu     sync.Mutex
-	active map[txn.ID]*commitState
-	reads  map[uint64]*readWaiter
-	obs    CoordObserver
+	mu      sync.Mutex
+	active  map[txn.ID]*commitState
+	reads   map[uint64]*readWaiter
+	obs     CoordObserver
+	crashed bool
 
 	// Stats for tests and experiments.
 	Fallbacks uint64
@@ -144,6 +145,12 @@ func (c *Coordinator) Submit(id txn.ID, ops []txn.Op, mode Mode, sink ProgressSi
 	}
 
 	c.mu.Lock()
+	if c.crashed {
+		// A dead process accepts nothing; the caller sees the same error
+		// a severed client connection would produce.
+		c.mu.Unlock()
+		return fmt.Errorf("mdcc: submit %s: %w", id, ErrCrashed)
+	}
 	c.active[id] = s
 	if c.cfg.CommitTimeout > 0 {
 		s.timer = time.AfterFunc(c.cfg.CommitTimeout, func() { c.onTimeout(id) })
@@ -175,6 +182,13 @@ func (c *Coordinator) Submit(id txn.ID, ops []txn.Op, mode Mode, sink ProgressSi
 
 // recv dispatches network messages.
 func (c *Coordinator) recv(m simnet.Message) {
+	c.mu.Lock()
+	dead := c.crashed
+	c.mu.Unlock()
+	if dead {
+		// A delivery that raced with Crash's deregistration.
+		return
+	}
 	switch p := m.Payload.(type) {
 	case voteMsg:
 		c.onVote(p)
@@ -319,6 +333,52 @@ func (c *Coordinator) decideLocked(s *commitState, commit bool, err error) {
 	s.sink.Progress(ProgressEvent{Txn: s.id, Kind: KindDecided,
 		Accept: commit, Elapsed: time.Since(s.start)})
 	s.sink.Decided(s.id, commit, err)
+}
+
+// Crash simulates a coordinator process failure: it leaves the network and
+// every in-flight transaction fails over to its sink with ErrCrashed. No
+// decide message is broadcast for them — the coordinator is the decision
+// authority, so an undecided transaction dies with it and its pendings at
+// the replicas are left for PendingTTL eviction, exactly as a real crashed
+// coordinator would leave them.
+func (c *Coordinator) Crash() {
+	c.cfg.Net.Deregister(c.cfg.Addr)
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.crashed {
+		return
+	}
+	c.crashed = true
+	for id, s := range c.active {
+		s.decided = true
+		if s.timer != nil {
+			s.timer.Stop()
+		}
+		delete(c.active, id)
+		if c.obs != nil {
+			c.obs.Decided(false, time.Since(s.start))
+		}
+		s.sink.Progress(ProgressEvent{Txn: id, Kind: KindDecided,
+			Accept: false, Elapsed: time.Since(s.start)})
+		s.sink.Decided(id, false, ErrCrashed)
+	}
+}
+
+// Restart rejoins a crashed coordinator to the network. Coordinators keep
+// no durable state: recovery is simply re-registration with an empty
+// in-flight table (the crash already failed every open transaction).
+func (c *Coordinator) Restart() {
+	c.mu.Lock()
+	c.crashed = false
+	c.mu.Unlock()
+	c.cfg.Net.Register(c.cfg.Addr, c.recv)
+}
+
+// Crashed reports whether the coordinator is currently down.
+func (c *Coordinator) Crashed() bool {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.crashed
 }
 
 // reasonErr maps a rejection reason to the error surfaced to applications.

@@ -35,6 +35,12 @@ type Replica struct {
 	decided map[txn.ID]bool
 	masters map[string]*masterKey
 	syncs   map[uint64]*syncWaiter
+	crashed bool
+
+	// baseline is the seeded initial state (the "disk image" installed
+	// before the protocol ran). Crash recovery rebuilds records from it
+	// before replaying the WAL.
+	baseline map[string]seedRecord
 
 	// Stats exported for tests and experiments.
 	FastAccepts  uint64
@@ -44,13 +50,23 @@ type Replica struct {
 	RecoveryRuns uint64
 }
 
+// seedRecord is one key's seeded initial state.
+type seedRecord struct {
+	bytes   []byte
+	ival    int64
+	isInt   bool
+	bounded bool
+	lo, hi  int64
+}
+
 // NewReplica constructs and registers a replica on cfg.Net.
 func NewReplica(cfg ReplicaConfig) *Replica {
 	r := &Replica{
-		cfg:     cfg,
-		records: make(map[string]*record),
-		decided: make(map[txn.ID]bool),
-		masters: make(map[string]*masterKey),
+		cfg:      cfg,
+		records:  make(map[string]*record),
+		decided:  make(map[txn.ID]bool),
+		masters:  make(map[string]*masterKey),
+		baseline: make(map[string]seedRecord),
 	}
 	cfg.Net.Register(cfg.Addr, r.recv)
 	return r
@@ -79,6 +95,7 @@ func (r *Replica) SeedBytes(key string, value []byte) {
 	rc := r.rec(key)
 	rc.bytes = append([]byte(nil), value...)
 	rc.isInt = false
+	r.baseline[key] = seedRecord{bytes: append([]byte(nil), value...)}
 }
 
 // SeedInt installs an initial integer value with integrity bounds.
@@ -90,6 +107,7 @@ func (r *Replica) SeedInt(key string, value, lo, hi int64) {
 	rc.isInt = true
 	rc.bounded = true
 	rc.lo, rc.hi = lo, hi
+	r.baseline[key] = seedRecord{ival: value, isInt: true, bounded: true, lo: lo, hi: hi}
 }
 
 // ReadLocal returns the committed state of key at this replica.
@@ -154,8 +172,95 @@ func (r *Replica) CompactDecided(keepLast int) int {
 	return excess
 }
 
+// Snapshot returns the committed state of every key this replica holds.
+// Used by anti-entropy checks and the chaos soak's replay-equality audit.
+func (r *Replica) Snapshot() map[string]Value {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	out := make(map[string]Value, len(r.records))
+	for k, rc := range r.records {
+		out[k] = rc.value()
+	}
+	return out
+}
+
+// Crash simulates a process failure: the replica leaves the network and
+// loses all in-memory state (records, pendings, decisions, master roles).
+// Only the seeded baseline and the WAL — the durable artifacts — survive
+// for Restore to rebuild from.
+func (r *Replica) Crash() {
+	r.cfg.Net.Deregister(r.cfg.Addr)
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.crashed = true
+	r.records = make(map[string]*record)
+	r.decided = make(map[txn.ID]bool)
+	r.masters = make(map[string]*masterKey)
+	r.syncs = nil
+}
+
+// Restore recovers a crashed replica: committed state is rebuilt from the
+// seeded baseline plus a WAL replay (repopulating the decided map so
+// straggler proposals and decides stay idempotent), then the replica
+// rejoins the network. Restoring a live replica is also safe — it reloads
+// state from the same durable sources, which the soak harness uses to
+// assert replay equality. Decisions whose decide message was lost before
+// it reached this replica are not in its WAL and stay missing until
+// anti-entropy (SyncFrom) repairs them, exactly like a healed partition.
+func (r *Replica) Restore() error {
+	r.mu.Lock()
+	r.records = make(map[string]*record)
+	r.decided = make(map[txn.ID]bool)
+	r.masters = make(map[string]*masterKey)
+	for key, s := range r.baseline {
+		rc := r.rec(key)
+		if s.isInt {
+			rc.ival, rc.isInt = s.ival, true
+			rc.bounded, rc.lo, rc.hi = s.bounded, s.lo, s.hi
+		} else {
+			rc.bytes = append([]byte(nil), s.bytes...)
+		}
+	}
+	var err error
+	if r.cfg.WAL != nil {
+		err = r.cfg.WAL.Replay(func(e Entry) error {
+			r.decided[e.Txn] = e.Commit
+			if e.Commit {
+				for _, op := range e.Options {
+					r.rec(op.Key).apply(op)
+					r.Applied++
+				}
+			}
+			return nil
+		})
+	}
+	r.RecoveryRuns++
+	r.crashed = false
+	r.mu.Unlock()
+	if err != nil {
+		return err
+	}
+	r.cfg.Net.Register(r.cfg.Addr, r.recv)
+	return nil
+}
+
+// Crashed reports whether the replica is currently down.
+func (r *Replica) Crashed() bool {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.crashed
+}
+
 // recv dispatches network messages.
 func (r *Replica) recv(m simnet.Message) {
+	r.mu.Lock()
+	dead := r.crashed
+	r.mu.Unlock()
+	if dead {
+		// A delivery that raced with Crash's deregistration: a dead
+		// process handles nothing.
+		return
+	}
 	switch p := m.Payload.(type) {
 	case proposeMsg:
 		r.onPropose(p)
@@ -237,11 +342,14 @@ func (r *Replica) onDecide(d decideMsg) {
 			delete(ks.inflight, d.Txn)
 		}
 	}
-	r.mu.Unlock()
-
+	// Log while still holding r.mu so WAL order matches apply order: two
+	// decides racing between apply and append could otherwise log in the
+	// opposite order, and a replay of physical (OpSet) writes would then
+	// reconstruct the wrong final value.
 	if r.cfg.WAL != nil {
 		r.cfg.WAL.Append(Entry{Txn: d.Txn, Commit: d.Commit, Options: d.Options, At: time.Now()})
 	}
+	r.mu.Unlock()
 }
 
 // send is a convenience wrapper.

@@ -104,6 +104,10 @@ var (
 	// ErrAmbiguous reports that fast and classic attempts both failed to
 	// reach a quorum.
 	ErrAmbiguous = errors.New("mdcc: could not reach quorum")
+	// ErrCrashed reports that the transaction's coordinator crashed before
+	// deciding; from the client's side the connection died mid-commit.
+	// No decision was broadcast, so the transaction can never commit.
+	ErrCrashed = errors.New("mdcc: coordinator crashed")
 )
 
 // Value is what a read returns.

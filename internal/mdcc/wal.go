@@ -104,3 +104,24 @@ func ReadWAL(r io.Reader) ([]Entry, error) {
 		out = append(out, e)
 	}
 }
+
+// RecoverWAL decodes entries from r, tolerating a torn tail: a process that
+// crashed mid-append leaves a final record cut short, and recovery must use
+// the complete prefix rather than fail. It returns the decodable prefix and
+// whether the stream ended in a torn (or otherwise malformed) record.
+//
+// A torn tail is indistinguishable from mid-file corruption in a JSON-line
+// stream, so any decode failure terminates the scan; everything before it
+// is trusted.
+func RecoverWAL(r io.Reader) (entries []Entry, torn bool) {
+	dec := json.NewDecoder(r)
+	for {
+		var e Entry
+		if err := dec.Decode(&e); err == io.EOF {
+			return entries, false
+		} else if err != nil {
+			return entries, true
+		}
+		entries = append(entries, e)
+	}
+}

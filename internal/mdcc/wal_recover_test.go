@@ -1,0 +1,122 @@
+package mdcc
+
+import (
+	"bytes"
+	"testing"
+
+	"planet/internal/txn"
+)
+
+// crashFile builds a WAL sink file whose final record is torn mid-write —
+// the artifact a process crash leaves behind.
+func crashFile(t *testing.T, entries []Entry, cut int) []byte {
+	t.Helper()
+	var buf bytes.Buffer
+	w := NewWAL(&buf)
+	for _, e := range entries {
+		w.Append(e)
+	}
+	if err := w.Err(); err != nil {
+		t.Fatal(err)
+	}
+	raw := buf.Bytes()
+	if cut <= 0 || cut >= len(raw) {
+		return raw
+	}
+	return raw[:len(raw)-cut]
+}
+
+// walOps is shorthand for a single-op entry.
+func walOps(op txn.Op) []txn.Op { return []txn.Op{op} }
+
+func TestRecoverWALTornTail(t *testing.T) {
+	entries := []Entry{
+		{Txn: 1, Commit: true, Options: walOps(txn.Op{Kind: txn.OpSet, Key: "a", Value: []byte("v1")})},
+		{Txn: 2, Commit: false, Options: walOps(txn.Op{Kind: txn.OpAdd, Key: "n", Delta: 9})},
+		{Txn: 3, Commit: true, Options: walOps(txn.Op{Kind: txn.OpAdd, Key: "n", Delta: 5})},
+		{Txn: 4, Commit: true, Options: walOps(txn.Op{Kind: txn.OpSet, Key: "a", Value: []byte("v2"), ReadVersion: 1})},
+	}
+	// Cut 10 bytes off the file: the final record is torn.
+	raw := crashFile(t, entries, 10)
+
+	// ReadWAL (strict) surfaces the corruption...
+	if _, err := ReadWAL(bytes.NewReader(raw)); err == nil {
+		t.Error("ReadWAL accepted a torn tail without error")
+	}
+
+	// ...RecoverWAL returns the trustworthy prefix.
+	got, torn := RecoverWAL(bytes.NewReader(raw))
+	if !torn {
+		t.Error("RecoverWAL did not report the torn tail")
+	}
+	if len(got) != 3 {
+		t.Fatalf("recovered %d entries, want 3", len(got))
+	}
+	for i, e := range got {
+		if e.Txn != entries[i].Txn || e.Commit != entries[i].Commit {
+			t.Errorf("entry %d: %+v != %+v", i, e, entries[i])
+		}
+	}
+
+	// An intact file recovers fully and reports no tear.
+	full, torn := RecoverWAL(bytes.NewReader(crashFile(t, entries, 0)))
+	if torn || len(full) != len(entries) {
+		t.Errorf("intact file: %d entries torn=%v, want %d entries torn=false", len(full), torn, len(entries))
+	}
+}
+
+// TestWALCrashReplayConsistency is the satellite's core scenario: a replica
+// crashes mid-commit (its WAL file ends in a torn record), and replaying
+// the recovered prefix must land in a consistent record state — committed
+// writes from complete entries applied exactly once, aborts skipped, and
+// the torn entry contributing nothing.
+func TestWALCrashReplayConsistency(t *testing.T) {
+	entries := []Entry{
+		{Txn: 10, Commit: true, Options: walOps(txn.Op{Kind: txn.OpSet, Key: "a", Value: []byte("v1")})},
+		{Txn: 11, Commit: true, Options: walOps(txn.Op{Kind: txn.OpAdd, Key: "n", Delta: 5})},
+		{Txn: 12, Commit: false, Options: walOps(txn.Op{Kind: txn.OpAdd, Key: "n", Delta: 100})},
+		{Txn: 13, Commit: true, Options: walOps(txn.Op{Kind: txn.OpAdd, Key: "n", Delta: -2})},
+		// The mid-commit casualty: this decide was being logged when the
+		// process died.
+		{Txn: 14, Commit: true, Options: walOps(txn.Op{Kind: txn.OpSet, Key: "a", Value: []byte("v2"), ReadVersion: 1})},
+	}
+	raw := crashFile(t, entries, 5)
+	recovered, torn := RecoverWAL(bytes.NewReader(raw))
+	if !torn || len(recovered) != 4 {
+		t.Fatalf("recovered %d entries torn=%v, want 4 torn=true", len(recovered), torn)
+	}
+
+	// Replay into records exactly the way Replica.Restore does.
+	records := make(map[string]*record)
+	decided := make(map[txn.ID]bool)
+	for _, e := range recovered {
+		decided[e.Txn] = e.Commit
+		if !e.Commit {
+			continue
+		}
+		for _, op := range e.Options {
+			rc := records[op.Key]
+			if rc == nil {
+				rc = &record{}
+				records[op.Key] = rc
+			}
+			rc.apply(op)
+		}
+	}
+
+	if v := records["a"].value(); string(v.Bytes) != "v1" || v.Version != 1 {
+		t.Errorf("a = %q v%d, want v1 v1 (torn txn-14 must not apply)", v.Bytes, v.Version)
+	}
+	if v := records["n"].value(); v.Int != 3 || v.Version != 2 {
+		t.Errorf("n = %d v%d, want 3 v2 (aborted txn-12 must not apply)", v.Int, v.Version)
+	}
+	if len(decided) != 4 {
+		t.Errorf("decided map has %d entries, want 4", len(decided))
+	}
+	if commit, ok := decided[12]; !ok || commit {
+		t.Error("aborted txn-12 missing from decided map or marked committed")
+	}
+	if _, ok := decided[14]; ok {
+		t.Error("torn txn-14 leaked into the decided map")
+	}
+}

@@ -33,6 +33,11 @@ const (
 	EvFinal
 	// EvApology: the transaction speculated and then aborted.
 	EvApology
+	// EvFault: a fault was injected into the deployment while the
+	// transaction was in flight (chaos engine broadcast). Note carries the
+	// fault description, so a trace shows *why* a transaction stalled,
+	// fell back, or timed out.
+	EvFault
 )
 
 // String implements fmt.Stringer.
@@ -56,6 +61,8 @@ func (k EventKind) String() string {
 		return "final"
 	case EvApology:
 		return "apology"
+	case EvFault:
+		return "fault"
 	default:
 		return fmt.Sprintf("event(%d)", uint8(k))
 	}
@@ -222,6 +229,31 @@ func (t *Tracer) Record(id txn.ID, e Event) {
 	}
 	at.tr.Events = append(at.tr.Events, e)
 	at.mu.Unlock()
+}
+
+// Broadcast appends e to every in-flight trace. Fault injectors use it to
+// mark which transactions were exposed to a fault, without knowing ids.
+func (t *Tracer) Broadcast(e Event) {
+	if t == nil {
+		return
+	}
+	t.mu.RLock()
+	active := make([]*activeTrace, 0, len(t.active))
+	for _, at := range t.active {
+		active = append(active, at)
+	}
+	t.mu.RUnlock()
+	for _, at := range active {
+		ev := e
+		at.mu.Lock()
+		// Stamp per trace, under its lock, for the same monotonicity
+		// guarantee Record gives.
+		if ev.At.IsZero() {
+			ev.At = time.Now()
+		}
+		at.tr.Events = append(at.tr.Events, ev)
+		at.mu.Unlock()
+	}
 }
 
 // Finish seals id's trace with its outcome, moves it into the completed

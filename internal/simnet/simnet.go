@@ -127,14 +127,16 @@ type Config struct {
 
 // Network is the in-process WAN. Safe for concurrent use.
 type Network struct {
-	cfg    Config
-	scale  float64
-	mu     sync.Mutex
-	rng    *rand.Rand
-	nodes  map[Addr]Handler
-	down   map[Region]bool
-	cut    map[linkKey]bool
-	closed atomic.Bool
+	cfg      Config
+	scale    float64
+	mu       sync.Mutex
+	rng      *rand.Rand
+	nodes    map[Addr]Handler
+	down     map[Region]bool
+	cut      map[linkKey]bool
+	lossRate float64             // current loss rate; starts at cfg.LossRate
+	factor   map[linkKey]float64 // per-link delay multipliers (latency spikes)
+	closed   atomic.Bool
 
 	pending atomic.Int64 // messages sampled but not yet delivered
 
@@ -173,12 +175,14 @@ func New(cfg Config) (*Network, error) {
 		scale = 1
 	}
 	return &Network{
-		cfg:   cfg,
-		scale: scale,
-		rng:   rand.New(rand.NewSource(cfg.Seed)),
-		nodes: make(map[Addr]Handler),
-		down:  make(map[Region]bool),
-		cut:   make(map[linkKey]bool),
+		cfg:      cfg,
+		scale:    scale,
+		rng:      rand.New(rand.NewSource(cfg.Seed)),
+		nodes:    make(map[Addr]Handler),
+		down:     make(map[Region]bool),
+		cut:      make(map[linkKey]bool),
+		lossRate: cfg.LossRate,
+		factor:   make(map[linkKey]float64),
 	}, nil
 }
 
@@ -223,6 +227,53 @@ func (n *Network) SetLinkCut(from, to Region, isCut bool) {
 	}
 }
 
+// SetLossRate changes the uniform message-loss rate at runtime (loss bursts
+// in fault injection). The rate is clamped into [0,1]; unlike Config.LossRate
+// a full 1.0 is allowed and blackholes every message.
+func (n *Network) SetLossRate(rate float64) {
+	if rate < 0 {
+		rate = 0
+	}
+	if rate > 1 {
+		rate = 1
+	}
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	n.lossRate = rate
+}
+
+// LossRate returns the current loss rate.
+func (n *Network) LossRate() float64 {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	return n.lossRate
+}
+
+// SetLinkDelayFactor multiplies every sampled delay on the directed link
+// from→to by factor (a latency spike). Factors <= 0 or == 1 clear the
+// override. Intra-region "links" (from == to) are supported.
+func (n *Network) SetLinkDelayFactor(from, to Region, factor float64) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	k := linkKey{from, to}
+	if factor <= 0 || factor == 1 {
+		delete(n.factor, k)
+		return
+	}
+	n.factor[k] = factor
+}
+
+// LinkDelayFactor returns the current delay multiplier for from→to (1 when
+// no spike is installed).
+func (n *Network) LinkDelayFactor(from, to Region) float64 {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	if f, ok := n.factor[linkKey{from, to}]; ok {
+		return f
+	}
+	return 1
+}
+
 // Send schedules payload for delivery from→to. It never blocks; messages to
 // unknown, partitioned, or lossy destinations are silently dropped, exactly
 // as a real datagram network would.
@@ -239,12 +290,15 @@ func (n *Network) Send(from, to Addr, payload any) {
 		n.drop(obs, from, to)
 		return
 	}
-	if n.cfg.LossRate > 0 && n.rng.Float64() < n.cfg.LossRate {
+	if n.lossRate > 0 && n.rng.Float64() < n.lossRate {
 		n.mu.Unlock()
 		n.drop(obs, from, to)
 		return
 	}
 	delay := n.cfg.Latency.Link(from.Region, to.Region).Sample(n.rng)
+	if f, ok := n.factor[linkKey{from.Region, to.Region}]; ok {
+		delay = time.Duration(float64(delay) * f)
+	}
 	n.mu.Unlock()
 
 	scaled := time.Duration(float64(delay) * n.scale)
@@ -296,10 +350,15 @@ func (n *Network) SampleDelay(from, to Region) time.Duration {
 func (n *Network) Close() { n.closed.Store(true) }
 
 // Quiesce waits until no messages are in flight or the timeout elapses,
-// and reports whether the network drained.
+// and reports whether the network drained. Once the network is closed every
+// in-flight message is doomed to be dropped on arrival, so Quiesce returns
+// true immediately rather than waiting out long-delayed stragglers.
 func (n *Network) Quiesce(timeout time.Duration) bool {
 	deadline := time.Now().Add(timeout)
 	for n.pending.Load() != 0 {
+		if n.closed.Load() {
+			return true
+		}
 		if time.Now().After(deadline) {
 			return false
 		}

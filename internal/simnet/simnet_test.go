@@ -258,3 +258,119 @@ func TestAddrString(t *testing.T) {
 		t.Errorf("Addr.String()=%q", a.String())
 	}
 }
+
+// spyObserver records MessageSent delays for delay-factor assertions.
+type spyObserver struct {
+	mu     sync.Mutex
+	delays []time.Duration
+}
+
+func (o *spyObserver) MessageSent(_, _ Region, delay time.Duration) {
+	o.mu.Lock()
+	o.delays = append(o.delays, delay)
+	o.mu.Unlock()
+}
+func (o *spyObserver) MessageDelivered(_, _ Region) {}
+func (o *spyObserver) MessageDropped(_, _ Region)   {}
+
+func TestSetLossRateRuntime(t *testing.T) {
+	n := newTestNet(t, Config{Seed: 7})
+	var delivered atomic.Int32
+	dst := Addr{west, "node"}
+	n.Register(dst, func(Message) { delivered.Add(1) })
+
+	// A full blackhole: nothing arrives.
+	n.SetLossRate(1)
+	if got := n.LossRate(); got != 1 {
+		t.Fatalf("LossRate()=%v after SetLossRate(1)", got)
+	}
+	for i := 0; i < 20; i++ {
+		n.Send(Addr{east, "a"}, dst, i)
+	}
+	if !n.Quiesce(2 * time.Second) {
+		t.Fatal("no quiesce")
+	}
+	if delivered.Load() != 0 {
+		t.Fatalf("%d messages survived a loss rate of 1", delivered.Load())
+	}
+
+	// Healing restores delivery.
+	n.SetLossRate(0)
+	n.Send(Addr{east, "a"}, dst, 99)
+	if !n.Quiesce(2 * time.Second) {
+		t.Fatal("no quiesce")
+	}
+	if delivered.Load() != 1 {
+		t.Errorf("delivered %d after healing the loss burst, want 1", delivered.Load())
+	}
+
+	// Out-of-range values are clamped, not rejected.
+	n.SetLossRate(-3)
+	if got := n.LossRate(); got != 0 {
+		t.Errorf("LossRate()=%v after SetLossRate(-3)", got)
+	}
+	n.SetLossRate(17)
+	if got := n.LossRate(); got != 1 {
+		t.Errorf("LossRate()=%v after SetLossRate(17)", got)
+	}
+}
+
+func TestLinkDelayFactor(t *testing.T) {
+	// Constant 10ms east→west link compressed 10x: 1ms scaled.
+	n := newTestNet(t, Config{})
+	obs := &spyObserver{}
+	n.SetObserver(obs)
+	dst := Addr{west, "node"}
+	n.Register(dst, func(Message) {})
+
+	n.Send(Addr{east, "a"}, dst, "base")
+	n.SetLinkDelayFactor(east, west, 5)
+	if got := n.LinkDelayFactor(east, west); got != 5 {
+		t.Fatalf("LinkDelayFactor=%v, want 5", got)
+	}
+	// The spike is directional: the reverse link is unaffected.
+	if got := n.LinkDelayFactor(west, east); got != 1 {
+		t.Fatalf("reverse LinkDelayFactor=%v, want 1", got)
+	}
+	n.Send(Addr{east, "a"}, dst, "spiked")
+	n.SetLinkDelayFactor(east, west, 1) // clears
+	n.Send(Addr{east, "a"}, dst, "healed")
+	if !n.Quiesce(5 * time.Second) {
+		t.Fatal("no quiesce")
+	}
+
+	obs.mu.Lock()
+	defer obs.mu.Unlock()
+	if len(obs.delays) != 3 {
+		t.Fatalf("observed %d sends, want 3", len(obs.delays))
+	}
+	base, spiked, healed := obs.delays[0], obs.delays[1], obs.delays[2]
+	if spiked != 5*base {
+		t.Errorf("spiked delay %v, want 5x base %v", spiked, base)
+	}
+	if healed != base {
+		t.Errorf("healed delay %v, want base %v", healed, base)
+	}
+}
+
+func TestQuiesceReturnsEarlyOnClose(t *testing.T) {
+	// An uncompressed 500ms link keeps a message in flight long enough to
+	// observe Quiesce's behaviour while pending > 0.
+	m := NewMatrix(latency.Constant(time.Millisecond))
+	m.SetLink(east, west, latency.Constant(500*time.Millisecond))
+	n, err := New(Config{Latency: m, TimeScale: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	dst := Addr{west, "node"}
+	n.Register(dst, func(Message) {})
+	n.Send(Addr{east, "a"}, dst, 1)
+	n.Close()
+	start := time.Now()
+	if !n.Quiesce(10 * time.Second) {
+		t.Fatal("Quiesce on a closed network reported failure")
+	}
+	if waited := time.Since(start); waited > 250*time.Millisecond {
+		t.Errorf("Quiesce on a closed network waited %v for doomed messages", waited)
+	}
+}

@@ -8,3 +8,7 @@ go vet ./...
 go build ./...
 go test ./...
 go test -race -short ./internal/core ./internal/mdcc ./internal/obs
+# Chaos soak gate: fault schedules (partition + crash/WAL-recovery +
+# latency spike) must preserve the safety invariants under the race
+# detector. -short shrinks the workload but never skips.
+go test -race -run Soak -short ./internal/chaos/
