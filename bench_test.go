@@ -8,6 +8,7 @@ package main_test
 
 import (
 	"fmt"
+	"math"
 	"testing"
 
 	"planet/internal/experiments"
@@ -76,6 +77,42 @@ func TestExperimentsRunClean(t *testing.T) {
 				t.Errorf("%s produced no table", e.ID)
 			}
 		})
+	}
+}
+
+// TestVirtualTimeDeterminism runs the speculation-threshold sweep twice
+// with the same seed and requires bit-identical metrics. Under the virtual
+// clock the whole evaluation — WAN delays, loss, pacing, timeouts — is a
+// pure function of the seed, so any divergence between the two runs is a
+// nondeterminism bug (an unseeded RNG, map-order iteration feeding floats,
+// or a wall-clock read leaking into the emulator).
+func TestVirtualTimeDeterminism(t *testing.T) {
+	if testing.Short() {
+		t.Skip("experiments are seconds-long; skipped with -short")
+	}
+	var runs [2]map[string]float64
+	for i := range runs {
+		res, err := experiments.F4Speculation(experiments.Config{Quick: true, Seed: 7})
+		if err != nil {
+			t.Fatalf("run %d: %v", i, err)
+		}
+		runs[i] = res.Metrics
+	}
+	if len(runs[0]) == 0 {
+		t.Fatal("f4 produced no metrics")
+	}
+	if len(runs[0]) != len(runs[1]) {
+		t.Errorf("metric count differs: %d vs %d", len(runs[0]), len(runs[1]))
+	}
+	for k, v0 := range runs[0] {
+		v1, ok := runs[1][k]
+		if !ok {
+			t.Errorf("metric %q missing from second run", k)
+			continue
+		}
+		if math.Float64bits(v0) != math.Float64bits(v1) {
+			t.Errorf("metric %q differs across same-seed runs: %v vs %v", k, v0, v1)
+		}
 	}
 }
 

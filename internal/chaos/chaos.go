@@ -11,6 +11,7 @@
 package chaos
 
 import (
+	"context"
 	"fmt"
 	"sync"
 	"time"
@@ -18,6 +19,7 @@ import (
 	"planet/internal/cluster"
 	"planet/internal/obs"
 	"planet/internal/simnet"
+	"planet/internal/vclock"
 )
 
 // FaultKind names a fault class, used in history entries and metric labels.
@@ -70,8 +72,8 @@ type Engine struct {
 	// Scenario run state (guarded by mu; the runner goroutine owns the
 	// timeline between Run and Wait).
 	running bool
-	stop    chan struct{}
-	done    chan struct{}
+	cancel  context.CancelFunc
+	done    *vclock.Event
 }
 
 // New builds an engine over cfg.Cluster.

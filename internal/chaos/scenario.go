@@ -1,6 +1,7 @@
 package chaos
 
 import (
+	"context"
 	"fmt"
 	"math/rand"
 	"sort"
@@ -115,15 +116,22 @@ func (e *Engine) Run(sc Scenario) error {
 		}
 	}
 
+	// The runner sleeps through the cluster clock so a virtual-time cluster
+	// advances past fault offsets instead of wedging on a wall-clock timer;
+	// done is an Event for the same reason (Wait must not pin virtual time).
+	clk := e.cfg.Cluster.Clock()
+	ctx, cancel := context.WithCancel(context.Background())
+
 	e.mu.Lock()
 	if e.running {
 		e.mu.Unlock()
+		cancel()
 		return fmt.Errorf("chaos: scenario already running")
 	}
 	e.running = true
-	e.stop = make(chan struct{})
-	e.done = make(chan struct{})
-	stop, done := e.stop, e.done
+	e.cancel = cancel
+	e.done = clk.NewEvent()
+	done := e.done
 	e.mu.Unlock()
 
 	// Build the scaled timeline: one inject event per fault, plus a heal
@@ -144,39 +152,27 @@ func (e *Engine) Run(sc Scenario) error {
 		e.cfg.Logf("chaos: scenario %q starting: %d faults", sc.Name, len(sc.Faults))
 	}
 
-	go func() {
-		defer close(done)
+	clk.Go(func() {
+		defer done.Fire()
+		defer cancel()
 		defer func() {
 			e.mu.Lock()
 			e.running = false
 			e.mu.Unlock()
 		}()
 
-		start := time.Now()
+		start := clk.Now()
 		outstanding := make(map[int]Fault, len(sc.Faults))
-		timer := time.NewTimer(0)
-		if !timer.Stop() {
-			<-timer.C
-		}
-		defer timer.Stop()
 
 		for _, ev := range events {
-			if wait := ev.at - time.Since(start); wait > 0 {
-				timer.Reset(wait)
-				select {
-				case <-timer.C:
-				case <-stop:
-					timer.Stop()
+			if wait := ev.at - clk.Since(start); wait > 0 {
+				if clk.SleepCtx(ctx, wait) != nil {
 					e.healOutstanding(outstanding)
 					return
 				}
-			} else {
-				select {
-				case <-stop:
-					e.healOutstanding(outstanding)
-					return
-				default:
-				}
+			} else if ctx.Err() != nil {
+				e.healOutstanding(outstanding)
+				return
 			}
 			f := sc.Faults[ev.healIdx]
 			if ev.isHeal {
@@ -198,7 +194,7 @@ func (e *Engine) Run(sc Scenario) error {
 		if e.cfg.Logf != nil {
 			e.cfg.Logf("chaos: scenario %q finished", sc.Name)
 		}
-	}()
+	})
 	return nil
 }
 
@@ -224,7 +220,7 @@ func (e *Engine) Wait() {
 	done := e.done
 	e.mu.Unlock()
 	if done != nil {
-		<-done
+		done.Wait()
 	}
 }
 
@@ -232,17 +228,13 @@ func (e *Engine) Wait() {
 // Stop returns. A no-op when nothing is running.
 func (e *Engine) Stop() {
 	e.mu.Lock()
-	stop, done, running := e.stop, e.done, e.running
+	cancel, done, running := e.cancel, e.done, e.running
 	e.mu.Unlock()
 	if !running {
 		return
 	}
-	select {
-	case <-stop:
-	default:
-		close(stop)
-	}
-	<-done
+	cancel()
+	done.Wait()
 }
 
 // Running reports whether a scenario timeline is active.

@@ -11,6 +11,7 @@ import (
 	"planet/internal/mdcc"
 	"planet/internal/regions"
 	"planet/internal/simnet"
+	"planet/internal/vclock"
 )
 
 // Config parameterizes a cluster.
@@ -37,6 +38,16 @@ type Config struct {
 	PendingTTL time.Duration
 	// WAL enables per-replica write-ahead logs (memory-backed).
 	WAL bool
+	// VirtualTime runs the cluster on a discrete-event virtual clock: all
+	// delivery timers, timeouts, and sleeps advance simulated time straight
+	// to the next deadline instead of waiting in real time, so experiments
+	// run at CPU speed and are deterministic for a given Seed. The clock is
+	// owned by the cluster; Close shuts it down. Server binaries (planetd)
+	// keep the default real clock.
+	VirtualTime bool
+	// Clock overrides the time source outright (tests). Takes precedence
+	// over VirtualTime; the caller keeps ownership.
+	Clock vclock.Clock
 }
 
 // Defaults used when Config fields are zero.
@@ -55,6 +66,8 @@ type Cluster struct {
 	coords   map[simnet.Region]*mdcc.Coordinator
 	wals     map[simnet.Region]*mdcc.WAL
 	scale    float64
+	clk      vclock.Clock
+	ownedClk *vclock.Virtual // non-nil when the cluster created the clock
 }
 
 // replicaName and coordName are the per-region node names.
@@ -81,13 +94,25 @@ func New(cfg Config) (*Cluster, error) {
 		cfg.PendingTTL = 0
 	}
 
+	clk := cfg.Clock
+	var owned *vclock.Virtual
+	if clk == nil && cfg.VirtualTime {
+		owned = vclock.NewVirtual()
+		clk = owned
+	}
+	clk = vclock.Default(clk)
+
 	net, err := simnet.New(simnet.Config{
 		Latency:   cfg.Topology.Matrix,
 		TimeScale: cfg.TimeScale,
 		Seed:      cfg.Seed,
 		LossRate:  cfg.LossRate,
+		Clock:     clk,
 	})
 	if err != nil {
+		if owned != nil {
+			owned.Shutdown()
+		}
 		return nil, fmt.Errorf("cluster: %w", err)
 	}
 
@@ -124,6 +149,8 @@ func New(cfg Config) (*Cluster, error) {
 		coords:   make(map[simnet.Region]*mdcc.Coordinator, len(regionList)),
 		wals:     make(map[simnet.Region]*mdcc.WAL, len(regionList)),
 		scale:    cfg.TimeScale,
+		clk:      clk,
+		ownedClk: owned,
 	}
 
 	for i, r := range regionList {
@@ -159,6 +186,9 @@ func (c *Cluster) Regions() []simnet.Region { return c.Topology.Regions }
 
 // TimeScale returns the WAN compression factor.
 func (c *Cluster) TimeScale() float64 { return c.scale }
+
+// Clock returns the cluster's time source.
+func (c *Cluster) Clock() vclock.Clock { return c.clk }
 
 // Replica returns the region's replica, or nil for an unknown region.
 func (c *Cluster) Replica(r simnet.Region) *mdcc.Replica { return c.replicas[r] }
@@ -236,9 +266,14 @@ func (c *Cluster) UnscaleDuration(d time.Duration) time.Duration {
 	return time.Duration(float64(d) / c.scale)
 }
 
-// Close shuts the network down.
+// Close shuts the network down, then stops the virtual scheduler if the
+// cluster owns one (in that order, so Quiesce calls racing Close observe
+// the closed network and return instead of parking on a dead clock).
 func (c *Cluster) Close() {
 	c.Net.Close()
+	if c.ownedClk != nil {
+		c.ownedClk.Shutdown()
+	}
 }
 
 // Quiesce waits for in-flight messages to drain (bounded by timeout).

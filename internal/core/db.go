@@ -14,6 +14,7 @@ import (
 	"planet/internal/obs"
 	"planet/internal/predictor"
 	"planet/internal/simnet"
+	"planet/internal/vclock"
 )
 
 // Errors surfaced through transaction outcomes.
@@ -91,6 +92,7 @@ type Stats struct {
 // then create per-region Sessions for clients.
 type DB struct {
 	cfg    Config
+	clk    vclock.Clock
 	preds  map[simnet.Region]*predictor.Predictor
 	calib  *metrics.Calibration
 	tracer *obs.Tracer
@@ -117,8 +119,10 @@ func Open(cfg Config) (*DB, error) {
 		return nil, fmt.Errorf("planet: Config.Cluster is required")
 	}
 	regionList := cfg.Cluster.Regions()
+	clk := cfg.Cluster.Net.Clock()
 	db := &DB{
 		cfg:      cfg,
+		clk:      clk,
 		preds:    make(map[simnet.Region]*predictor.Predictor, len(regionList)),
 		inFlight: make(map[simnet.Region]*atomic.Int64, len(regionList)),
 		health:   make(map[simnet.Region]*regionHealth, len(regionList)),
@@ -143,6 +147,7 @@ func Open(cfg Config) (*DB, error) {
 	for _, r := range regionList {
 		db.preds[r] = predictor.New(predictor.Config{
 			Regions:          regionList,
+			Clock:            clk,
 			FastQuorum:       mdcc.FastQuorum(len(regionList)),
 			ConflictHalfLife: cfg.ConflictHalfLife,
 			UseConflicts:     !cfg.DisableConflictTerm,

@@ -12,6 +12,7 @@ import (
 	"planet/internal/predictor"
 	"planet/internal/simnet"
 	"planet/internal/txn"
+	"planet/internal/vclock"
 )
 
 // Progress is a snapshot of a transaction's commit progress, passed to
@@ -85,6 +86,7 @@ type Handle struct {
 	mu         sync.Mutex
 	stage      txn.Stage
 	likelihood float64
+	keys       []string // option keys in submission order (deterministic)
 	tracks     map[string]*optTrack
 	votes      int
 	learnedN   int
@@ -93,10 +95,23 @@ type Handle struct {
 	outcome    txn.Outcome
 	samples    []float64 // in-flight likelihood samples for calibration
 	start      time.Time
-	timer      *time.Timer
+	timer      vclock.Timer
 
-	cbq  chan func()
-	done chan struct{}
+	// Callback dispatch: an unbounded queue of (callback, ticket) pairs
+	// drained in order by a per-handle goroutine. The ticket is reserved at
+	// enqueue time, which fixes each callback's position in the virtual
+	// scheduler's run queue — dispatch order across all handles is then
+	// deterministic, not a race between dispatch goroutines.
+	cbmu   sync.Mutex
+	cbcond *sync.Cond
+	cbq    []cbItem
+	done   *vclock.Event
+}
+
+// cbItem is one queued callback; a nil f is the termination sentinel.
+type cbItem struct {
+	f func()
+	t vclock.Ticket
 }
 
 // maxCalibSamples caps per-transaction calibration samples.
@@ -140,20 +155,18 @@ func (t *Txn) Commit(opts CommitOptions) (*Handle, error) {
 		opts:    opts,
 		regions: regionList,
 		tracks:  make(map[string]*optTrack, len(ops)),
-		start:   time.Now(),
-		done:    make(chan struct{}),
+		start:   db.clk.Now(),
+		done:    db.clk.NewEvent(),
 	}
 	for _, op := range ops {
+		h.keys = append(h.keys, op.Key)
 		h.tracks[op.Key] = &optTrack{
 			key:      op.Key,
 			voted:    make(map[simnet.Region]bool, len(regionList)),
 			fellBack: db.cfg.Mode == mdcc.ModeClassic,
 		}
 	}
-	// Capacity covers every possible callback enqueue, so sends under
-	// h.mu never block: votes + fallbacks + learns (progress), plus the
-	// singleton stage callbacks and the sentinel.
-	h.cbq = make(chan func(), len(regionList)*len(ops)+2*len(ops)+16)
+	h.cbcond = sync.NewCond(&h.cbmu)
 	go h.dispatch()
 
 	db.tracer.Begin(h.id)
@@ -205,7 +218,7 @@ func (t *Txn) Commit(opts CommitOptions) (*Handle, error) {
 	}
 
 	if opts.Deadline > 0 {
-		h.timer = time.AfterFunc(opts.Deadline, h.onDeadline)
+		h.timer = db.clk.AfterFunc(opts.Deadline, h.onDeadline)
 	}
 	if err := s.coord.Submit(h.id, ops, db.cfg.Mode, (*handleSink)(h)); err != nil {
 		// Unreachable for well-formed ops, but fail closed.
@@ -242,7 +255,7 @@ func (h *Handle) Progress() Progress {
 
 // Wait blocks until every callback has run and returns the outcome.
 func (h *Handle) Wait() txn.Outcome {
-	<-h.done
+	h.done.Wait()
 	h.mu.Lock()
 	defer h.mu.Unlock()
 	return h.outcome
@@ -252,18 +265,18 @@ func (h *Handle) Wait() txn.Outcome {
 // returning ctx's error. The transaction itself keeps running — callbacks
 // still fire and the outcome remains retrievable via Wait or Done.
 func (h *Handle) WaitCtx(ctx context.Context) (txn.Outcome, error) {
-	select {
-	case <-h.done:
-		h.mu.Lock()
-		defer h.mu.Unlock()
-		return h.outcome, nil
-	case <-ctx.Done():
-		return txn.Outcome{}, ctx.Err()
+	if err := h.done.WaitCtx(ctx); err != nil {
+		return txn.Outcome{}, err
 	}
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return h.outcome, nil
 }
 
-// Done returns a channel closed after the final callback.
-func (h *Handle) Done() <-chan struct{} { return h.done }
+// Done returns a channel closed after the final callback. Select-based
+// waits on it are for real-clock code (HTTP handlers); under a virtual
+// clock use Wait/WaitCtx so the wait participates in time accounting.
+func (h *Handle) Done() <-chan struct{} { return h.done.Done() }
 
 // progressLocked builds a snapshot. Caller holds h.mu.
 func (h *Handle) progressLocked() Progress {
@@ -271,7 +284,7 @@ func (h *Handle) progressLocked() Progress {
 		Txn:            h.id,
 		Stage:          h.stage,
 		Likelihood:     h.likelihood,
-		Elapsed:        time.Since(h.start),
+		Elapsed:        h.db.clk.Since(h.start),
 		VotesReceived:  h.votes,
 		VotesExpected:  len(h.regions) * len(h.tracks),
 		OptionsLearned: h.learnedN,
@@ -279,12 +292,22 @@ func (h *Handle) progressLocked() Progress {
 	}
 }
 
+// push appends one callback (nil = sentinel) with a freshly reserved
+// ticket and wakes the dispatch goroutine.
+func (h *Handle) push(f func()) {
+	t := h.db.clk.Ticket()
+	h.cbmu.Lock()
+	h.cbq = append(h.cbq, cbItem{f: f, t: t})
+	h.cbmu.Unlock()
+	h.cbcond.Signal()
+}
+
 // enqueue schedules one callback invocation; nil callbacks are skipped.
 func (h *Handle) enqueue(cb func(Progress), p Progress) {
 	if cb == nil {
 		return
 	}
-	h.cbq <- func() { cb(p) }
+	h.push(func() { cb(p) })
 }
 
 // enqueueOutcome schedules an outcome callback.
@@ -292,18 +315,27 @@ func (h *Handle) enqueueOutcome(cb func(txn.Outcome), o txn.Outcome) {
 	if cb == nil {
 		return
 	}
-	h.cbq <- func() { cb(o) }
+	h.push(func() { cb(o) })
 }
 
 // dispatch runs callbacks in order until the sentinel, then releases Wait.
+// Each callback runs inside its reserved ticket; callbacks must not block
+// through the clock.
 func (h *Handle) dispatch() {
-	for f := range h.cbq {
-		if f == nil {
-			break
+	for {
+		h.cbmu.Lock()
+		for len(h.cbq) == 0 {
+			h.cbcond.Wait()
 		}
-		f()
+		it := h.cbq[0]
+		h.cbq = h.cbq[1:]
+		h.cbmu.Unlock()
+		if it.f == nil {
+			it.t.Run(func() { h.done.Fire() })
+			return
+		}
+		it.t.Run(it.f)
 	}
-	close(h.done)
 }
 
 // reject finalizes an admission rejection.
@@ -314,14 +346,14 @@ func (h *Handle) reject() {
 	h.terminal = true
 	h.outcome = txn.Outcome{
 		ID: h.id, Rejected: true, Err: ErrAdmission,
-		Submitted: h.start, Decided: time.Now(),
+		Submitted: h.start, Decided: h.db.clk.Now(),
 	}
 	h.db.inst.stage(txn.StageRejected)
 	h.db.inst.finished(outcomeRejected, h.outcome.Duration())
 	h.db.tracer.Record(h.id, obs.Event{Kind: obs.EvFinal, Note: ErrAdmission.Error()})
 	h.db.tracer.Finish(h.id, outcomeRejected, false)
 	h.enqueueOutcome(h.opts.OnFinal, h.outcome)
-	h.cbq <- nil
+	h.push(nil)
 }
 
 // onDeadline fires the deadline callback if the transaction is still open.
@@ -341,8 +373,11 @@ func (h *Handle) onDeadline() {
 // flightLocked converts the tracked state into the predictor's view.
 // Caller holds h.mu.
 func (h *Handle) flightLocked() predictor.Flight {
-	f := predictor.Flight{Elapsed: time.Since(h.start), Deadline: h.opts.Deadline}
-	for _, tr := range h.tracks {
+	f := predictor.Flight{Elapsed: h.db.clk.Since(h.start), Deadline: h.opts.Deadline}
+	// Iterate in submission order, not map order: likelihood is a float
+	// product, so a stable order keeps it bit-for-bit reproducible.
+	for _, key := range h.keys {
+		tr := h.tracks[key]
 		of := predictor.OptionFlight{
 			Key:      tr.key,
 			Accepts:  tr.accepts,
@@ -476,7 +511,7 @@ func (h *Handle) finishLocked(committed bool, err error, submitFailed bool) {
 	}
 	h.outcome = txn.Outcome{
 		ID: h.id, Committed: committed, Err: err,
-		Submitted: h.start, Decided: time.Now(), Speculated: h.speculated,
+		Submitted: h.start, Decided: h.db.clk.Now(), Speculated: h.speculated,
 	}
 	h.db.inst.stage(h.stage)
 	h.db.inst.finished(outcome, h.outcome.Duration())
@@ -502,5 +537,5 @@ func (h *Handle) finishLocked(committed bool, err error, submitFailed bool) {
 		h.enqueueOutcome(h.opts.OnApology, h.outcome)
 	}
 	h.db.tracer.Finish(h.id, outcome, h.speculated)
-	h.cbq <- nil
+	h.push(nil)
 }

@@ -86,12 +86,8 @@ func (s *Session) RunCtx(ctx context.Context, attempts int, fn func(*Txn) error)
 			if i+1 >= attempts {
 				continue
 			}
-			timer := time.NewTimer(s.backoff(i))
-			select {
-			case <-timer.C:
-			case <-ctx.Done():
-				timer.Stop()
-				return last, ctx.Err()
+			if err := s.db.clk.SleepCtx(ctx, s.backoff(i)); err != nil {
+				return last, err
 			}
 		default:
 			return last, last.Err

@@ -25,6 +25,12 @@ type Config struct {
 	Seed int64
 	// Quick shrinks workload sizes for CI and go-test runs.
 	Quick bool
+	// RealTime opts out of the virtual clock: the emulator runs against
+	// the wall clock as it did before discrete-event scheduling existed.
+	// The default (false) runs every experiment in virtual time — the
+	// whole evaluation executes at CPU speed and is deterministic for a
+	// fixed Seed.
+	RealTime bool
 }
 
 // scale returns the effective time scale.
@@ -84,6 +90,7 @@ func openDB(cfg Config, ccfg cluster.Config, pcfg planet.Config) (*planet.DB, fu
 		ccfg.Topology = regions.Five()
 	}
 	ccfg.TimeScale = cfg.scale()
+	ccfg.VirtualTime = !cfg.RealTime
 	if ccfg.Seed == 0 {
 		ccfg.Seed = cfg.Seed + 1
 	}

@@ -12,6 +12,7 @@ import (
 	"planet/internal/predictor"
 	"planet/internal/regions"
 	"planet/internal/simnet"
+	"planet/internal/vclock"
 	"planet/internal/workload"
 )
 
@@ -112,7 +113,8 @@ func F3Trajectory(cfg Config) (Result, error) {
 	}
 	rng := rand.New(rand.NewSource(cfg.Seed + 29))
 	total := cfg.pick(300, 80)
-	var wg sync.WaitGroup
+	clk := db.Cluster().Clock()
+	g := vclock.NewGroup(clk)
 	for i := 0; i < total; i++ {
 		tx, err := tmpl.Build(s, rng)
 		if err != nil {
@@ -130,19 +132,17 @@ func F3Trajectory(cfg Config) (Result, error) {
 		if err != nil {
 			return Result{}, err
 		}
-		wg.Add(1)
-		go func() {
-			defer wg.Done()
+		g.Go(func() {
 			o := h.Wait()
 			trajMu.Lock()
 			t := append([]float64(nil), traj...)
 			trajMu.Unlock()
 			observe(o.Committed, t)
-		}()
+		})
 		// Pace arrivals so hot conflicts actually overlap.
-		time.Sleep(db.Cluster().ScaleDuration(5 * time.Millisecond))
+		clk.Sleep(db.Cluster().ScaleDuration(5 * time.Millisecond))
 	}
-	wg.Wait()
+	g.Wait()
 
 	var b strings.Builder
 	out := make(map[string]float64)

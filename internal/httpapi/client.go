@@ -9,6 +9,8 @@ import (
 	"net/url"
 	"strconv"
 	"time"
+
+	"planet/internal/vclock"
 )
 
 // Client talks to a Server. The zero HTTP client is fine for tests; set
@@ -18,6 +20,11 @@ type Client struct {
 	Base string
 	// HTTP is the underlying client (http.DefaultClient when nil).
 	HTTP *http.Client
+	// Clock paces SubmitAndWait's polling (vclock.System when nil). Tests
+	// that drive an in-process server under a virtual cluster can point
+	// this at the cluster's clock so polls ride the discrete-event
+	// scheduler instead of wall-clock sleeps.
+	Clock vclock.Clock
 }
 
 // httpc returns the effective HTTP client.
@@ -196,24 +203,40 @@ func (c *Client) Metrics() (string, error) {
 	return string(body), nil
 }
 
+// Poll pacing for SubmitAndWait: exponential backoff from the base to the
+// cap, so a decision that lands fast is noticed fast while a long wait does
+// not hammer the gateway with 5ms polls.
+const (
+	submitPollBase = time.Millisecond
+	submitPollMax  = 50 * time.Millisecond
+)
+
 // SubmitAndWait is the blocking convenience path.
 func (c *Client) SubmitAndWait(req SubmitRequest, timeout time.Duration) (Status, error) {
 	id, err := c.Submit(req)
 	if err != nil {
 		return Status{}, err
 	}
-	deadline := time.Now().Add(timeout)
+	clk := vclock.Default(c.Clock)
+	deadline := clk.Now().Add(timeout)
+	delay := submitPollBase
 	for {
 		st, err := c.Wait(id)
 		if err == nil && st.Done {
 			return st, nil
 		}
-		if time.Now().After(deadline) {
+		if !clk.Now().Before(deadline) {
 			if err == nil {
 				err = fmt.Errorf("httpapi: transaction %s not done before timeout", id)
 			}
 			return st, err
 		}
-		time.Sleep(5 * time.Millisecond)
+		if remaining := clk.Until(deadline); delay > remaining {
+			delay = remaining
+		}
+		clk.Sleep(delay)
+		if delay *= 2; delay > submitPollMax {
+			delay = submitPollMax
+		}
 	}
 }

@@ -7,6 +7,7 @@ import (
 
 	"planet/internal/simnet"
 	"planet/internal/txn"
+	"planet/internal/vclock"
 )
 
 // CoordinatorConfig parameterizes a region's transaction coordinator.
@@ -54,7 +55,7 @@ type commitState struct {
 	opts    map[string]*optState
 	open    int // options not yet learned
 	decided bool
-	timer   *time.Timer
+	timer   vclock.Timer
 }
 
 // CoordObserver receives a coordinator's protocol instrumentation: votes as
@@ -73,6 +74,7 @@ type CoordObserver interface {
 // for the transactions it coordinates.
 type Coordinator struct {
 	cfg CoordinatorConfig
+	clk vclock.Clock // the network's clock
 
 	mu      sync.Mutex
 	active  map[txn.ID]*commitState
@@ -97,7 +99,7 @@ func NewCoordinator(cfg CoordinatorConfig) (*Coordinator, error) {
 	if cfg.Net == nil || len(cfg.Replicas) == 0 || cfg.MasterFor == nil {
 		return nil, fmt.Errorf("mdcc: coordinator config incomplete")
 	}
-	c := &Coordinator{cfg: cfg, active: make(map[txn.ID]*commitState)}
+	c := &Coordinator{cfg: cfg, clk: cfg.Net.Clock(), active: make(map[txn.ID]*commitState)}
 	cfg.Net.Register(cfg.Addr, c.recv)
 	return c, nil
 }
@@ -132,7 +134,7 @@ func (c *Coordinator) Submit(id txn.ID, ops []txn.Op, mode Mode, sink ProgressSi
 		ops:   ops,
 		mode:  mode,
 		sink:  sink,
-		start: time.Now(),
+		start: c.clk.Now(),
 		opts:  make(map[string]*optState, len(ops)),
 		open:  len(ops),
 	}
@@ -153,7 +155,7 @@ func (c *Coordinator) Submit(id txn.ID, ops []txn.Op, mode Mode, sink ProgressSi
 	}
 	c.active[id] = s
 	if c.cfg.CommitTimeout > 0 {
-		s.timer = time.AfterFunc(c.cfg.CommitTimeout, func() { c.onTimeout(id) })
+		s.timer = c.clk.AfterFunc(c.cfg.CommitTimeout, func() { c.onTimeout(id) })
 	}
 	c.mu.Unlock()
 
@@ -224,7 +226,7 @@ func (c *Coordinator) onVote(v voteMsg) {
 
 	// Emit the vote before any learn/decide it triggers, so sinks see
 	// vote counts that are consistent with option outcomes.
-	elapsed := time.Since(s.start)
+	elapsed := c.clk.Since(s.start)
 	if c.obs != nil {
 		c.obs.Vote(v.Region, v.Accept, elapsed)
 	}
@@ -285,7 +287,7 @@ func (c *Coordinator) learnLocked(s *commitState, st *optState, accepted bool, r
 	s.open--
 
 	s.sink.Progress(ProgressEvent{Txn: s.id, Kind: KindOptionLearned, Key: st.op.Key,
-		Accept: accepted, Reason: reason, Elapsed: time.Since(s.start)})
+		Accept: accepted, Reason: reason, Elapsed: c.clk.Since(s.start)})
 
 	if !accepted {
 		c.decideLocked(s, false, reasonErr(reason))
@@ -328,10 +330,10 @@ func (c *Coordinator) decideLocked(s *commitState, commit bool, err error) {
 		c.cfg.Net.Send(c.cfg.Addr, rep, decideMsg{Txn: s.id, Commit: commit, Options: s.ops})
 	}
 	if c.obs != nil {
-		c.obs.Decided(commit, time.Since(s.start))
+		c.obs.Decided(commit, c.clk.Since(s.start))
 	}
 	s.sink.Progress(ProgressEvent{Txn: s.id, Kind: KindDecided,
-		Accept: commit, Elapsed: time.Since(s.start)})
+		Accept: commit, Elapsed: c.clk.Since(s.start)})
 	s.sink.Decided(s.id, commit, err)
 }
 
@@ -356,10 +358,10 @@ func (c *Coordinator) Crash() {
 		}
 		delete(c.active, id)
 		if c.obs != nil {
-			c.obs.Decided(false, time.Since(s.start))
+			c.obs.Decided(false, c.clk.Since(s.start))
 		}
 		s.sink.Progress(ProgressEvent{Txn: id, Kind: KindDecided,
-			Accept: false, Elapsed: time.Since(s.start)})
+			Accept: false, Elapsed: c.clk.Since(s.start)})
 		s.sink.Decided(id, false, ErrCrashed)
 	}
 }

@@ -1,8 +1,6 @@
 package mdcc
 
 import (
-	"time"
-
 	"planet/internal/simnet"
 	"planet/internal/txn"
 )
@@ -234,7 +232,7 @@ func (r *Replica) sequenceLocked(ks *masterKey, p classicProposeMsg) []envelope 
 		return nil
 	}
 	rc := r.rec(key)
-	rc.evictStale(time.Now(), r.cfg.PendingTTL)
+	rc.evictStale(r.clk.Now(), r.cfg.PendingTTL)
 	if reason := rc.validate(p.Option, ks.ballot, p.Txn); reason != ReasonNone {
 		return []envelope{{p.Coord, classicResultMsg{Txn: p.Txn, Key: key,
 			Accepted: false, Reason: reason}}}
@@ -245,7 +243,7 @@ func (r *Replica) sequenceLocked(ks *masterKey, p classicProposeMsg) []envelope 
 // proposeAtMasterLocked runs phase 2 for one option: the master accepts
 // locally, then asks its peers. Caller holds r.mu; returns staged messages.
 func (r *Replica) proposeAtMasterLocked(ks *masterKey, key string, id txn.ID, op txn.Op, coord *simnet.Addr) []envelope {
-	now := time.Now()
+	now := r.clk.Now()
 	rc := r.rec(key)
 	rc.evictConflictingBelow(op, ks.ballot, id)
 	rc.addPending(id, op, ks.ballot, now)
@@ -281,7 +279,7 @@ func (r *Replica) onPhase2a(m phase2aMsg) {
 		if m.Ballot >= rc.promised {
 			rc.promised = m.Ballot
 			rc.evictConflictingBelow(m.Option, m.Ballot, m.Txn)
-			rc.addPending(m.Txn, m.Option, m.Ballot, time.Now())
+			rc.addPending(m.Txn, m.Option, m.Ballot, r.clk.Now())
 			accept = true
 		}
 	}

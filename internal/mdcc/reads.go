@@ -6,6 +6,7 @@ import (
 	"time"
 
 	"planet/internal/simnet"
+	"planet/internal/vclock"
 )
 
 // PLANET serves reads from the client's local replica — fast, but a read
@@ -38,7 +39,7 @@ type readWaiter struct {
 	got     int
 	found   bool
 	best    Value
-	done    chan struct{}
+	done    *vclock.Event
 	settled bool
 }
 
@@ -50,7 +51,7 @@ var readSeq atomic.Uint64
 // key.
 func (c *Coordinator) QuorumRead(key string, timeout time.Duration) (value Value, found bool, err error) {
 	id := readSeq.Add(1)
-	w := &readWaiter{need: ClassicQuorum(c.N()), done: make(chan struct{})}
+	w := &readWaiter{need: ClassicQuorum(c.N()), done: c.clk.NewEvent()}
 
 	c.mu.Lock()
 	if c.reads == nil {
@@ -63,11 +64,7 @@ func (c *Coordinator) QuorumRead(key string, timeout time.Duration) (value Value
 		c.cfg.Net.Send(c.cfg.Addr, rep, readReq{ReqID: id, Key: key, From: c.cfg.Addr})
 	}
 
-	timer := time.NewTimer(timeout)
-	defer timer.Stop()
-	select {
-	case <-w.done:
-	case <-timer.C:
+	if !w.done.WaitTimeout(timeout) {
 		c.mu.Lock()
 		delete(c.reads, id)
 		settled := w.settled
@@ -100,7 +97,7 @@ func (c *Coordinator) onReadResp(r readResp) {
 	}
 	if w.got >= w.need {
 		w.settled = true
-		close(w.done)
+		w.done.Fire()
 	}
 }
 

@@ -7,6 +7,7 @@ import (
 
 	"planet/internal/simnet"
 	"planet/internal/txn"
+	"planet/internal/vclock"
 )
 
 // ReplicaConfig parameterizes one region's replica.
@@ -29,6 +30,7 @@ type ReplicaConfig struct {
 // assigned to its region.
 type Replica struct {
 	cfg ReplicaConfig
+	clk vclock.Clock // the network's clock
 
 	mu      sync.Mutex
 	records map[string]*record
@@ -63,6 +65,7 @@ type seedRecord struct {
 func NewReplica(cfg ReplicaConfig) *Replica {
 	r := &Replica{
 		cfg:      cfg,
+		clk:      cfg.Net.Clock(),
 		records:  make(map[string]*record),
 		decided:  make(map[txn.ID]bool),
 		masters:  make(map[string]*masterKey),
@@ -288,7 +291,7 @@ func (r *Replica) recv(m simnet.Message) {
 // onPropose handles a fast-path proposal: validate each option against
 // committed state and pendings, record accepted options, and vote.
 func (r *Replica) onPropose(p proposeMsg) {
-	now := time.Now()
+	now := r.clk.Now()
 	votes := make([]voteMsg, 0, len(p.Options))
 
 	r.mu.Lock()
@@ -347,7 +350,7 @@ func (r *Replica) onDecide(d decideMsg) {
 	// opposite order, and a replay of physical (OpSet) writes would then
 	// reconstruct the wrong final value.
 	if r.cfg.WAL != nil {
-		r.cfg.WAL.Append(Entry{Txn: d.Txn, Commit: d.Commit, Options: d.Options, At: time.Now()})
+		r.cfg.WAL.Append(Entry{Txn: d.Txn, Commit: d.Commit, Options: d.Options, At: r.clk.Now()})
 	}
 	r.mu.Unlock()
 }

@@ -6,6 +6,7 @@ import (
 	"time"
 
 	"planet/internal/simnet"
+	"planet/internal/vclock"
 )
 
 // A replica that was partitioned misses the decide messages broadcast while
@@ -33,9 +34,12 @@ type syncResp struct {
 
 var syncSeq atomic.Uint64
 
-// syncWaiter holds the rendezvous for one SyncFrom call.
+// syncWaiter holds the rendezvous for one SyncFrom call. resp is written
+// once under r.mu before done fires.
 type syncWaiter struct {
-	done chan syncResp
+	done *vclock.Event
+	resp syncResp
+	ok   bool
 }
 
 // SyncFrom pulls peer's committed snapshot and applies every record whose
@@ -43,7 +47,7 @@ type syncWaiter struct {
 // and returns the number of records repaired.
 func (r *Replica) SyncFrom(peer simnet.Addr, timeout time.Duration) (int, error) {
 	id := syncSeq.Add(1)
-	w := &syncWaiter{done: make(chan syncResp, 1)}
+	w := &syncWaiter{done: r.clk.NewEvent()}
 
 	r.mu.Lock()
 	if r.syncs == nil {
@@ -59,14 +63,13 @@ func (r *Replica) SyncFrom(peer simnet.Addr, timeout time.Duration) (int, error)
 
 	r.send(peer, syncReq{ReqID: id, From: r.cfg.Addr})
 
-	timer := time.NewTimer(timeout)
-	defer timer.Stop()
-	select {
-	case resp := <-w.done:
-		return r.applySnapshot(resp.Records), nil
-	case <-timer.C:
+	if !w.done.WaitTimeout(timeout) {
 		return 0, fmt.Errorf("mdcc: sync from %s: %w", peer, ErrTimeout)
 	}
+	r.mu.Lock()
+	resp := w.resp
+	r.mu.Unlock()
+	return r.applySnapshot(resp.Records), nil
 }
 
 // applySnapshot adopts fresher committed records.
@@ -107,12 +110,12 @@ func (r *Replica) onSyncReq(q syncReq) {
 func (r *Replica) onSyncResp(resp syncResp) {
 	r.mu.Lock()
 	w := r.syncs[resp.ReqID]
-	r.mu.Unlock()
-	if w == nil {
+	if w == nil || w.ok {
+		r.mu.Unlock()
 		return
 	}
-	select {
-	case w.done <- resp:
-	default:
-	}
+	w.resp = resp
+	w.ok = true
+	r.mu.Unlock()
+	w.done.Fire()
 }

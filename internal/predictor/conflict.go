@@ -22,6 +22,8 @@ import (
 	"math"
 	"sync"
 	"time"
+
+	"planet/internal/vclock"
 )
 
 // decayed is an exponentially decayed pair of accept/total weights.
@@ -68,6 +70,7 @@ func (d *decayed) rate(now time.Time, hl time.Duration, prior float64, priorWeig
 // Safe for concurrent use.
 type ConflictTracker struct {
 	mu       sync.Mutex
+	clk      vclock.Clock
 	halfLife time.Duration
 	keys     map[string]*decayed
 	global   decayed
@@ -79,7 +82,13 @@ type ConflictTracker struct {
 // The tracker caps per-key state at a fixed size and falls back to the
 // global rate for evicted keys.
 func NewConflictTracker(halfLife time.Duration) *ConflictTracker {
+	return newConflictTracker(halfLife, vclock.System)
+}
+
+// newConflictTracker binds the tracker to a clock for decay timestamps.
+func newConflictTracker(halfLife time.Duration, clk vclock.Clock) *ConflictTracker {
 	return &ConflictTracker{
+		clk:      clk,
 		halfLife: halfLife,
 		keys:     make(map[string]*decayed),
 		maxKeys:  1 << 16,
@@ -88,7 +97,7 @@ func NewConflictTracker(halfLife time.Duration) *ConflictTracker {
 
 // Observe records one vote on key.
 func (t *ConflictTracker) Observe(key string, accept bool) {
-	now := time.Now()
+	now := t.clk.Now()
 	t.mu.Lock()
 	defer t.mu.Unlock()
 	t.global.observe(now, accept, t.halfLife)
@@ -111,7 +120,7 @@ const priorStrength = 4
 
 // AcceptProb returns the estimated probability that a vote on key accepts.
 func (t *ConflictTracker) AcceptProb(key string) float64 {
-	now := time.Now()
+	now := t.clk.Now()
 	t.mu.Lock()
 	defer t.mu.Unlock()
 	g := t.global.rate(now, t.halfLife, 0.98, priorStrength)
@@ -124,7 +133,7 @@ func (t *ConflictTracker) AcceptProb(key string) float64 {
 
 // GlobalAcceptProb returns the store-wide vote-accept probability.
 func (t *ConflictTracker) GlobalAcceptProb() float64 {
-	now := time.Now()
+	now := t.clk.Now()
 	t.mu.Lock()
 	defer t.mu.Unlock()
 	return t.global.rate(now, t.halfLife, 0.98, priorStrength)

@@ -6,6 +6,7 @@ import (
 
 	"planet/internal/latency"
 	"planet/internal/simnet"
+	"planet/internal/vclock"
 )
 
 // Config parameterizes a Predictor. One predictor serves one coordinator
@@ -26,6 +27,8 @@ type Config struct {
 	// UseLatency toggles deadline-awareness; without a deadline the term
 	// is inert either way.
 	UseLatency bool
+	// Clock timestamps decay horizons. Nil means the real system clock.
+	Clock vclock.Clock
 }
 
 // Predictor estimates commit likelihood. Safe for concurrent use.
@@ -40,21 +43,22 @@ type Predictor struct {
 
 // decayedBox wraps a decayed counter with its own lock (package-internal).
 type decayedBox struct {
-	mu sync.Mutex
-	d  decayed
-	hl time.Duration
+	mu  sync.Mutex
+	clk vclock.Clock
+	d   decayed
+	hl  time.Duration
 }
 
 func (b *decayedBox) observe(accept bool) {
 	b.mu.Lock()
 	defer b.mu.Unlock()
-	b.d.observe(time.Now(), accept, b.hl)
+	b.d.observe(b.clk.Now(), accept, b.hl)
 }
 
 func (b *decayedBox) rate(prior float64) float64 {
 	b.mu.Lock()
 	defer b.mu.Unlock()
-	return b.d.rate(time.Now(), b.hl, prior, priorStrength)
+	return b.d.rate(b.clk.Now(), b.hl, prior, priorStrength)
 }
 
 // New constructs a Predictor.
@@ -65,10 +69,11 @@ func New(cfg Config) *Predictor {
 	if cfg.LatencyWindow == 0 {
 		cfg.LatencyWindow = 512
 	}
+	clk := vclock.Default(cfg.Clock)
 	p := &Predictor{
 		cfg:       cfg,
-		conflicts: NewConflictTracker(cfg.ConflictHalfLife),
-		classic:   &decayedBox{hl: cfg.ConflictHalfLife},
+		conflicts: newConflictTracker(cfg.ConflictHalfLife, clk),
+		classic:   &decayedBox{hl: cfg.ConflictHalfLife, clk: clk},
 		rtt:       make(map[simnet.Region]*latency.Recorder, len(cfg.Regions)),
 	}
 	for _, r := range cfg.Regions {

@@ -12,12 +12,15 @@ package simnet
 
 import (
 	"fmt"
+	"hash/fnv"
+	"math"
 	"math/rand"
 	"sync"
 	"sync/atomic"
 	"time"
 
 	"planet/internal/latency"
+	"planet/internal/vclock"
 )
 
 // Region names a datacenter/availability region.
@@ -36,7 +39,8 @@ func (a Addr) String() string { return string(a.Region) + "/" + a.Name }
 type Message struct {
 	From, To Addr
 	Payload  any
-	// SentAt is the (scaled, wall-clock) send timestamp.
+	// SentAt is the send timestamp on the network's clock (wall time under
+	// the real clock, virtual time under a virtual one).
 	SentAt time.Time
 }
 
@@ -123,22 +127,47 @@ type Config struct {
 	Seed int64
 	// LossRate drops messages uniformly at random, in [0,1).
 	LossRate float64
+	// Clock drives delivery timers, send timestamps, and Quiesce. Nil means
+	// the real system clock; a *vclock.Virtual runs the network at CPU
+	// speed with deterministic delivery order.
+	Clock vclock.Clock
+}
+
+// sendShards is the fixed number of RNG shards for the send path. A fixed
+// count (rather than GOMAXPROCS) keeps sender→shard assignment — and thus
+// every sampled delay — identical across machines.
+const sendShards = 8
+
+// rngShard is one independently-seeded sampling stream. Senders hash to a
+// shard, so concurrent sends from different nodes do not serialize on one
+// global RNG lock.
+type rngShard struct {
+	mu  sync.Mutex
+	rng *rand.Rand
+	_   [40]byte // pad to a cache line so shards don't false-share
 }
 
 // Network is the in-process WAN. Safe for concurrent use.
 type Network struct {
-	cfg      Config
-	scale    float64
-	mu       sync.Mutex
-	rng      *rand.Rand
-	nodes    map[Addr]Handler
-	down     map[Region]bool
-	cut      map[linkKey]bool
-	lossRate float64             // current loss rate; starts at cfg.LossRate
-	factor   map[linkKey]float64 // per-link delay multipliers (latency spikes)
-	closed   atomic.Bool
+	cfg    Config
+	scale  float64
+	clk    vclock.Clock
+	mu     sync.Mutex
+	nodes  map[Addr]Handler
+	down   map[Region]bool
+	cut    map[linkKey]bool
+	factor map[linkKey]float64 // per-link delay multipliers (latency spikes)
+	closed atomic.Bool
 
-	pending atomic.Int64 // messages sampled but not yet delivered
+	lossBits atomic.Uint64 // current loss rate as float64 bits (lock-free read on send)
+
+	shards  [sendShards]rngShard // per-sender delay/loss sampling streams
+	calibMu sync.Mutex
+	calib   *rand.Rand // dedicated stream for SampleDelay probes
+
+	pmu     sync.Mutex
+	pending int64         // messages sampled but not yet delivered
+	drained *vclock.Event // fired when pending hits zero; nil unless a Quiesce waits
 
 	obs atomic.Value // Observer, set via SetObserver
 
@@ -174,16 +203,33 @@ func New(cfg Config) (*Network, error) {
 	if scale <= 0 {
 		scale = 1
 	}
-	return &Network{
-		cfg:      cfg,
-		scale:    scale,
-		rng:      rand.New(rand.NewSource(cfg.Seed)),
-		nodes:    make(map[Addr]Handler),
-		down:     make(map[Region]bool),
-		cut:      make(map[linkKey]bool),
-		lossRate: cfg.LossRate,
-		factor:   make(map[linkKey]float64),
-	}, nil
+	n := &Network{
+		cfg:    cfg,
+		scale:  scale,
+		clk:    vclock.Default(cfg.Clock),
+		nodes:  make(map[Addr]Handler),
+		down:   make(map[Region]bool),
+		cut:    make(map[linkKey]bool),
+		factor: make(map[linkKey]float64),
+		calib:  rand.New(rand.NewSource(cfg.Seed ^ 0x5eed5eed)),
+	}
+	for i := range n.shards {
+		n.shards[i].rng = rand.New(rand.NewSource(cfg.Seed + int64(i)))
+	}
+	n.lossBits.Store(math.Float64bits(cfg.LossRate))
+	return n, nil
+}
+
+// Clock returns the network's time source.
+func (n *Network) Clock() vclock.Clock { return n.clk }
+
+// shardFor deterministically maps a sender to an RNG shard.
+func (n *Network) shardFor(from Addr) *rngShard {
+	h := fnv.New32a()
+	h.Write([]byte(from.Region))
+	h.Write([]byte{0})
+	h.Write([]byte(from.Name))
+	return &n.shards[h.Sum32()%sendShards]
 }
 
 // TimeScale returns the effective scale factor (always > 0).
@@ -237,16 +283,12 @@ func (n *Network) SetLossRate(rate float64) {
 	if rate > 1 {
 		rate = 1
 	}
-	n.mu.Lock()
-	defer n.mu.Unlock()
-	n.lossRate = rate
+	n.lossBits.Store(math.Float64bits(rate))
 }
 
 // LossRate returns the current loss rate.
 func (n *Network) LossRate() float64 {
-	n.mu.Lock()
-	defer n.mu.Unlock()
-	return n.lossRate
+	return math.Float64frombits(n.lossBits.Load())
 }
 
 // SetLinkDelayFactor multiplies every sampled delay on the directed link
@@ -290,25 +332,35 @@ func (n *Network) Send(from, to Addr, payload any) {
 		n.drop(obs, from, to)
 		return
 	}
-	if n.lossRate > 0 && n.rng.Float64() < n.lossRate {
-		n.mu.Unlock()
+	factor, hasFactor := n.factor[linkKey{from.Region, to.Region}]
+	n.mu.Unlock()
+
+	// Loss and delay sampling run on a per-sender shard, off the global
+	// lock, so concurrent senders don't serialize on one shared RNG.
+	lossRate := n.LossRate()
+	sh := n.shardFor(from)
+	sh.mu.Lock()
+	if lossRate > 0 && sh.rng.Float64() < lossRate {
+		sh.mu.Unlock()
 		n.drop(obs, from, to)
 		return
 	}
-	delay := n.cfg.Latency.Link(from.Region, to.Region).Sample(n.rng)
-	if f, ok := n.factor[linkKey{from.Region, to.Region}]; ok {
-		delay = time.Duration(float64(delay) * f)
+	delay := n.cfg.Latency.Link(from.Region, to.Region).Sample(sh.rng)
+	sh.mu.Unlock()
+	if hasFactor {
+		delay = time.Duration(float64(delay) * factor)
 	}
-	n.mu.Unlock()
 
 	scaled := time.Duration(float64(delay) * n.scale)
 	if obs != nil {
 		obs.MessageSent(from.Region, to.Region, scaled)
 	}
-	msg := Message{From: from, To: to, Payload: payload, SentAt: time.Now()}
-	n.pending.Add(1)
-	time.AfterFunc(scaled, func() {
-		defer n.pending.Add(-1)
+	msg := Message{From: from, To: to, Payload: payload, SentAt: n.clk.Now()}
+	n.pmu.Lock()
+	n.pending++
+	n.pmu.Unlock()
+	n.clk.AfterFunc(scaled, func() {
+		defer n.deliveryDone()
 		obs := n.observer()
 		if n.closed.Load() {
 			n.drop(obs, from, to)
@@ -330,6 +382,22 @@ func (n *Network) Send(from, to Addr, payload any) {
 	})
 }
 
+// deliveryDone retires one in-flight message and wakes Quiesce waiters when
+// the network drains.
+func (n *Network) deliveryDone() {
+	n.pmu.Lock()
+	n.pending--
+	var ev *vclock.Event
+	if n.pending == 0 && n.drained != nil {
+		ev = n.drained
+		n.drained = nil
+	}
+	n.pmu.Unlock()
+	if ev != nil {
+		ev.Fire()
+	}
+}
+
 // drop accounts one dropped message.
 func (n *Network) drop(obs Observer, from, to Addr) {
 	n.Dropped.Add(1)
@@ -339,30 +407,54 @@ func (n *Network) drop(obs Observer, from, to Addr) {
 }
 
 // SampleDelay draws one unscaled one-way delay for the pair, for calibration
-// probes and the predictor's bootstrap.
+// probes and the predictor's bootstrap. It consumes a dedicated RNG stream
+// so probing never perturbs the send path's deterministic sampling.
 func (n *Network) SampleDelay(from, to Region) time.Duration {
-	n.mu.Lock()
-	defer n.mu.Unlock()
-	return n.cfg.Latency.Link(from, to).Sample(n.rng)
+	n.calibMu.Lock()
+	defer n.calibMu.Unlock()
+	return n.cfg.Latency.Link(from, to).Sample(n.calib)
 }
 
-// Close stops future sends and suppresses undelivered messages.
-func (n *Network) Close() { n.closed.Store(true) }
+// Close stops future sends and suppresses undelivered messages. Quiesce
+// waiters are released: once closed, every in-flight message is doomed to
+// be dropped on arrival, so there is nothing worth waiting for.
+func (n *Network) Close() {
+	n.closed.Store(true)
+	n.pmu.Lock()
+	ev := n.drained
+	n.drained = nil
+	n.pmu.Unlock()
+	if ev != nil {
+		ev.Fire()
+	}
+}
 
 // Quiesce waits until no messages are in flight or the timeout elapses,
-// and reports whether the network drained. Once the network is closed every
-// in-flight message is doomed to be dropped on arrival, so Quiesce returns
-// true immediately rather than waiting out long-delayed stragglers.
+// and reports whether the network drained. Waiting is event-driven — the
+// last delivery (or Close) wakes us — so draining burns no CPU and has no
+// polling-latency floor; under a virtual clock it costs no wall time at all.
 func (n *Network) Quiesce(timeout time.Duration) bool {
-	deadline := time.Now().Add(timeout)
-	for n.pending.Load() != 0 {
+	deadline := n.clk.Now().Add(timeout)
+	for {
 		if n.closed.Load() {
 			return true
 		}
-		if time.Now().After(deadline) {
+		n.pmu.Lock()
+		if n.pending == 0 {
+			n.pmu.Unlock()
+			return true
+		}
+		if n.drained == nil {
+			n.drained = n.clk.NewEvent()
+		}
+		ev := n.drained
+		n.pmu.Unlock()
+		remaining := n.clk.Until(deadline)
+		if remaining <= 0 {
 			return false
 		}
-		time.Sleep(200 * time.Microsecond)
+		if !ev.WaitTimeout(remaining) {
+			return n.closed.Load()
+		}
 	}
-	return true
 }

@@ -1,0 +1,345 @@
+package vclock
+
+import (
+	"context"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// newTestClock returns a running Virtual clock and registers its shutdown.
+func newTestClock(t *testing.T) *Virtual {
+	t.Helper()
+	v := NewVirtual()
+	t.Cleanup(v.Shutdown)
+	return v
+}
+
+func TestVirtualSleepAdvancesWithoutWallTime(t *testing.T) {
+	v := newTestClock(t)
+	wall := time.Now()
+	before := v.Now()
+	v.Sleep(10 * time.Hour)
+	if got := v.Since(before); got != 10*time.Hour {
+		t.Fatalf("virtual elapsed = %v, want 10h", got)
+	}
+	if elapsed := time.Since(wall); elapsed > 2*time.Second {
+		t.Fatalf("10h virtual sleep took %v of wall time", elapsed)
+	}
+	if v.Running() != 1 {
+		t.Fatalf("running = %d after sleep, want 1 (the creator)", v.Running())
+	}
+}
+
+func TestVirtualTimerOrdering(t *testing.T) {
+	v := newTestClock(t)
+	var order []int
+	record := func(id int) func() { return func() { order = append(order, id) } }
+	// Timers 1 and 2 tie at 5ms: creation order must break the tie.
+	v.AfterFunc(5*time.Millisecond, record(1))
+	v.AfterFunc(5*time.Millisecond, record(2))
+	v.AfterFunc(9*time.Millisecond, record(3))
+	v.AfterFunc(7*time.Millisecond, record(4))
+	v.Sleep(20 * time.Millisecond)
+	want := []int{1, 2, 4, 3}
+	if len(order) != len(want) {
+		t.Fatalf("order = %v, want %v", order, want)
+	}
+	for i := range want {
+		if order[i] != want[i] {
+			t.Fatalf("order = %v, want %v", order, want)
+		}
+	}
+}
+
+func TestVirtualIdleAdvanceWithBlockedGoroutines(t *testing.T) {
+	v := newTestClock(t)
+	g := NewGroup(v)
+	var sum atomic.Int64
+	for i := 1; i <= 4; i++ {
+		i := i
+		g.Go(func() {
+			v.Sleep(time.Duration(i) * time.Hour)
+			sum.Add(int64(i))
+		})
+	}
+	g.Wait()
+	if got := sum.Load(); got != 10 {
+		t.Fatalf("sum = %d, want 10", got)
+	}
+	if got := v.Since(epoch); got != 4*time.Hour {
+		t.Fatalf("virtual time advanced to %v, want 4h", got)
+	}
+}
+
+func TestVirtualDeterministicGrantOrder(t *testing.T) {
+	// Goroutines spawned in order, all sleeping until the same instant,
+	// must resume in spawn order — every run, regardless of host load. No
+	// mutex around order: serialized execution means the appends cannot
+	// race, and -race verifies that claim.
+	for trial := 0; trial < 20; trial++ {
+		v := NewVirtual()
+		g := NewGroup(v)
+		var order []int
+		for i := 0; i < 8; i++ {
+			i := i
+			g.Go(func() {
+				v.Sleep(time.Second) // identical deadline for everyone
+				order = append(order, i)
+			})
+		}
+		g.Wait()
+		if len(order) != 8 {
+			t.Fatalf("trial %d: woke %d of 8", trial, len(order))
+		}
+		for i := range order {
+			if order[i] != i {
+				t.Fatalf("trial %d: wake order = %v, want ascending", trial, order)
+			}
+		}
+		v.Shutdown()
+	}
+}
+
+func TestVirtualAfterFuncStopPreventsFire(t *testing.T) {
+	v := newTestClock(t)
+	fired := false
+	tm := v.AfterFunc(10*time.Millisecond, func() { fired = true })
+	if !tm.Stop() {
+		t.Fatal("Stop reported not-pending for a queued timer")
+	}
+	v.Sleep(50 * time.Millisecond)
+	if fired {
+		t.Fatal("stopped timer fired")
+	}
+}
+
+func TestVirtualTimerReset(t *testing.T) {
+	v := newTestClock(t)
+	var fires atomic.Int32
+	tm := v.AfterFunc(10*time.Millisecond, func() { fires.Add(1) })
+	if !tm.Reset(30 * time.Millisecond) {
+		t.Fatal("Reset reported not-pending for a queued timer")
+	}
+	v.Sleep(20 * time.Millisecond)
+	if got := fires.Load(); got != 0 {
+		t.Fatalf("timer fired %d times before the reset deadline", got)
+	}
+	v.Sleep(20 * time.Millisecond)
+	if got := fires.Load(); got != 1 {
+		t.Fatalf("timer fired %d times, want 1", got)
+	}
+	// Re-arming after a fire works too.
+	tm.Reset(5 * time.Millisecond)
+	v.Sleep(10 * time.Millisecond)
+	if got := fires.Load(); got != 2 {
+		t.Fatalf("timer fired %d times after re-arm, want 2", got)
+	}
+}
+
+func TestVirtualEventHandoff(t *testing.T) {
+	v := newTestClock(t)
+	ev := v.NewEvent()
+	g := NewGroup(v)
+	var woke atomic.Int32
+	for i := 0; i < 3; i++ {
+		g.Go(func() {
+			ev.Wait()
+			woke.Add(1)
+		})
+	}
+	v.AfterFunc(time.Minute, ev.Fire)
+	g.Wait()
+	if got := woke.Load(); got != 3 {
+		t.Fatalf("woke = %d, want 3", got)
+	}
+	if !ev.Fired() {
+		t.Fatal("event not marked fired")
+	}
+	ev.Wait() // after Fire: returns immediately
+	select {
+	case <-ev.Done():
+	default:
+		t.Fatal("Done channel not closed after Fire")
+	}
+}
+
+func TestVirtualEventWaitTimeout(t *testing.T) {
+	v := newTestClock(t)
+	ev := v.NewEvent()
+	if ev.WaitTimeout(10 * time.Millisecond) {
+		t.Fatal("WaitTimeout reported fired on a silent event")
+	}
+	v.AfterFunc(5*time.Millisecond, ev.Fire)
+	if !ev.WaitTimeout(time.Hour) {
+		t.Fatal("WaitTimeout missed the fire")
+	}
+	if !ev.WaitTimeout(0) {
+		t.Fatal("WaitTimeout after fire must report true")
+	}
+}
+
+func TestVirtualSleepCtxCancel(t *testing.T) {
+	v := newTestClock(t)
+	ctx, cancel := context.WithCancel(context.Background())
+	g := NewGroup(v)
+	errCh := make(chan error, 1)
+	g.Go(func() {
+		errCh <- v.SleepCtx(ctx, time.Hour)
+	})
+	// Cancel from outside the virtual world; the sleeper must return with
+	// ctx's error without the clock having advanced to the full deadline.
+	cancel()
+	g.Wait()
+	if err := <-errCh; err != context.Canceled {
+		t.Fatalf("SleepCtx = %v, want context.Canceled", err)
+	}
+	if got := v.Since(epoch); got >= time.Hour {
+		t.Fatalf("clock advanced to +%v during canceled sleep", got)
+	}
+}
+
+func TestVirtualSleepCtxExpires(t *testing.T) {
+	v := newTestClock(t)
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	if err := v.SleepCtx(ctx, 30*time.Second); err != nil {
+		t.Fatalf("SleepCtx = %v, want nil", err)
+	}
+	if got := v.Since(epoch); got != 30*time.Second {
+		t.Fatalf("virtual elapsed = %v, want 30s", got)
+	}
+}
+
+func TestVirtualEventWaitCtxCancel(t *testing.T) {
+	v := newTestClock(t)
+	ev := v.NewEvent()
+	ctx, cancel := context.WithCancel(context.Background())
+	g := NewGroup(v)
+	errCh := make(chan error, 1)
+	g.Go(func() {
+		errCh <- ev.WaitCtx(ctx)
+	})
+	cancel()
+	g.Wait()
+	if err := <-errCh; err != context.Canceled {
+		t.Fatalf("WaitCtx = %v, want context.Canceled", err)
+	}
+}
+
+func TestVirtualAddWorkBlocksAdvance(t *testing.T) {
+	v := newTestClock(t)
+	var fired atomic.Bool
+	v.AfterFunc(time.Millisecond, func() { fired.Store(true) })
+	// The pin holds the world: even with the creator parked in a sleep,
+	// the 1ms timer must not fire while the pinned unit is outstanding.
+	v.AddWork(1)
+	done := make(chan struct{})
+	go func() {
+		time.Sleep(20 * time.Millisecond) // real time: give a buggy scheduler room
+		if fired.Load() {
+			t.Error("timer fired while work was pinned")
+		}
+		v.WorkDone()
+		close(done)
+	}()
+	v.Sleep(5 * time.Millisecond)
+	<-done
+	if !fired.Load() {
+		t.Fatal("timer never fired after the pin was released")
+	}
+}
+
+func TestVirtualTicketOrder(t *testing.T) {
+	v := newTestClock(t)
+	var order []int
+	// Reserve tickets 1 and 2, then an AfterFunc at +0 — the tickets were
+	// queued first and must run first even though their consumer
+	// goroutines attach late and in reverse.
+	t1 := v.Ticket()
+	t2 := v.Ticket()
+	v.AfterFunc(0, func() { order = append(order, 3) })
+	done := make(chan struct{})
+	go func() {
+		t2.Run(func() { order = append(order, 2) })
+		close(done)
+	}()
+	go func() {
+		t1.Run(func() { order = append(order, 1) })
+	}()
+	v.Sleep(time.Millisecond)
+	<-done
+	want := []int{1, 2, 3}
+	if len(order) != len(want) {
+		t.Fatalf("order = %v, want %v", order, want)
+	}
+	for i := range want {
+		if order[i] != want[i] {
+			t.Fatalf("order = %v, want %v", order, want)
+		}
+	}
+}
+
+func TestVirtualShutdownWakesSleepers(t *testing.T) {
+	v := NewVirtual()
+	g := NewGroup(v)
+	g.Go(func() {
+		v.Sleep(time.Hour)
+	})
+	// Pin the world so the scheduler cannot advance to the sleeper's
+	// deadline, then shut down: the sleeper must return early, not hang.
+	v.AddWork(1)
+	v.Shutdown()
+	done := make(chan struct{})
+	go func() {
+		g.Wait()
+		close(done)
+	}()
+	select {
+	case <-done:
+	case <-time.After(5 * time.Second):
+		t.Fatal("sleeper did not wake on Shutdown")
+	}
+}
+
+func TestRealClockBasics(t *testing.T) {
+	clk := System
+	start := clk.Now()
+	clk.Sleep(time.Millisecond)
+	if clk.Since(start) <= 0 {
+		t.Fatal("real clock did not advance")
+	}
+	ev := clk.NewEvent()
+	if ev.Fired() {
+		t.Fatal("fresh event fired")
+	}
+	ev.Fire()
+	ev.Wait()
+	if !ev.WaitTimeout(time.Second) {
+		t.Fatal("fired event reported timeout")
+	}
+	ran := false
+	clk.Ticket().Run(func() { ran = true })
+	if !ran {
+		t.Fatal("real ticket did not run inline")
+	}
+	g := NewGroup(clk)
+	var n atomic.Int32
+	for i := 0; i < 3; i++ {
+		g.Go(func() { n.Add(1) })
+	}
+	g.Wait()
+	if n.Load() != 3 {
+		t.Fatalf("group ran %d workers, want 3", n.Load())
+	}
+}
+
+func TestDefaultNilCoalesces(t *testing.T) {
+	if Default(nil) != System {
+		t.Fatal("Default(nil) is not the System clock")
+	}
+	v := newTestClock(t)
+	if Default(v) != Clock(v) {
+		t.Fatal("Default(v) did not pass through")
+	}
+}

@@ -3,11 +3,11 @@ package workload
 import (
 	"fmt"
 	"math/rand"
-	"sync"
 	"time"
 
 	planet "planet/internal/core"
 	"planet/internal/simnet"
+	"planet/internal/vclock"
 )
 
 // Options is the configuration shared by the drivers.
@@ -67,17 +67,16 @@ func (c Closed) Run() (*Report, error) {
 	if c.PerClient <= 0 {
 		c.PerClient = 1
 	}
+	clk := c.DB.Cluster().Clock()
 	report := NewReport()
-	start := time.Now()
+	start := clk.Now()
 
-	var wg sync.WaitGroup
+	g := vclock.NewGroup(clk)
 	errs := make(chan error, c.Clients)
 	for i := 0; i < c.Clients; i++ {
 		region := c.Regions[i%len(c.Regions)]
 		rng := rand.New(rand.NewSource(c.Seed + int64(i)*7919))
-		wg.Add(1)
-		go func() {
-			defer wg.Done()
+		g.Go(func() {
 			s, err := c.DB.Session(region)
 			if err != nil {
 				errs <- err
@@ -89,18 +88,18 @@ func (c Closed) Run() (*Report, error) {
 					errs <- fmt.Errorf("workload: build: %w", err)
 					return
 				}
-				h, err := tx.Commit(report.callbacks(region, c.SpeculateAt, c.Deadline))
+				h, err := tx.Commit(report.callbacks(clk, region, c.SpeculateAt, c.Deadline))
 				if err != nil {
 					errs <- fmt.Errorf("workload: commit: %w", err)
 					return
 				}
 				h.Wait()
 			}
-		}()
+		})
 	}
-	wg.Wait()
+	g.Wait()
 	close(errs)
-	report.Elapsed = time.Since(start)
+	report.Elapsed = clk.Since(start)
 	if err := <-errs; err != nil {
 		return report, err
 	}
@@ -130,6 +129,7 @@ func (o Open) Run() (*Report, error) {
 		o.Count = 100
 	}
 
+	clk := o.DB.Cluster().Clock()
 	report := NewReport()
 	rng := rand.New(rand.NewSource(o.Seed))
 	sessions := make([]*planet.Session, len(o.Regions))
@@ -141,15 +141,15 @@ func (o Open) Run() (*Report, error) {
 		sessions[i] = s
 	}
 
-	start := time.Now()
-	var wg sync.WaitGroup
+	start := clk.Now()
+	g := vclock.NewGroup(clk)
 	var firstErr error
-	next := time.Now()
+	next := start
 	for i := 0; i < o.Count; i++ {
 		// Poisson arrivals: exponential inter-arrival gaps.
 		next = next.Add(time.Duration(rng.ExpFloat64() / o.Rate * float64(time.Second)))
-		if d := time.Until(next); d > 0 {
-			time.Sleep(d)
+		if d := clk.Until(next); d > 0 {
+			clk.Sleep(d)
 		}
 		s := sessions[i%len(sessions)]
 		tx, err := o.Template.Build(s, rng)
@@ -157,18 +157,16 @@ func (o Open) Run() (*Report, error) {
 			firstErr = fmt.Errorf("workload: build: %w", err)
 			break
 		}
-		h, err := tx.Commit(report.callbacks(s.Region(), o.SpeculateAt, o.Deadline))
+		h, err := tx.Commit(report.callbacks(clk, s.Region(), o.SpeculateAt, o.Deadline))
 		if err != nil {
 			firstErr = fmt.Errorf("workload: commit: %w", err)
 			break
 		}
-		wg.Add(1)
-		go func() {
-			defer wg.Done()
+		g.Go(func() {
 			h.Wait()
-		}()
+		})
 	}
-	wg.Wait()
-	report.Elapsed = time.Since(start)
+	g.Wait()
+	report.Elapsed = clk.Since(start)
 	return report, firstErr
 }

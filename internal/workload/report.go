@@ -11,6 +11,7 @@ import (
 	"planet/internal/metrics"
 	"planet/internal/simnet"
 	"planet/internal/txn"
+	"planet/internal/vclock"
 )
 
 // Report aggregates the results of one workload run. All recording methods
@@ -34,7 +35,8 @@ type Report struct {
 	mu        sync.Mutex
 	perRegion map[simnet.Region]*metrics.Histogram
 
-	// Elapsed is the wall-clock duration of the run (set by drivers).
+	// Elapsed is the run's duration on the driving clock (wall time under
+	// the real clock, simulated time under a virtual one). Set by drivers.
 	Elapsed time.Duration
 }
 
@@ -128,23 +130,28 @@ func (r *Report) String() string {
 
 // callbackRecorder builds the CommitOptions that record one transaction
 // into the report, composing with any caller-specified speculation config.
-func (r *Report) callbacks(region simnet.Region, speculateAt float64, deadline time.Duration) planet.CommitOptions {
-	var start = time.Now()
+func (r *Report) callbacks(clk vclock.Clock, region simnet.Region, speculateAt float64, deadline time.Duration) planet.CommitOptions {
+	var start = clk.Now()
+	// Speculation can fire at the submission instant, where the elapsed
+	// time is exactly zero under a virtual clock — track "did speculate"
+	// explicitly rather than inferring it from a nonzero latency.
+	var speculated atomic.Bool
 	var specElapsed atomic.Int64
 	return planet.CommitOptions{
 		SpeculateAt: speculateAt,
 		Deadline:    deadline,
 		OnAccept: func(p planet.Progress) {
-			r.Accept.Observe(time.Since(start))
+			r.Accept.Observe(clk.Since(start))
 		},
 		OnSpeculative: func(p planet.Progress) {
-			e := time.Since(start)
+			e := clk.Since(start)
 			specElapsed.Store(int64(e))
+			speculated.Store(true)
 			r.Speculative.Observe(e)
 			r.Speculated.Add(1)
 		},
 		OnFinal: func(o txn.Outcome) {
-			e := time.Since(start)
+			e := clk.Since(start)
 			switch {
 			case o.Rejected:
 				r.Rejected.Add(1)
@@ -153,16 +160,16 @@ func (r *Report) callbacks(region simnet.Region, speculateAt float64, deadline t
 				r.Committed.Add(1)
 				r.Final.Observe(e)
 				r.regionHist(region).Observe(e)
-				if se := specElapsed.Load(); se > 0 {
-					r.Perceived.Observe(time.Duration(se))
+				if speculated.Load() {
+					r.Perceived.Observe(time.Duration(specElapsed.Load()))
 				} else {
 					r.Perceived.Observe(e)
 				}
 			default:
 				r.Aborted.Add(1)
 				r.Final.Observe(e)
-				if se := specElapsed.Load(); se > 0 {
-					r.Perceived.Observe(time.Duration(se))
+				if speculated.Load() {
+					r.Perceived.Observe(time.Duration(specElapsed.Load()))
 				} else {
 					r.Perceived.Observe(e)
 				}

@@ -12,3 +12,11 @@ go test -race -short ./internal/core ./internal/mdcc ./internal/obs
 # latency spike) must preserve the safety invariants under the race
 # detector. -short shrinks the workload but never skips.
 go test -race -run Soak -short ./internal/chaos/
+# Virtual-time gates. Determinism: the same seed must reproduce the F4
+# metric map bit-for-bit (twice per run, ten runs, plus a race pass over
+# the scheduler itself). Budget: the full experiment suite runs on the
+# virtual clock and must finish inside a wall-time budget a real-clock
+# run could never meet (it needs ~10s of sleeping per run alone).
+go test -count=10 -run TestVirtualTimeDeterminism .
+go test -race -count=2 ./internal/vclock
+go test -count=1 -timeout 60s -run 'TestExperimentsRunClean|TestEvaluationShapes' .
