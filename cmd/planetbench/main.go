@@ -15,32 +15,70 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
+	"runtime/pprof"
 	"time"
 
 	"planet/internal/experiments"
 )
 
-func main() {
+func main() { os.Exit(run()) }
+
+// run holds main's body so profile-flushing defers execute before the
+// process exits with a failure code (os.Exit skips defers).
+func run() int {
 	var (
 		quick      = flag.Bool("quick", false, "run reduced workload sizes")
 		seed       = flag.Int64("seed", 1, "random seed")
 		scale      = flag.Float64("scale", 0, "WAN time-compression factor (0 = default)")
 		list       = flag.Bool("list", false, "list experiments and exit")
 		showMetric = flag.Bool("metrics", false, "also print machine-readable metrics")
+		cpuProfile = flag.String("cpuprofile", "", "write a CPU profile of the selected experiments to `file`")
+		memProfile = flag.String("memprofile", "", "write an allocation profile to `file` on exit")
 	)
 	flag.Parse()
+
+	if *cpuProfile != "" {
+		f, err := os.Create(*cpuProfile)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "planetbench: %v\n", err)
+			return 1
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fmt.Fprintf(os.Stderr, "planetbench: cpuprofile: %v\n", err)
+			return 1
+		}
+		defer func() {
+			pprof.StopCPUProfile()
+			f.Close()
+		}()
+	}
+	if *memProfile != "" {
+		defer func() {
+			f, err := os.Create(*memProfile)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "planetbench: %v\n", err)
+				return
+			}
+			defer f.Close()
+			runtime.GC() // settle live heap before the snapshot
+			if err := pprof.WriteHeapProfile(f); err != nil {
+				fmt.Fprintf(os.Stderr, "planetbench: memprofile: %v\n", err)
+			}
+		}()
+	}
 
 	if *list {
 		for _, e := range experiments.Registry {
 			fmt.Printf("%-4s %s\n", e.ID, e.Title)
 		}
-		return
+		return 0
 	}
 
 	ids := flag.Args()
 	if len(ids) == 0 {
 		fmt.Fprintln(os.Stderr, "planetbench: no experiments given (try 'all' or -list)")
-		os.Exit(2)
+		return 2
 	}
 	if len(ids) == 1 && ids[0] == "all" {
 		ids = ids[:0]
@@ -72,6 +110,7 @@ func main() {
 		fmt.Printf("(%s ran in %s)\n\n", id, time.Since(start).Round(time.Millisecond))
 	}
 	if failed {
-		os.Exit(1)
+		return 1
 	}
+	return 0
 }

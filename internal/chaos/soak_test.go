@@ -35,12 +35,24 @@ func TestChaosSoakInvariants(t *testing.T) {
 	for _, seed := range []int64{1, 7, 42} {
 		seed := seed
 		t.Run(fmt.Sprintf("seed=%d", seed), func(t *testing.T) {
-			runChaosSoak(t, seed)
+			runChaosSoak(t, seed, false)
 		})
 	}
 }
 
-func runChaosSoak(t *testing.T, seed int64) {
+// TestChaosSoakInvariantsPerOptionWire repeats the soak on the legacy
+// one-message-per-option wire format: the safety invariants must hold
+// identically under both framings of the commit protocol.
+func TestChaosSoakInvariantsPerOptionWire(t *testing.T) {
+	for _, seed := range []int64{1, 7, 42} {
+		seed := seed
+		t.Run(fmt.Sprintf("seed=%d", seed), func(t *testing.T) {
+			runChaosSoak(t, seed, true)
+		})
+	}
+}
+
+func runChaosSoak(t *testing.T, seed int64, perOptionWire bool) {
 	clients, perClient := 20, 20
 	span := 30 * time.Second // unscaled; 300ms real at TimeScale 0.01
 	if testing.Short() {
@@ -54,7 +66,8 @@ func runChaosSoak(t *testing.T, seed int64) {
 		WAL:       true,
 		// Generous relative to the injected latency spikes, small enough
 		// that a blackout-stalled transaction resolves within the test.
-		CommitTimeout: 30 * time.Second,
+		CommitTimeout:     30 * time.Second,
+		PerOptionMessages: perOptionWire,
 	})
 	if err != nil {
 		t.Fatal(err)

@@ -48,6 +48,11 @@ type Config struct {
 	// Clock overrides the time source outright (tests). Takes precedence
 	// over VirtualTime; the caller keeps ownership.
 	Clock vclock.Clock
+	// PerOptionMessages runs the commit protocol on the legacy
+	// one-message-per-option wire format instead of per-destination
+	// batches. The batching equivalence tests use it; leave false
+	// otherwise.
+	PerOptionMessages bool
 }
 
 // Defaults used when Config fields are zero.
@@ -160,18 +165,20 @@ func New(cfg Config) (*Cluster, error) {
 			c.wals[r] = wal
 		}
 		c.replicas[r] = mdcc.NewReplica(mdcc.ReplicaConfig{
-			Net:        net,
-			Addr:       replicaAddrs[i],
-			Peers:      replicaAddrs,
-			PendingTTL: time.Duration(float64(cfg.PendingTTL) * cfg.TimeScale),
-			WAL:        wal,
+			Net:               net,
+			Addr:              replicaAddrs[i],
+			Peers:             replicaAddrs,
+			PendingTTL:        time.Duration(float64(cfg.PendingTTL) * cfg.TimeScale),
+			WAL:               wal,
+			PerOptionMessages: cfg.PerOptionMessages,
 		})
 		coord, err := mdcc.NewCoordinator(mdcc.CoordinatorConfig{
-			Net:           net,
-			Addr:          simnet.Addr{Region: r, Name: coordName},
-			Replicas:      replicaAddrs,
-			MasterFor:     masterFor,
-			CommitTimeout: time.Duration(float64(cfg.CommitTimeout) * cfg.TimeScale),
+			Net:               net,
+			Addr:              simnet.Addr{Region: r, Name: coordName},
+			Replicas:          replicaAddrs,
+			MasterFor:         masterFor,
+			CommitTimeout:     time.Duration(float64(cfg.CommitTimeout) * cfg.TimeScale),
+			PerOptionMessages: cfg.PerOptionMessages,
 		})
 		if err != nil {
 			return nil, err
@@ -210,6 +217,25 @@ func (c *Cluster) SeedBytes(key string, value []byte) {
 func (c *Cluster) SeedInt(key string, value, lo, hi int64) {
 	for _, rep := range c.replicas {
 		rep.SeedInt(key, value, lo, hi)
+	}
+}
+
+// SeedBytesAll installs key=value for every key at every replica in one
+// lock acquisition per replica. A single private copy of value is shared
+// across all records and replicas; committed slices are never written in
+// place, so the sharing is invisible to readers.
+func (c *Cluster) SeedBytesAll(keys []string, value []byte) {
+	v := append([]byte(nil), value...)
+	for _, rep := range c.replicas {
+		rep.SeedBytesAll(keys, v)
+	}
+}
+
+// SeedIntAll installs the same integer record with integrity bounds under
+// every key at every replica (bulk form of SeedInt).
+func (c *Cluster) SeedIntAll(keys []string, value, lo, hi int64) {
+	for _, rep := range c.replicas {
+		rep.SeedIntAll(keys, value, lo, hi)
 	}
 }
 

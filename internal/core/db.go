@@ -256,13 +256,14 @@ type Session struct {
 func (s *Session) Region() simnet.Region { return s.region }
 
 // ReadBytes returns the committed byte value and version of key at the
-// local replica.
+// local replica. The replica hands out immutable views; the copy here keeps
+// the public contract that callers own (and may scribble on) the result.
 func (s *Session) ReadBytes(key string) ([]byte, int64, error) {
 	v, ok := s.replica.ReadLocal(key)
 	if !ok {
 		return nil, 0, fmt.Errorf("planet: read %q: %w", key, ErrKeyNotFound)
 	}
-	return v.Bytes, v.Version, nil
+	return append([]byte(nil), v.Bytes...), v.Version, nil
 }
 
 // ReadInt returns the committed integer value and version of key at the
@@ -290,7 +291,7 @@ func (s *Session) QuorumReadBytes(key string) ([]byte, int64, error) {
 	if !found {
 		return nil, 0, fmt.Errorf("planet: quorum read %q: %w", key, ErrKeyNotFound)
 	}
-	return v.Bytes, v.Version, nil
+	return append([]byte(nil), v.Bytes...), v.Version, nil
 }
 
 // QuorumReadInt is QuorumReadBytes for integer records.

@@ -70,7 +70,7 @@ type CommitOptions struct {
 type optTrack struct {
 	key      string
 	accepts  int
-	voted    map[simnet.Region]bool
+	voted    uint64 // bitmask over Handle.regions indices
 	fellBack bool
 	learned  int
 }
@@ -86,8 +86,7 @@ type Handle struct {
 	mu         sync.Mutex
 	stage      txn.Stage
 	likelihood float64
-	keys       []string // option keys in submission order (deterministic)
-	tracks     map[string]*optTrack
+	tracks     []optTrack // per-option vote state, in submission order
 	votes      int
 	learnedN   int
 	speculated bool
@@ -154,15 +153,13 @@ func (t *Txn) Commit(opts CommitOptions) (*Handle, error) {
 		session: s,
 		opts:    opts,
 		regions: regionList,
-		tracks:  make(map[string]*optTrack, len(ops)),
+		tracks:  make([]optTrack, len(ops)),
 		start:   db.clk.Now(),
 		done:    db.clk.NewEvent(),
 	}
-	for _, op := range ops {
-		h.keys = append(h.keys, op.Key)
-		h.tracks[op.Key] = &optTrack{
+	for i, op := range ops {
+		h.tracks[i] = optTrack{
 			key:      op.Key,
-			voted:    make(map[simnet.Region]bool, len(regionList)),
 			fellBack: db.cfg.Mode == mdcc.ModeClassic,
 		}
 	}
@@ -370,14 +367,24 @@ func (h *Handle) onDeadline() {
 	h.enqueue(h.opts.OnDeadline, h.progressLocked())
 }
 
+// track returns the option state for key, or nil. Linear scan: transactions
+// touch a handful of keys, and the slice keeps submission order for free.
+func (h *Handle) track(key string) *optTrack {
+	for i := range h.tracks {
+		if h.tracks[i].key == key {
+			return &h.tracks[i]
+		}
+	}
+	return nil
+}
+
 // flightLocked converts the tracked state into the predictor's view.
-// Caller holds h.mu.
+// Caller holds h.mu. The tracks slice is in submission order, which keeps
+// the likelihood product bit-for-bit reproducible.
 func (h *Handle) flightLocked() predictor.Flight {
 	f := predictor.Flight{Elapsed: h.db.clk.Since(h.start), Deadline: h.opts.Deadline}
-	// Iterate in submission order, not map order: likelihood is a float
-	// product, so a stable order keeps it bit-for-bit reproducible.
-	for _, key := range h.keys {
-		tr := h.tracks[key]
+	for i := range h.tracks {
+		tr := &h.tracks[i]
 		of := predictor.OptionFlight{
 			Key:      tr.key,
 			Accepts:  tr.accepts,
@@ -385,8 +392,8 @@ func (h *Handle) flightLocked() predictor.Flight {
 			Learned:  tr.learned,
 		}
 		if !tr.fellBack && tr.learned == 0 {
-			for _, r := range h.regions {
-				if !tr.voted[r] {
+			for ri, r := range h.regions {
+				if tr.voted&(1<<uint(ri)) == 0 {
 					of.Remaining = append(of.Remaining, r)
 				}
 			}
@@ -413,11 +420,18 @@ func (hs *handleSink) Progress(e mdcc.ProgressEvent) {
 	case mdcc.KindSubmitted, mdcc.KindDecided:
 		return
 	case mdcc.KindVote:
-		tr := h.tracks[e.Key]
-		if tr == nil || tr.voted[e.Region] {
+		tr := h.track(e.Key)
+		var bit uint64
+		for ri, r := range h.regions {
+			if r == e.Region {
+				bit = 1 << uint(ri)
+				break
+			}
+		}
+		if tr == nil || bit == 0 || tr.voted&bit != 0 {
 			return
 		}
-		tr.voted[e.Region] = true
+		tr.voted |= bit
 		h.votes++
 		if e.Accept {
 			tr.accepts++
@@ -429,12 +443,12 @@ func (hs *handleSink) Progress(e mdcc.ProgressEvent) {
 		h.session.pred.ObserveVote(e.Key, e.Region, e.Accept, e.Elapsed)
 		evKind = obs.EvVote
 	case mdcc.KindFallback:
-		if tr := h.tracks[e.Key]; tr != nil {
+		if tr := h.track(e.Key); tr != nil {
 			tr.fellBack = true
 		}
 		evKind = obs.EvFallback
 	case mdcc.KindOptionLearned:
-		tr := h.tracks[e.Key]
+		tr := h.track(e.Key)
 		if tr == nil || tr.learned != 0 {
 			return
 		}

@@ -2,6 +2,7 @@ package mdcc
 
 import (
 	"fmt"
+	"math/bits"
 	"sync"
 	"time"
 
@@ -23,6 +24,10 @@ type CoordinatorConfig struct {
 	// CommitTimeout bounds a transaction's in-flight time (already
 	// time-scaled). Zero disables the timeout.
 	CommitTimeout time.Duration
+	// PerOptionMessages restores the legacy wire protocol: one classic
+	// propose message per option instead of one batch per master.
+	// Equivalence tests use it; see ReplicaConfig.PerOptionMessages.
+	PerOptionMessages bool
 }
 
 // optStatus is the lifecycle of a single option at the coordinator.
@@ -39,7 +44,7 @@ const (
 type optState struct {
 	op      txn.Op
 	status  optStatus
-	voted   map[simnet.Region]bool
+	voted   uint64 // bitmask over replica indices (see Coordinator.regionBit)
 	accepts int
 	rejects int
 	reason  RejectReason
@@ -47,15 +52,28 @@ type optState struct {
 
 // commitState is a transaction in flight at the coordinator.
 type commitState struct {
-	id      txn.ID
-	ops     []txn.Op
-	mode    Mode
-	sink    ProgressSink
-	start   time.Time
-	opts    map[string]*optState
+	id    txn.ID
+	ops   []txn.Op
+	mode  Mode
+	sink  ProgressSink
+	start time.Time
+	// opts holds per-option vote state inline, in submission order. A
+	// linear key scan over a handful of options beats a map on both
+	// allocation count and lookup cost.
+	opts    []optState
 	open    int // options not yet learned
 	decided bool
 	timer   vclock.Timer
+}
+
+// opt returns the state for key, or nil.
+func (s *commitState) opt(key string) *optState {
+	for i := range s.opts {
+		if s.opts[i].op.Key == key {
+			return &s.opts[i]
+		}
+	}
+	return nil
 }
 
 // CoordObserver receives a coordinator's protocol instrumentation: votes as
@@ -118,15 +136,15 @@ func (c *Coordinator) N() int { return len(c.cfg.Replicas) }
 // is delivered through sink from network goroutines. A transaction with no
 // writes commits immediately.
 func (c *Coordinator) Submit(id txn.ID, ops []txn.Op, mode Mode, sink ProgressSink) error {
-	seen := make(map[string]bool, len(ops))
-	for _, op := range ops {
+	for i, op := range ops {
 		if op.Key == "" {
 			return fmt.Errorf("mdcc: %s has an operation with an empty key", id)
 		}
-		if seen[op.Key] {
-			return fmt.Errorf("mdcc: %s has multiple operations on key %q", id, op.Key)
+		for _, prev := range ops[:i] {
+			if prev.Key == op.Key {
+				return fmt.Errorf("mdcc: %s has multiple operations on key %q", id, op.Key)
+			}
 		}
-		seen[op.Key] = true
 	}
 
 	s := &commitState{
@@ -135,15 +153,14 @@ func (c *Coordinator) Submit(id txn.ID, ops []txn.Op, mode Mode, sink ProgressSi
 		mode:  mode,
 		sink:  sink,
 		start: c.clk.Now(),
-		opts:  make(map[string]*optState, len(ops)),
+		opts:  make([]optState, len(ops)),
 		open:  len(ops),
 	}
-	for _, op := range ops {
-		st := &optState{op: op, voted: make(map[simnet.Region]bool)}
+	for i, op := range ops {
+		s.opts[i].op = op
 		if mode == ModeClassic {
-			st.status = optClassic
+			s.opts[i].status = optClassic
 		}
-		s.opts[op.Key] = st
 	}
 
 	c.mu.Lock()
@@ -170,16 +187,57 @@ func (c *Coordinator) Submit(id txn.ID, ops []txn.Op, mode Mode, sink ProgressSi
 
 	switch mode {
 	case ModeClassic:
-		for _, op := range ops {
-			c.cfg.Net.Send(c.cfg.Addr, c.cfg.MasterFor(op.Key),
-				classicProposeMsg{Txn: id, Coord: c.cfg.Addr, Option: op})
-		}
+		c.sendClassic(id, ops)
 	default:
 		for _, rep := range c.cfg.Replicas {
 			c.cfg.Net.Send(c.cfg.Addr, rep, proposeMsg{Txn: id, Coord: c.cfg.Addr, Options: ops})
 		}
 	}
 	return nil
+}
+
+// sendClassic routes options to their masters: one classicProposeBatchMsg
+// per master normally (grouped in option order, never map order, so routing
+// is deterministic), one classicProposeMsg per option in compat mode.
+func (c *Coordinator) sendClassic(id txn.ID, ops []txn.Op) {
+	if c.cfg.PerOptionMessages {
+		for _, op := range ops {
+			c.cfg.Net.Send(c.cfg.Addr, c.cfg.MasterFor(op.Key),
+				classicProposeMsg{Txn: id, Coord: c.cfg.Addr, Option: op})
+		}
+		return
+	}
+	type masterGroup struct {
+		to  simnet.Addr
+		ops []txn.Op
+	}
+	var groups []masterGroup
+outer:
+	for _, op := range ops {
+		to := c.cfg.MasterFor(op.Key)
+		for i := range groups {
+			if groups[i].to == to {
+				groups[i].ops = append(groups[i].ops, op)
+				continue outer
+			}
+		}
+		groups = append(groups, masterGroup{to: to, ops: []txn.Op{op}})
+	}
+	for _, g := range groups {
+		c.cfg.Net.Send(c.cfg.Addr, g.to,
+			classicProposeBatchMsg{Txn: id, Coord: c.cfg.Addr, Options: g.ops})
+	}
+}
+
+// regionBit maps a replica's region to its bit in vote masks. ok is false
+// for regions outside the replica set, whose votes are ignored.
+func (c *Coordinator) regionBit(reg simnet.Region) (uint64, bool) {
+	for i, rep := range c.cfg.Replicas {
+		if rep.Region == reg {
+			return 1 << uint(i), true
+		}
+	}
+	return 0, false
 }
 
 // recv dispatches network messages.
@@ -194,14 +252,18 @@ func (c *Coordinator) recv(m simnet.Message) {
 	switch p := m.Payload.(type) {
 	case voteMsg:
 		c.onVote(p)
+	case voteBatchMsg:
+		c.onVoteBatch(p)
 	case classicResultMsg:
 		c.onClassicResult(p)
+	case classicResultBatchMsg:
+		c.onClassicResultBatch(p)
 	case readResp:
 		c.onReadResp(p)
 	}
 }
 
-// onVote processes one fast-path vote.
+// onVote processes one fast-path vote (compat wire format).
 func (c *Coordinator) onVote(v voteMsg) {
 	c.mu.Lock()
 	s := c.active[v.Txn]
@@ -209,18 +271,63 @@ func (c *Coordinator) onVote(v voteMsg) {
 		c.mu.Unlock()
 		return
 	}
-	st := s.opts[v.Key]
-	if st == nil || st.status != optFast || st.voted[v.Region] {
+	if op, fell := c.applyVoteLocked(s, v.Key, v.Region, v.Accept, v.Reason); fell {
+		c.sendClassic(s.id, []txn.Op{op})
+	}
+	c.mu.Unlock()
+}
+
+// onVoteBatch processes one replica's votes on every option of a proposal
+// under a single lock acquisition. Votes are applied in batch order — the
+// proposal's submission order — so sinks observe the same event sequence the
+// per-option protocol produces. Options whose fast quorum became unreachable
+// are re-routed to their masters together, grouped per destination.
+func (c *Coordinator) onVoteBatch(b voteBatchMsg) {
+	c.mu.Lock()
+	s := c.active[b.Txn]
+	if s == nil || s.decided {
 		c.mu.Unlock()
 		return
 	}
-	st.voted[v.Region] = true
-	if v.Accept {
+	var fallbacks []txn.Op
+	for _, v := range b.Votes {
+		if s.decided {
+			// A fatal reject earlier in the batch decided the transaction;
+			// the remaining votes are moot, as they would be if they
+			// arrived as separate messages.
+			break
+		}
+		if op, fell := c.applyVoteLocked(s, v.Key, b.Region, v.Accept, v.Reason); fell {
+			fallbacks = append(fallbacks, op)
+		}
+	}
+	if len(fallbacks) > 0 {
+		c.sendClassic(s.id, fallbacks)
+	}
+	c.mu.Unlock()
+}
+
+// applyVoteLocked folds one replica's vote on one option into the commit
+// state: duplicate suppression, quorum/fatality checks, and the resulting
+// learn/decide/fallback transition. When the option must fall back to its
+// master it is returned with fell=true; the caller sends it (batched with
+// any siblings from the same vote batch). Caller holds c.mu.
+func (c *Coordinator) applyVoteLocked(s *commitState, key string, region simnet.Region, accept bool, reason RejectReason) (op txn.Op, fell bool) {
+	st := s.opt(key)
+	if st == nil || st.status != optFast {
+		return txn.Op{}, false
+	}
+	bit, known := c.regionBit(region)
+	if !known || st.voted&bit != 0 {
+		return txn.Op{}, false
+	}
+	st.voted |= bit
+	if accept {
 		st.accepts++
 	} else {
 		st.rejects++
 		if st.reason == ReasonNone {
-			st.reason = v.Reason
+			st.reason = reason
 		}
 	}
 
@@ -228,19 +335,19 @@ func (c *Coordinator) onVote(v voteMsg) {
 	// vote counts that are consistent with option outcomes.
 	elapsed := c.clk.Since(s.start)
 	if c.obs != nil {
-		c.obs.Vote(v.Region, v.Accept, elapsed)
+		c.obs.Vote(region, accept, elapsed)
 	}
-	s.sink.Progress(ProgressEvent{Txn: s.id, Kind: KindVote, Key: v.Key,
-		Region: v.Region, Accept: v.Accept, Reason: v.Reason, Elapsed: elapsed})
+	s.sink.Progress(ProgressEvent{Txn: s.id, Kind: KindVote, Key: key,
+		Region: region, Accept: accept, Reason: reason, Elapsed: elapsed})
 
 	n := c.N()
 	fq := FastQuorum(n)
 	switch {
 	case st.accepts >= fq:
 		c.learnLocked(s, st, true, ReasonNone)
-	case !v.Accept && v.Reason.Fatal():
-		c.learnLocked(s, st, false, v.Reason)
-	case st.accepts+(n-len(st.voted)) < fq:
+	case !accept && reason.Fatal():
+		c.learnLocked(s, st, false, reason)
+	case st.accepts+(n-bits.OnesCount64(st.voted)) < fq:
 		// The fast quorum is out of reach: fall back to the master.
 		st.status = optClassic
 		st.reason = ReasonNone
@@ -248,14 +355,14 @@ func (c *Coordinator) onVote(v voteMsg) {
 		if c.obs != nil {
 			c.obs.Fallback()
 		}
-		c.cfg.Net.Send(c.cfg.Addr, c.cfg.MasterFor(v.Key),
-			classicProposeMsg{Txn: s.id, Coord: c.cfg.Addr, Option: st.op})
-		s.sink.Progress(ProgressEvent{Txn: s.id, Kind: KindFallback, Key: v.Key, Elapsed: elapsed})
+		s.sink.Progress(ProgressEvent{Txn: s.id, Kind: KindFallback, Key: key, Elapsed: elapsed})
+		return st.op, true
 	}
-	c.mu.Unlock()
+	return txn.Op{}, false
 }
 
-// onClassicResult processes a master's verdict for one option.
+// onClassicResult processes a master's verdict for one option (compat wire
+// format).
 func (c *Coordinator) onClassicResult(r classicResultMsg) {
 	c.mu.Lock()
 	s := c.active[r.Txn]
@@ -263,13 +370,36 @@ func (c *Coordinator) onClassicResult(r classicResultMsg) {
 		c.mu.Unlock()
 		return
 	}
-	st := s.opts[r.Key]
-	if st == nil || st.status != optClassic {
+	c.applyClassicResultLocked(s, r.Key, r.Accepted, r.Reason)
+	c.mu.Unlock()
+}
+
+// onClassicResultBatch processes a master's coalesced verdicts for several
+// options of one transaction under a single lock acquisition.
+func (c *Coordinator) onClassicResultBatch(b classicResultBatchMsg) {
+	c.mu.Lock()
+	s := c.active[b.Txn]
+	if s == nil || s.decided {
 		c.mu.Unlock()
 		return
 	}
-	c.learnLocked(s, st, r.Accepted, r.Reason)
+	for _, res := range b.Results {
+		if s.decided {
+			break
+		}
+		c.applyClassicResultLocked(s, res.Key, res.Accepted, res.Reason)
+	}
 	c.mu.Unlock()
+}
+
+// applyClassicResultLocked folds one master verdict into the commit state.
+// Caller holds c.mu.
+func (c *Coordinator) applyClassicResultLocked(s *commitState, key string, accepted bool, reason RejectReason) {
+	st := s.opt(key)
+	if st == nil || st.status != optClassic {
+		return
+	}
+	c.learnLocked(s, st, accepted, reason)
 }
 
 // learnLocked finalizes one option and, when conclusive for the whole

@@ -1,6 +1,9 @@
 package mdcc
 
 import (
+	"math/bits"
+	"sort"
+
 	"planet/internal/simnet"
 	"planet/internal/txn"
 )
@@ -17,7 +20,7 @@ type masterKey struct {
 // phase1Run tracks an in-progress phase 1 (ownership + recovery discovery).
 type phase1Run struct {
 	ballot uint64
-	oks    map[simnet.Region]bool
+	oks    uint64 // bitmask over peer indices (see regionBit)
 	seen   map[txn.ID]*seenOption
 }
 
@@ -32,12 +35,25 @@ type masterOption struct {
 	id      txn.ID
 	op      txn.Op
 	ballot  uint64
-	accepts map[simnet.Region]bool
+	accepts uint64 // bitmask over peer indices (see regionBit)
 	rejects int
 	// coord is the coordinator waiting for the result; nil for recovery
 	// re-proposals, which have no direct requester.
 	coord *simnet.Addr
 	done  bool
+}
+
+// regionBit maps a region to its bit in quorum masks (the region's index in
+// the peer list). ok is false for regions outside the peer set, whose votes
+// are ignored. A linear scan over a handful of peers beats a map both on
+// allocation and on lookup cost.
+func (r *Replica) regionBit(reg simnet.Region) (uint64, bool) {
+	for i, p := range r.cfg.Peers {
+		if p.Region == reg {
+			return 1 << uint(i), true
+		}
+	}
+	return 0, false
 }
 
 // masterFor returns (creating if needed) the master state for key.
@@ -52,32 +68,49 @@ func (r *Replica) masterFor(key string) *masterKey {
 }
 
 // onClassicPropose handles a coordinator's classic-path request for one
-// option. The first proposal for a key triggers phase 1 (taking ownership
-// and running Fast Paxos recovery); later proposals are sequenced directly.
+// option (compat wire format).
 func (r *Replica) onClassicPropose(p classicProposeMsg) {
 	r.mu.Lock()
+	out := r.classicProposeLocked(p)
+	r.mu.Unlock()
+	r.flush(out)
+}
+
+// onClassicProposeBatch handles every option of one transaction routed to
+// this master: all of them are sequenced under a single lock acquisition,
+// and everything they produce — results back to the coordinator, phase-1/2
+// traffic to peers — leaves as one message per destination.
+func (r *Replica) onClassicProposeBatch(b classicProposeBatchMsg) {
+	var out []envelope
+	r.mu.Lock()
+	for _, op := range b.Options {
+		out = append(out, r.classicProposeLocked(classicProposeMsg{
+			Txn: b.Txn, Coord: b.Coord, Option: op})...)
+	}
+	r.mu.Unlock()
+	r.flush(out)
+}
+
+// classicProposeLocked is the master-side handling of one classic-path
+// option: the first proposal for a key triggers phase 1 (taking ownership
+// and running Fast Paxos recovery); later proposals are sequenced directly.
+// Caller holds r.mu; returns staged messages.
+func (r *Replica) classicProposeLocked(p classicProposeMsg) []envelope {
 	if r.isDecided(p.Txn) {
 		committed := r.decided[p.Txn]
-		r.mu.Unlock()
-		r.send(p.Coord, classicResultMsg{Txn: p.Txn, Key: p.Option.Key,
-			Accepted: committed, Reason: ReasonDecided})
-		return
+		return []envelope{{p.Coord, classicResultMsg{Txn: p.Txn, Key: p.Option.Key,
+			Accepted: committed, Reason: ReasonDecided}}}
 	}
 	ks := r.masterFor(p.Option.Key)
 	r.ClassicRuns++
 	if ks.leased {
-		outbox := r.sequenceLocked(ks, p)
-		r.mu.Unlock()
-		r.flush(outbox)
-		return
+		return r.sequenceLocked(ks, p)
 	}
 	ks.queue = append(ks.queue, p)
-	var outbox []envelope
 	if ks.p1 == nil {
-		outbox = r.startPhase1Locked(p.Option.Key, ks)
+		return r.startPhase1Locked(p.Option.Key, ks)
 	}
-	r.mu.Unlock()
-	r.flush(outbox)
+	return nil
 }
 
 // isDecided reports whether the transaction has a recorded decision.
@@ -93,11 +126,77 @@ type envelope struct {
 	payload any
 }
 
-// flush sends staged messages after the lock is released.
+// flush sends staged messages after the lock is released. In batch mode it
+// groups envelopes by destination — in staged (deterministic) order, never
+// map order — so one handler invocation costs at most one wire message per
+// destination; per-option classic results and phase-2a proposals are folded
+// into their batch forms on the way out. Compat mode sends one message per
+// envelope, preserving the legacy wire format exactly.
 func (r *Replica) flush(out []envelope) {
-	for _, e := range out {
-		r.send(e.to, e.payload)
+	if len(out) == 0 {
+		return
 	}
+	if r.cfg.PerOptionMessages {
+		for _, e := range out {
+			r.send(e.to, e.payload)
+		}
+		return
+	}
+	// Group by destination in first-seen order. Quadratic in envelope count,
+	// which is tiny (a handful of peers plus a coordinator or two).
+	for i := 0; i < len(out); i++ {
+		if out[i].payload == nil {
+			continue // already claimed by an earlier destination group
+		}
+		to := out[i].to
+		payloads := make([]any, 0, len(out)-i)
+		for j := i; j < len(out); j++ {
+			if out[j].payload != nil && out[j].to == to {
+				payloads = append(payloads, out[j].payload)
+				out[j].payload = nil
+			}
+		}
+		r.sendCoalesced(to, payloads)
+	}
+}
+
+// sendCoalesced ships one destination's staged payloads as a single wire
+// message, first folding adjacent per-option messages into their batch
+// forms: classic results of the same transaction become one
+// classicResultBatchMsg, phase-2a proposals become one phase2aBatchMsg.
+func (r *Replica) sendCoalesced(to simnet.Addr, payloads []any) {
+	merged := payloads[:0]
+	for _, p := range payloads {
+		switch m := p.(type) {
+		case classicResultMsg:
+			if i := len(merged) - 1; i >= 0 {
+				if b, ok := merged[i].(classicResultBatchMsg); ok && b.Txn == m.Txn {
+					b.Results = append(b.Results, optionResult{m.Key, m.Accepted, m.Reason})
+					merged[i] = b
+					continue
+				}
+			}
+			merged = append(merged, classicResultBatchMsg{Txn: m.Txn,
+				Results: []optionResult{{m.Key, m.Accepted, m.Reason}}})
+		case phase2aMsg:
+			if i := len(merged) - 1; i >= 0 {
+				if b, ok := merged[i].(phase2aBatchMsg); ok {
+					b.Items = append(b.Items, phase2aItem{m.Txn, m.Key, m.Ballot, m.Option})
+					merged[i] = b
+					continue
+				}
+			}
+			merged = append(merged, phase2aBatchMsg{Master: m.Master,
+				Items: []phase2aItem{{m.Txn, m.Key, m.Ballot, m.Option}}})
+		default:
+			merged = append(merged, p)
+		}
+	}
+	if len(merged) == 1 {
+		r.send(to, merged[0])
+		return
+	}
+	r.cfg.Net.SendBatch(r.cfg.Addr, to, merged)
 }
 
 // startPhase1Locked begins phase 1 for key at a fresh ballot. The replica
@@ -105,9 +204,10 @@ func (r *Replica) flush(out []envelope) {
 // Caller holds r.mu; returns messages to send after unlock.
 func (r *Replica) startPhase1Locked(key string, ks *masterKey) []envelope {
 	ks.ballot++
+	selfBit, _ := r.regionBit(r.Region())
 	run := &phase1Run{
 		ballot: ks.ballot,
-		oks:    map[simnet.Region]bool{r.Region(): true},
+		oks:    selfBit,
 		seen:   make(map[txn.ID]*seenOption),
 	}
 	ks.p1 = run
@@ -129,7 +229,7 @@ func (r *Replica) startPhase1Locked(key string, ks *masterKey) []envelope {
 		out = append(out, envelope{peer, phase1aMsg{Key: key, Ballot: ks.ballot, Master: r.cfg.Addr}})
 	}
 	// Degenerate single-replica cluster: quorum is already met.
-	if len(run.oks) >= ClassicQuorum(len(r.cfg.Peers)) {
+	if bits.OnesCount64(run.oks) >= ClassicQuorum(len(r.cfg.Peers)) {
 		out = append(out, r.finishPhase1Locked(key, ks)...)
 	}
 	return out
@@ -162,11 +262,12 @@ func (r *Replica) onPhase1b(b phase1bMsg) {
 		return
 	}
 	run := ks.p1
-	if run.oks[b.Region] {
+	bit, known := r.regionBit(b.Region)
+	if !known || run.oks&bit != 0 {
 		r.mu.Unlock()
 		return
 	}
-	run.oks[b.Region] = true
+	run.oks |= bit
 	for _, ps := range b.Pending {
 		if s := run.seen[ps.Txn]; s != nil {
 			s.count++
@@ -175,7 +276,7 @@ func (r *Replica) onPhase1b(b phase1bMsg) {
 		}
 	}
 	var out []envelope
-	if len(run.oks) >= ClassicQuorum(len(r.cfg.Peers)) {
+	if bits.OnesCount64(run.oks) >= ClassicQuorum(len(r.cfg.Peers)) {
 		out = r.finishPhase1Locked(b.Key, ks)
 	}
 	r.mu.Unlock()
@@ -192,7 +293,16 @@ func (r *Replica) finishPhase1Locked(key string, ks *masterKey) []envelope {
 
 	var out []envelope
 	thr := recoveryThreshold(len(r.cfg.Peers))
-	for id, s := range run.seen {
+	// Recover in transaction-ID order, not map order: re-proposal order
+	// decides which conflicting leftover wins, and a run-dependent order
+	// would break same-seed reproducibility.
+	ids := make([]txn.ID, 0, len(run.seen))
+	for id := range run.seen {
+		ids = append(ids, id)
+	}
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	for _, id := range ids {
+		s := run.seen[id]
 		if s.count < thr {
 			continue
 		}
@@ -226,7 +336,7 @@ func (r *Replica) sequenceLocked(ks *masterKey, p classicProposeMsg) []envelope 
 		// duplicate fallback): attach the coordinator to its outcome.
 		if mo.done {
 			return []envelope{{p.Coord, classicResultMsg{Txn: p.Txn, Key: key,
-				Accepted: len(mo.accepts) >= ClassicQuorum(len(r.cfg.Peers))}}}
+				Accepted: bits.OnesCount64(mo.accepts) >= ClassicQuorum(len(r.cfg.Peers))}}}
 		}
 		mo.coord = &p.Coord
 		return nil
@@ -248,9 +358,10 @@ func (r *Replica) proposeAtMasterLocked(ks *masterKey, key string, id txn.ID, op
 	rc.evictConflictingBelow(op, ks.ballot, id)
 	rc.addPending(id, op, ks.ballot, now)
 
+	selfBit, _ := r.regionBit(r.Region())
 	mo := &masterOption{
 		id: id, op: op, ballot: ks.ballot,
-		accepts: map[simnet.Region]bool{r.Region(): true},
+		accepts: selfBit,
 		coord:   coord,
 	}
 	ks.inflight[id] = mo
@@ -267,10 +378,31 @@ func (r *Replica) proposeAtMasterLocked(ks *masterKey, key string, id txn.ID, op
 	return out
 }
 
-// onPhase2a is the acceptor side of phase 2: obey the master if the ballot
-// is current.
+// onPhase2a is the acceptor side of phase 2 (compat wire format): obey the
+// master if the ballot is current.
 func (r *Replica) onPhase2a(m phase2aMsg) {
 	r.mu.Lock()
+	it := r.phase2aLocked(phase2aItem{Txn: m.Txn, Key: m.Key, Ballot: m.Ballot, Option: m.Option})
+	r.mu.Unlock()
+	r.send(m.Master, phase2bMsg{Txn: it.Txn, Key: it.Key, Ballot: it.Ballot,
+		Accept: it.Accept, Region: r.Region()})
+}
+
+// onPhase2aBatch processes a master's batched phase-2a proposals under one
+// lock acquisition and replies with one coalesced phase-2b batch.
+func (r *Replica) onPhase2aBatch(b phase2aBatchMsg) {
+	items := make([]phase2bItem, 0, len(b.Items))
+	r.mu.Lock()
+	for _, it := range b.Items {
+		items = append(items, r.phase2aLocked(it))
+	}
+	r.mu.Unlock()
+	r.send(b.Master, phase2bBatchMsg{Region: r.Region(), Items: items})
+}
+
+// phase2aLocked accepts or refuses one phase-2a proposal and returns the
+// phase-2b verdict. Caller holds r.mu.
+func (r *Replica) phase2aLocked(m phase2aItem) phase2bItem {
 	var accept bool
 	if r.isDecided(m.Txn) {
 		accept = r.decided[m.Txn]
@@ -283,28 +415,52 @@ func (r *Replica) onPhase2a(m phase2aMsg) {
 			accept = true
 		}
 	}
-	resp := phase2bMsg{Txn: m.Txn, Key: m.Key, Ballot: m.Ballot, Accept: accept, Region: r.Region()}
-	r.mu.Unlock()
-	r.send(m.Master, resp)
+	return phase2bItem{Txn: m.Txn, Key: m.Key, Ballot: m.Ballot, Accept: accept}
 }
 
-// onPhase2b is the master side of phase 2 quorum counting.
+// onPhase2b is the master side of phase 2 quorum counting (compat wire
+// format).
 func (r *Replica) onPhase2b(b phase2bMsg) {
 	r.mu.Lock()
-	ks := r.masters[b.Key]
+	out := r.phase2bLocked(phase2bItem{Txn: b.Txn, Key: b.Key, Ballot: b.Ballot, Accept: b.Accept}, b.Region)
+	r.mu.Unlock()
+	r.flush(out)
+}
+
+// onPhase2bBatch folds an acceptor's batched phase-2b verdicts into the
+// in-flight options under one lock acquisition. Options that become
+// conclusive together have their coordinator results coalesced by flush.
+func (r *Replica) onPhase2bBatch(b phase2bBatchMsg) {
 	var out []envelope
-	if ks != nil {
-		if mo := ks.inflight[b.Txn]; mo != nil && mo.ballot == b.Ballot && !mo.done {
-			if b.Accept {
-				mo.accepts[b.Region] = true
-			} else {
-				mo.rejects++
-			}
-			out = r.checkMasterQuorumLocked(ks, mo)
-		}
+	r.mu.Lock()
+	for _, it := range b.Items {
+		out = append(out, r.phase2bLocked(it, b.Region)...)
 	}
 	r.mu.Unlock()
 	r.flush(out)
+}
+
+// phase2bLocked counts one phase-2b verdict toward its option's quorum.
+// Caller holds r.mu; returns staged messages.
+func (r *Replica) phase2bLocked(b phase2bItem, from simnet.Region) []envelope {
+	ks := r.masters[b.Key]
+	if ks == nil {
+		return nil
+	}
+	mo := ks.inflight[b.Txn]
+	if mo == nil || mo.ballot != b.Ballot || mo.done {
+		return nil
+	}
+	if b.Accept {
+		bit, known := r.regionBit(from)
+		if !known {
+			return nil
+		}
+		mo.accepts |= bit
+	} else {
+		mo.rejects++
+	}
+	return r.checkMasterQuorumLocked(ks, mo)
 }
 
 // checkMasterQuorumLocked resolves an in-flight option once its phase-2b
@@ -313,7 +469,7 @@ func (r *Replica) checkMasterQuorumLocked(ks *masterKey, mo *masterOption) []env
 	n := len(r.cfg.Peers)
 	q := ClassicQuorum(n)
 	switch {
-	case len(mo.accepts) >= q:
+	case bits.OnesCount64(mo.accepts) >= q:
 		mo.done = true
 		if mo.coord != nil {
 			return []envelope{{*mo.coord, classicResultMsg{Txn: mo.id, Key: mo.op.Key, Accepted: true}}}

@@ -38,13 +38,13 @@ func conflicts(a, b txn.Op) bool {
 	return a.Kind == txn.OpSet || b.Kind == txn.OpSet
 }
 
-// value snapshots the committed state.
+// value snapshots the committed state. Bytes is a view, not a copy:
+// committed byte slices are immutable — apply and the seed paths install
+// fresh slices and never write in place — so sharing is safe and the hot
+// read/snapshot/sync paths stay allocation-free. APIs that hand bytes to
+// application code (core's ReadBytes) copy at that boundary instead.
 func (r *record) value() Value {
-	v := Value{Version: r.version, Int: r.ival, IsInt: r.isInt}
-	if r.bytes != nil {
-		v.Bytes = append([]byte(nil), r.bytes...)
-	}
-	return v
+	return Value{Version: r.version, Int: r.ival, IsInt: r.isInt, Bytes: r.bytes}
 }
 
 // evictStale drops pending options older than ttl (a liveness guard against
@@ -150,7 +150,10 @@ func (r *record) evictConflictingBelow(op txn.Op, ballot uint64, owner txn.ID) {
 func (r *record) apply(op txn.Op) {
 	switch op.Kind {
 	case txn.OpSet:
-		r.bytes = append([]byte(nil), op.Value...)
+		// Adopt the option's slice: op.Value is immutable after submission
+		// (the client API copies user buffers), and committed bytes are only
+		// ever replaced wholesale, so no defensive copy is needed here.
+		r.bytes = op.Value
 		r.isInt = false
 	case txn.OpAdd:
 		r.ival += op.Delta

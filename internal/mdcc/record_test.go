@@ -201,12 +201,22 @@ func TestRecordApply(t *testing.T) {
 	}
 }
 
-func TestRecordValueCopies(t *testing.T) {
+func TestRecordValueViewStableAcrossApply(t *testing.T) {
+	// value() returns a zero-copy view of the committed bytes. The safety
+	// contract is that committed slices are never written in place: apply
+	// installs a fresh slice, so a view taken before an apply still reads
+	// the old committed value afterwards.
 	r := &record{bytes: []byte("abc"), version: 1}
 	v := r.value()
-	v.Bytes[0] = 'X'
-	if string(r.bytes) != "abc" {
-		t.Error("value aliases record bytes")
+	if &v.Bytes[0] != &r.bytes[0] {
+		t.Error("value should be a view, not a copy")
+	}
+	r.apply(txn.Op{Kind: txn.OpSet, Key: "k", Value: []byte("xyz"), ReadVersion: 1})
+	if string(v.Bytes) != "abc" {
+		t.Errorf("view mutated by apply: %q", v.Bytes)
+	}
+	if string(r.value().Bytes) != "xyz" {
+		t.Errorf("committed bytes = %q, want xyz", r.value().Bytes)
 	}
 }
 

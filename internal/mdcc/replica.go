@@ -23,6 +23,11 @@ type ReplicaConfig struct {
 	PendingTTL time.Duration
 	// WAL, when non-nil, receives an entry for every decided transaction.
 	WAL *WAL
+	// PerOptionMessages restores the legacy wire protocol: one vote, one
+	// classic result, and one phase-2 message per option instead of
+	// per-destination batches. Equivalence tests use it to pin the batched
+	// protocol's semantics to the per-option ones.
+	PerOptionMessages bool
 }
 
 // Replica is one region's full copy of the store. It plays three protocol
@@ -92,13 +97,16 @@ func (r *Replica) rec(key string) *record {
 }
 
 // SeedBytes installs an initial byte value outside the protocol (setup).
+// One private copy of value is shared by the live record and the recovery
+// baseline: committed slices are never written in place, so sharing is safe.
 func (r *Replica) SeedBytes(key string, value []byte) {
+	v := append([]byte(nil), value...)
 	r.mu.Lock()
 	defer r.mu.Unlock()
 	rc := r.rec(key)
-	rc.bytes = append([]byte(nil), value...)
+	rc.bytes = v
 	rc.isInt = false
-	r.baseline[key] = seedRecord{bytes: append([]byte(nil), value...)}
+	r.baseline[key] = seedRecord{bytes: v}
 }
 
 // SeedInt installs an initial integer value with integrity bounds.
@@ -111,6 +119,64 @@ func (r *Replica) SeedInt(key string, value, lo, hi int64) {
 	rc.bounded = true
 	rc.lo, rc.hi = lo, hi
 	r.baseline[key] = seedRecord{ival: value, isInt: true, bounded: true, lo: lo, hi: hi}
+}
+
+// reserve pre-sizes the record and baseline maps ahead of a bulk seed so
+// incremental map growth doesn't dominate setup. Caller holds r.mu; only a
+// cold (empty) map is replaced.
+func (r *Replica) reserve(n int) {
+	if n <= 0 {
+		return
+	}
+	if len(r.records) == 0 {
+		r.records = make(map[string]*record, n)
+	}
+	if len(r.baseline) == 0 {
+		r.baseline = make(map[string]seedRecord, n)
+	}
+}
+
+// SeedBytesAll installs the same initial byte value under every key in one
+// lock acquisition, backing all records with a single array. The value slice
+// is adopted and shared by every record and baseline entry — callers must
+// treat it as immutable afterwards (Cluster.SeedBytesAll makes the one copy).
+func (r *Replica) SeedBytesAll(keys []string, value []byte) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.reserve(len(keys))
+	recs := make([]record, len(keys))
+	for i, key := range keys {
+		rc := r.records[key]
+		if rc == nil {
+			rc = &recs[i]
+			r.records[key] = rc
+		}
+		rc.bytes = value
+		rc.isInt = false
+		r.baseline[key] = seedRecord{bytes: value}
+	}
+}
+
+// SeedIntAll installs the same initial integer value and bounds under every
+// key in one lock acquisition (bulk form of SeedInt).
+func (r *Replica) SeedIntAll(keys []string, value, lo, hi int64) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.reserve(len(keys))
+	recs := make([]record, len(keys))
+	seed := seedRecord{ival: value, isInt: true, bounded: true, lo: lo, hi: hi}
+	for i, key := range keys {
+		rc := r.records[key]
+		if rc == nil {
+			rc = &recs[i]
+			r.records[key] = rc
+		}
+		rc.ival = value
+		rc.isInt = true
+		rc.bounded = true
+		rc.lo, rc.hi = lo, hi
+		r.baseline[key] = seed
+	}
 }
 
 // ReadLocal returns the committed state of key at this replica.
@@ -212,7 +278,7 @@ func (r *Replica) Crash() {
 // anti-entropy (SyncFrom) repairs them, exactly like a healed partition.
 func (r *Replica) Restore() error {
 	r.mu.Lock()
-	r.records = make(map[string]*record)
+	r.records = make(map[string]*record, len(r.baseline))
 	r.decided = make(map[txn.ID]bool)
 	r.masters = make(map[string]*masterKey)
 	for key, s := range r.baseline {
@@ -221,7 +287,9 @@ func (r *Replica) Restore() error {
 			rc.ival, rc.isInt = s.ival, true
 			rc.bounded, rc.lo, rc.hi = s.bounded, s.lo, s.hi
 		} else {
-			rc.bytes = append([]byte(nil), s.bytes...)
+			// The baseline slice is immutable and apply never writes a
+			// committed slice in place, so the record can adopt it.
+			rc.bytes = s.bytes
 		}
 	}
 	var err error
@@ -271,14 +339,20 @@ func (r *Replica) recv(m simnet.Message) {
 		r.onDecide(p)
 	case classicProposeMsg:
 		r.onClassicPropose(p)
+	case classicProposeBatchMsg:
+		r.onClassicProposeBatch(p)
 	case phase1aMsg:
 		r.onPhase1a(p)
 	case phase1bMsg:
 		r.onPhase1b(p)
 	case phase2aMsg:
 		r.onPhase2a(p)
+	case phase2aBatchMsg:
+		r.onPhase2aBatch(p)
 	case phase2bMsg:
 		r.onPhase2b(p)
+	case phase2bBatchMsg:
+		r.onPhase2bBatch(p)
 	case readReq:
 		r.onReadReq(p)
 	case syncReq:
@@ -289,10 +363,12 @@ func (r *Replica) recv(m simnet.Message) {
 }
 
 // onPropose handles a fast-path proposal: validate each option against
-// committed state and pendings, record accepted options, and vote.
+// committed state and pendings, record accepted options, and vote. All
+// options are validated under one lock acquisition and the verdicts leave
+// as one coalesced vote batch (one voteMsg per option in compat mode).
 func (r *Replica) onPropose(p proposeMsg) {
 	now := r.clk.Now()
-	votes := make([]voteMsg, 0, len(p.Options))
+	votes := make([]optionVote, 0, len(p.Options))
 
 	r.mu.Lock()
 	if r.isDecided(p.Txn) {
@@ -300,9 +376,9 @@ func (r *Replica) onPropose(p proposeMsg) {
 		// pendings now would leave orphans. Report and stop.
 		r.mu.Unlock()
 		for _, op := range p.Options {
-			r.send(p.Coord, voteMsg{Txn: p.Txn, Key: op.Key, Accept: false,
-				Reason: ReasonDecided, Region: r.Region()})
+			votes = append(votes, optionVote{Key: op.Key, Reason: ReasonDecided})
 		}
+		r.sendVotes(p.Txn, p.Coord, votes)
 		return
 	}
 	for _, op := range p.Options {
@@ -315,13 +391,25 @@ func (r *Replica) onPropose(p proposeMsg) {
 		} else {
 			r.FastRejects++
 		}
-		votes = append(votes, voteMsg{Txn: p.Txn, Key: op.Key,
-			Accept: reason == ReasonNone, Reason: reason, Region: r.Region()})
+		votes = append(votes, optionVote{Key: op.Key,
+			Accept: reason == ReasonNone, Reason: reason})
 	}
 	r.mu.Unlock()
 
+	r.sendVotes(p.Txn, p.Coord, votes)
+}
+
+// sendVotes replies with the replica's verdicts on a proposal: one
+// voteBatchMsg normally, one voteMsg per option in compat mode. Votes are in
+// proposal (submission) order either way.
+func (r *Replica) sendVotes(id txn.ID, coord simnet.Addr, votes []optionVote) {
+	if !r.cfg.PerOptionMessages {
+		r.send(coord, voteBatchMsg{Txn: id, Region: r.Region(), Votes: votes})
+		return
+	}
 	for _, v := range votes {
-		r.send(p.Coord, v)
+		r.send(coord, voteMsg{Txn: id, Key: v.Key, Accept: v.Accept,
+			Reason: v.Reason, Region: r.Region()})
 	}
 }
 
@@ -358,4 +446,17 @@ func (r *Replica) onDecide(d decideMsg) {
 // send is a convenience wrapper.
 func (r *Replica) send(to simnet.Addr, payload any) {
 	r.cfg.Net.Send(r.cfg.Addr, to, payload)
+}
+
+// HandlePropose feeds a fast-path proposal into the replica as if it had
+// arrived from coord over the network. Benchmarks and white-box tests use it
+// to drive the prepare path without a coordinator.
+func (r *Replica) HandlePropose(id txn.ID, coord simnet.Addr, ops []txn.Op) {
+	r.onPropose(proposeMsg{Txn: id, Coord: coord, Options: ops})
+}
+
+// HandleDecide feeds a decision into the replica as if broadcast by a
+// coordinator. Benchmarks and white-box tests use it with HandlePropose.
+func (r *Replica) HandleDecide(id txn.ID, commit bool, ops []txn.Op) {
+	r.onDecide(decideMsg{Txn: id, Commit: commit, Options: ops})
 }

@@ -85,11 +85,9 @@ func (r *Replica) applySnapshot(records map[string]Value) int {
 		rc.version = v.Version
 		rc.isInt = v.IsInt
 		rc.ival = v.Int
-		if v.Bytes != nil {
-			rc.bytes = append(rc.bytes[:0], v.Bytes...)
-		} else {
-			rc.bytes = nil
-		}
+		// Adopt the donor's slice directly: snapshot values are immutable
+		// views (see record.value), never written in place by either side.
+		rc.bytes = v.Bytes
 		repaired++
 	}
 	return repaired

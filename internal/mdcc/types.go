@@ -255,3 +255,81 @@ type decideMsg struct {
 	Commit  bool
 	Options []txn.Op
 }
+
+// --- batched wire messages ---
+//
+// The batch forms carry everything a handler produces for one destination in
+// a single network message: one loss draw, one sampled delay, one delivery.
+// Per-option semantics are unchanged — each item is processed exactly as its
+// per-option counterpart would be, just under one lock acquisition at the
+// receiver. The per-option messages above remain the compatibility protocol,
+// selected by the PerOptionMessages config knobs, which the equivalence
+// tests use to pin batch behavior to the classic wire format.
+
+// optionVote is one option's verdict inside a voteBatchMsg.
+type optionVote struct {
+	Key    string
+	Accept bool
+	Reason RejectReason
+}
+
+// voteBatchMsg coalesces a replica's votes on every option of one fast-path
+// proposal. Votes are ordered as the options appeared in the proposal, i.e.
+// submission order.
+type voteBatchMsg struct {
+	Txn    txn.ID
+	Region simnet.Region
+	Votes  []optionVote
+}
+
+// classicProposeBatchMsg carries all of one transaction's classic-path
+// options that route to the same master.
+type classicProposeBatchMsg struct {
+	Txn     txn.ID
+	Coord   simnet.Addr
+	Options []txn.Op
+}
+
+// optionResult is one option's verdict inside a classicResultBatchMsg.
+type optionResult struct {
+	Key      string
+	Accepted bool
+	Reason   RejectReason
+}
+
+// classicResultBatchMsg coalesces a master's same-instant verdicts for
+// several options of one transaction.
+type classicResultBatchMsg struct {
+	Txn     txn.ID
+	Results []optionResult
+}
+
+// phase2aItem is one option's phase-2a proposal inside a batch. Ballots are
+// per-item because they are per-key.
+type phase2aItem struct {
+	Txn    txn.ID
+	Key    string
+	Ballot uint64
+	Option txn.Op
+}
+
+// phase2aBatchMsg groups a master's same-instant phase-2a proposals to one
+// peer.
+type phase2aBatchMsg struct {
+	Master simnet.Addr
+	Items  []phase2aItem
+}
+
+// phase2bItem is one option's phase-2b verdict inside a batch.
+type phase2bItem struct {
+	Txn    txn.ID
+	Key    string
+	Ballot uint64
+	Accept bool
+}
+
+// phase2bBatchMsg coalesces an acceptor's phase-2b replies to one master.
+type phase2bBatchMsg struct {
+	Region simnet.Region
+	Items  []phase2bItem
+}

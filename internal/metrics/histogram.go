@@ -12,20 +12,24 @@ import (
 	"math"
 	"sort"
 	"strings"
-	"sync"
+	"sync/atomic"
 	"time"
 )
 
 // Histogram records duration samples with logarithmically spaced buckets,
 // trading a bounded relative error (~5%) for O(1) recording and constant
 // memory. It keeps exact min/max and sum for means.
+//
+// Recording is lock-free and allocation-free: buckets, count, and sum are
+// atomics, and min/max are maintained with CAS loops, so concurrent workload
+// drivers never serialize on a histogram mutex. Readers take racy-but-
+// monotonic snapshots, which is all reporting needs.
 type Histogram struct {
-	mu      sync.Mutex
-	buckets []uint64
-	count   uint64
-	sum     float64
-	min     time.Duration
-	max     time.Duration
+	buckets []atomic.Uint64
+	count   atomic.Uint64
+	sumBits atomic.Uint64 // float64 bits of the running sum
+	minNS   atomic.Int64  // smallest sample in ns; math.MaxInt64 when empty
+	maxNS   atomic.Int64  // largest sample in ns
 }
 
 // bucketGrowth is the per-bucket multiplicative width. 1.05 bounds the
@@ -42,7 +46,9 @@ const numBuckets = 512
 
 // NewHistogram returns an empty histogram.
 func NewHistogram() *Histogram {
-	return &Histogram{buckets: make([]uint64, numBuckets)}
+	h := &Histogram{buckets: make([]atomic.Uint64, numBuckets)}
+	h.minNS.Store(math.MaxInt64)
+	return h
 }
 
 // bucketFor maps a duration to a bucket index.
@@ -68,101 +74,109 @@ func bucketMid(i int) time.Duration {
 	return time.Duration(lo * math.Sqrt(bucketGrowth))
 }
 
-// Observe records one sample.
+// Observe records one sample. Lock-free and allocation-free.
 func (h *Histogram) Observe(d time.Duration) {
-	h.mu.Lock()
-	defer h.mu.Unlock()
-	h.buckets[bucketFor(d)]++
-	if h.count == 0 || d < h.min {
-		h.min = d
+	h.buckets[bucketFor(d)].Add(1)
+	ns := int64(d)
+	for {
+		cur := h.minNS.Load()
+		if ns >= cur || h.minNS.CompareAndSwap(cur, ns) {
+			break
+		}
 	}
-	if d > h.max {
-		h.max = d
+	for {
+		cur := h.maxNS.Load()
+		if ns <= cur || h.maxNS.CompareAndSwap(cur, ns) {
+			break
+		}
 	}
-	h.count++
-	h.sum += float64(d)
+	for {
+		cur := h.sumBits.Load()
+		next := math.Float64bits(math.Float64frombits(cur) + float64(d))
+		if h.sumBits.CompareAndSwap(cur, next) {
+			break
+		}
+	}
+	h.count.Add(1)
 }
 
 // Count returns the number of samples.
-func (h *Histogram) Count() uint64 {
-	h.mu.Lock()
-	defer h.mu.Unlock()
-	return h.count
-}
+func (h *Histogram) Count() uint64 { return h.count.Load() }
 
 // Mean returns the exact mean of all samples (0 when empty).
 func (h *Histogram) Mean() time.Duration {
-	h.mu.Lock()
-	defer h.mu.Unlock()
-	if h.count == 0 {
+	n := h.count.Load()
+	if n == 0 {
 		return 0
 	}
-	return time.Duration(h.sum / float64(h.count))
+	return time.Duration(math.Float64frombits(h.sumBits.Load()) / float64(n))
 }
 
 // Min returns the smallest recorded sample (0 when empty).
 func (h *Histogram) Min() time.Duration {
-	h.mu.Lock()
-	defer h.mu.Unlock()
-	return h.min
+	if h.count.Load() == 0 {
+		return 0
+	}
+	return time.Duration(h.minNS.Load())
 }
 
 // Max returns the largest recorded sample (0 when empty).
 func (h *Histogram) Max() time.Duration {
-	h.mu.Lock()
-	defer h.mu.Unlock()
-	return h.max
+	if h.count.Load() == 0 {
+		return 0
+	}
+	return time.Duration(h.maxNS.Load())
 }
 
 // Quantile returns the approximate p-quantile (p in [0,1]); 0 when empty.
 func (h *Histogram) Quantile(p float64) time.Duration {
-	h.mu.Lock()
-	defer h.mu.Unlock()
-	if h.count == 0 {
+	n := h.count.Load()
+	if n == 0 {
 		return 0
 	}
+	min, max := time.Duration(h.minNS.Load()), time.Duration(h.maxNS.Load())
 	if p <= 0 {
-		return h.min
+		return min
 	}
 	if p >= 1 {
-		return h.max
+		return max
 	}
-	target := uint64(p * float64(h.count))
+	target := uint64(p * float64(n))
 	var cum uint64
-	for i, c := range h.buckets {
-		cum += c
+	for i := range h.buckets {
+		cum += h.buckets[i].Load()
 		if cum > target {
 			d := bucketMid(i)
 			// Clamp into the exact observed range so p50 of a
 			// single-valued distribution equals that value.
-			if d < h.min {
-				d = h.min
+			if d < min {
+				d = min
 			}
-			if d > h.max {
-				d = h.max
+			if d > max {
+				d = max
 			}
 			return d
 		}
 	}
-	return h.max
+	return max
 }
 
 // CDFPoints returns (duration, cumulative fraction) pairs suitable for
 // plotting the sample CDF, one point per non-empty bucket.
 func (h *Histogram) CDFPoints() []CDFPoint {
-	h.mu.Lock()
-	defer h.mu.Unlock()
-	if h.count == 0 {
+	n := h.count.Load()
+	if n == 0 {
 		return nil
 	}
 	var pts []CDFPoint
 	var cum uint64
-	for i, c := range h.buckets {
+	for i := range h.buckets {
+		c := h.buckets[i].Load()
 		if c == 0 {
 			continue
 		}
 		cum += c
-		pts = append(pts, CDFPoint{D: bucketMid(i), P: float64(cum) / float64(h.count)})
+		pts = append(pts, CDFPoint{D: bucketMid(i), P: float64(cum) / float64(n)})
 	}
 	return pts
 }

@@ -1,7 +1,9 @@
 package simnet
 
 import (
+	"fmt"
 	"sync"
+	"sync/atomic"
 	"testing"
 	"time"
 
@@ -31,5 +33,33 @@ func BenchmarkSendDeliver(b *testing.B) {
 	for i := 0; i < b.N; i++ {
 		n.Send(src, dst, i)
 	}
+	wg.Wait()
+}
+
+// BenchmarkSimnetSend hammers the send path from many goroutines at once —
+// the shape a fleet of concurrent coordinators produces. It measures how
+// much the send-side synchronization serializes independent senders.
+func BenchmarkSimnetSend(b *testing.B) {
+	m := NewMatrix(latency.Constant(time.Microsecond))
+	n, err := New(Config{Latency: m, TimeScale: 1})
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer n.Close()
+
+	var wg sync.WaitGroup
+	dst := Addr{Region: "y", Name: "sink"}
+	n.Register(dst, func(Message) { wg.Done() })
+
+	var senders atomic.Int64
+	b.ReportAllocs()
+	b.ResetTimer()
+	wg.Add(b.N)
+	b.RunParallel(func(pb *testing.PB) {
+		src := Addr{Region: "x", Name: fmt.Sprintf("s%d", senders.Add(1))}
+		for pb.Next() {
+			n.Send(src, dst, 0)
+		}
+	})
 	wg.Wait()
 }

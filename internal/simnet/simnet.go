@@ -8,6 +8,12 @@
 // overrides, which the failure-injection tests use. All delivery happens on
 // timer goroutines, so handlers must be internally synchronized and must not
 // block for long.
+//
+// The send path is engineered for concurrent coordinators: routing state
+// (handlers, partitions, link overrides) lives in an immutable snapshot
+// swapped atomically on mutation, so Send takes no lock at all for routing;
+// loss/delay sampling runs on per-sender RNG shards; and per-message
+// delivery bookkeeping is pooled so a send allocates no timer closure.
 package simnet
 
 import (
@@ -15,6 +21,7 @@ import (
 	"hash/fnv"
 	"math"
 	"math/rand"
+	"sort"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -99,7 +106,11 @@ func (m *Matrix) Link(from, to Region) latency.Dist {
 	return m.local
 }
 
-// Regions returns the distinct regions mentioned by the matrix links.
+// Regions returns the distinct regions mentioned by the matrix links, in
+// sorted order. Sorting matters: the map-iteration order underneath is
+// randomized per process, and callers feed this list into seeded topology
+// construction, where a run-dependent order would silently break same-seed
+// reproducibility.
 func (m *Matrix) Regions() []Region {
 	seen := make(map[Region]bool)
 	var out []Region
@@ -113,6 +124,7 @@ func (m *Matrix) Regions() []Region {
 			out = append(out, k.to)
 		}
 	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
 	return out
 }
 
@@ -147,16 +159,47 @@ type rngShard struct {
 	_   [40]byte // pad to a cache line so shards don't false-share
 }
 
+// topology is an immutable snapshot of the network's routing state. Send
+// and delivery read it with one atomic load; mutations (register, partition,
+// link overrides) clone-and-swap under the writer lock. Nil maps are never
+// stored, so readers can index without checks.
+type topology struct {
+	nodes  map[Addr]Handler
+	down   map[Region]bool
+	cut    map[linkKey]bool
+	factor map[linkKey]float64 // per-link delay multipliers (latency spikes)
+}
+
+// clone deep-copies the snapshot for a mutation.
+func (t *topology) clone() *topology {
+	c := &topology{
+		nodes:  make(map[Addr]Handler, len(t.nodes)+1),
+		down:   make(map[Region]bool, len(t.down)+1),
+		cut:    make(map[linkKey]bool, len(t.cut)+1),
+		factor: make(map[linkKey]float64, len(t.factor)+1),
+	}
+	for k, v := range t.nodes {
+		c.nodes[k] = v
+	}
+	for k, v := range t.down {
+		c.down[k] = v
+	}
+	for k, v := range t.cut {
+		c.cut[k] = v
+	}
+	for k, v := range t.factor {
+		c.factor[k] = v
+	}
+	return c
+}
+
 // Network is the in-process WAN. Safe for concurrent use.
 type Network struct {
 	cfg    Config
 	scale  float64
 	clk    vclock.Clock
-	mu     sync.Mutex
-	nodes  map[Addr]Handler
-	down   map[Region]bool
-	cut    map[linkKey]bool
-	factor map[linkKey]float64 // per-link delay multipliers (latency spikes)
+	mu     sync.Mutex                // serializes topology mutations only
+	topo   atomic.Pointer[topology]  // current routing snapshot
 	closed atomic.Bool
 
 	lossBits atomic.Uint64 // current loss rate as float64 bits (lock-free read on send)
@@ -165,8 +208,8 @@ type Network struct {
 	calibMu sync.Mutex
 	calib   *rand.Rand // dedicated stream for SampleDelay probes
 
-	pmu     sync.Mutex
-	pending int64         // messages sampled but not yet delivered
+	pending atomic.Int64  // messages sampled but not yet delivered
+	pmu     sync.Mutex    // guards drained
 	drained *vclock.Event // fired when pending hits zero; nil unless a Quiesce waits
 
 	obs atomic.Value // Observer, set via SetObserver
@@ -204,15 +247,17 @@ func New(cfg Config) (*Network, error) {
 		scale = 1
 	}
 	n := &Network{
-		cfg:    cfg,
-		scale:  scale,
-		clk:    vclock.Default(cfg.Clock),
+		cfg:   cfg,
+		scale: scale,
+		clk:   vclock.Default(cfg.Clock),
+		calib: rand.New(rand.NewSource(cfg.Seed ^ 0x5eed5eed)),
+	}
+	n.topo.Store(&topology{
 		nodes:  make(map[Addr]Handler),
 		down:   make(map[Region]bool),
 		cut:    make(map[linkKey]bool),
 		factor: make(map[linkKey]float64),
-		calib:  rand.New(rand.NewSource(cfg.Seed ^ 0x5eed5eed)),
-	}
+	})
 	for i := range n.shards {
 		n.shards[i].rng = rand.New(rand.NewSource(cfg.Seed + int64(i)))
 	}
@@ -222,6 +267,16 @@ func New(cfg Config) (*Network, error) {
 
 // Clock returns the network's time source.
 func (n *Network) Clock() vclock.Clock { return n.clk }
+
+// mutate clones the routing snapshot, applies f, and swaps it in. Mutations
+// are rare (startup registration, fault injection); sends never wait on them.
+func (n *Network) mutate(f func(t *topology)) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	t := n.topo.Load().clone()
+	f(t)
+	n.topo.Store(t)
+}
 
 // shardFor deterministically maps a sender to an RNG shard.
 func (n *Network) shardFor(from Addr) *rngShard {
@@ -237,40 +292,36 @@ func (n *Network) TimeScale() float64 { return n.scale }
 
 // Register installs h as the handler for addr, replacing any previous one.
 func (n *Network) Register(addr Addr, h Handler) {
-	n.mu.Lock()
-	defer n.mu.Unlock()
-	n.nodes[addr] = h
+	n.mutate(func(t *topology) { t.nodes[addr] = h })
 }
 
 // Deregister removes addr; in-flight messages to it are dropped on arrival.
 func (n *Network) Deregister(addr Addr) {
-	n.mu.Lock()
-	defer n.mu.Unlock()
-	delete(n.nodes, addr)
+	n.mutate(func(t *topology) { delete(t.nodes, addr) })
 }
 
 // SetRegionDown isolates (or restores) an entire region: messages to or
 // from it are dropped.
 func (n *Network) SetRegionDown(r Region, isDown bool) {
-	n.mu.Lock()
-	defer n.mu.Unlock()
-	if isDown {
-		n.down[r] = true
-	} else {
-		delete(n.down, r)
-	}
+	n.mutate(func(t *topology) {
+		if isDown {
+			t.down[r] = true
+		} else {
+			delete(t.down, r)
+		}
+	})
 }
 
 // SetLinkCut severs (or restores) the directed link from→to.
 func (n *Network) SetLinkCut(from, to Region, isCut bool) {
-	n.mu.Lock()
-	defer n.mu.Unlock()
-	k := linkKey{from, to}
-	if isCut {
-		n.cut[k] = true
-	} else {
-		delete(n.cut, k)
-	}
+	n.mutate(func(t *topology) {
+		k := linkKey{from, to}
+		if isCut {
+			t.cut[k] = true
+		} else {
+			delete(t.cut, k)
+		}
+	})
 }
 
 // SetLossRate changes the uniform message-loss rate at runtime (loss bursts
@@ -295,47 +346,120 @@ func (n *Network) LossRate() float64 {
 // from→to by factor (a latency spike). Factors <= 0 or == 1 clear the
 // override. Intra-region "links" (from == to) are supported.
 func (n *Network) SetLinkDelayFactor(from, to Region, factor float64) {
-	n.mu.Lock()
-	defer n.mu.Unlock()
-	k := linkKey{from, to}
-	if factor <= 0 || factor == 1 {
-		delete(n.factor, k)
-		return
-	}
-	n.factor[k] = factor
+	n.mutate(func(t *topology) {
+		k := linkKey{from, to}
+		if factor <= 0 || factor == 1 {
+			delete(t.factor, k)
+			return
+		}
+		t.factor[k] = factor
+	})
 }
 
 // LinkDelayFactor returns the current delay multiplier for from→to (1 when
 // no spike is installed).
 func (n *Network) LinkDelayFactor(from, to Region) float64 {
-	n.mu.Lock()
-	defer n.mu.Unlock()
-	if f, ok := n.factor[linkKey{from, to}]; ok {
+	if f, ok := n.topo.Load().factor[linkKey{from, to}]; ok {
 		return f
 	}
 	return 1
+}
+
+// delivery is the pooled bookkeeping for one in-flight message (or payload
+// batch). The timer callback fn is a method value bound once per pooled
+// object, so a steady-state send schedules a timer without allocating a
+// closure, a message box, or a batch slice.
+type delivery struct {
+	n     *Network
+	msg   Message
+	batch []any // non-nil for SendBatch deliveries; msg.Payload is then unset
+	fn    func()
+}
+
+// deliveryPool recycles delivery records across sends (and across networks:
+// each Get rebinds n). New is installed in init to break the
+// pool→run→pool initialization cycle.
+var deliveryPool sync.Pool
+
+func init() {
+	deliveryPool.New = func() any {
+		d := &delivery{}
+		d.fn = d.run
+		return d
+	}
+}
+
+// run delivers the message, returns the record to the pool, and retires the
+// in-flight count. It copies every field to locals before Put so a recycled
+// record can be reused while the handler is still executing.
+func (d *delivery) run() {
+	n, msg, batch := d.n, d.msg, d.batch
+	d.n, d.msg, d.batch = nil, Message{}, nil
+	deliveryPool.Put(d)
+
+	defer n.deliveryDone()
+	obs := n.observer()
+	if n.closed.Load() {
+		n.drop(obs, msg.From, msg.To)
+		return
+	}
+	t := n.topo.Load()
+	h := t.nodes[msg.To]
+	if h == nil || t.down[msg.To.Region] {
+		n.drop(obs, msg.From, msg.To)
+		return
+	}
+	n.Delivered.Add(1)
+	if obs != nil {
+		obs.MessageDelivered(msg.From.Region, msg.To.Region)
+	}
+	if batch == nil {
+		h(msg)
+		return
+	}
+	for _, p := range batch {
+		msg.Payload = p
+		h(msg)
+	}
 }
 
 // Send schedules payload for delivery from→to. It never blocks; messages to
 // unknown, partitioned, or lossy destinations are silently dropped, exactly
 // as a real datagram network would.
 func (n *Network) Send(from, to Addr, payload any) {
+	n.send(from, to, payload, nil)
+}
+
+// SendBatch schedules payloads for delivery from→to as one wire message:
+// one loss draw, one sampled delay, one scheduled event, with the payloads
+// handed to the destination handler back to back in order. Protocol layers
+// use it to coalesce same-instant fan-in (a replica's vote batch, a
+// master's result batch) instead of paying per-payload timer overhead.
+// An empty batch is a no-op.
+func (n *Network) SendBatch(from, to Addr, payloads []any) {
+	if len(payloads) == 0 {
+		return
+	}
+	n.send(from, to, nil, payloads)
+}
+
+// send is the shared path behind Send and SendBatch: exactly one of payload
+// and batch is set.
+func (n *Network) send(from, to Addr, payload any, batch []any) {
 	if n.closed.Load() {
 		return
 	}
 	n.Sent.Add(1)
 	obs := n.observer()
 
-	n.mu.Lock()
-	if n.down[from.Region] || n.down[to.Region] || n.cut[linkKey{from.Region, to.Region}] {
-		n.mu.Unlock()
+	t := n.topo.Load()
+	if t.down[from.Region] || t.down[to.Region] || t.cut[linkKey{from.Region, to.Region}] {
 		n.drop(obs, from, to)
 		return
 	}
-	factor, hasFactor := n.factor[linkKey{from.Region, to.Region}]
-	n.mu.Unlock()
+	factor, hasFactor := t.factor[linkKey{from.Region, to.Region}]
 
-	// Loss and delay sampling run on a per-sender shard, off the global
+	// Loss and delay sampling run on a per-sender shard, off any global
 	// lock, so concurrent senders don't serialize on one shared RNG.
 	lossRate := n.LossRate()
 	sh := n.shardFor(from)
@@ -355,43 +479,23 @@ func (n *Network) Send(from, to Addr, payload any) {
 	if obs != nil {
 		obs.MessageSent(from.Region, to.Region, scaled)
 	}
-	msg := Message{From: from, To: to, Payload: payload, SentAt: n.clk.Now()}
-	n.pmu.Lock()
-	n.pending++
-	n.pmu.Unlock()
-	n.clk.AfterFunc(scaled, func() {
-		defer n.deliveryDone()
-		obs := n.observer()
-		if n.closed.Load() {
-			n.drop(obs, from, to)
-			return
-		}
-		n.mu.Lock()
-		h := n.nodes[to]
-		blocked := n.down[to.Region]
-		n.mu.Unlock()
-		if h == nil || blocked {
-			n.drop(obs, from, to)
-			return
-		}
-		n.Delivered.Add(1)
-		if obs != nil {
-			obs.MessageDelivered(from.Region, to.Region)
-		}
-		h(msg)
-	})
+	n.pending.Add(1)
+	d := deliveryPool.Get().(*delivery)
+	d.n = n
+	d.msg = Message{From: from, To: to, Payload: payload, SentAt: n.clk.Now()}
+	d.batch = batch
+	n.clk.AfterFunc(scaled, d.fn)
 }
 
 // deliveryDone retires one in-flight message and wakes Quiesce waiters when
 // the network drains.
 func (n *Network) deliveryDone() {
-	n.pmu.Lock()
-	n.pending--
-	var ev *vclock.Event
-	if n.pending == 0 && n.drained != nil {
-		ev = n.drained
-		n.drained = nil
+	if n.pending.Add(-1) != 0 {
+		return
 	}
+	n.pmu.Lock()
+	ev := n.drained
+	n.drained = nil
 	n.pmu.Unlock()
 	if ev != nil {
 		ev.Fire()
@@ -439,16 +543,21 @@ func (n *Network) Quiesce(timeout time.Duration) bool {
 		if n.closed.Load() {
 			return true
 		}
-		n.pmu.Lock()
-		if n.pending == 0 {
-			n.pmu.Unlock()
+		if n.pending.Load() == 0 {
 			return true
 		}
+		n.pmu.Lock()
 		if n.drained == nil {
 			n.drained = n.clk.NewEvent()
 		}
 		ev := n.drained
 		n.pmu.Unlock()
+		// Re-check after publishing the event: the last delivery may have
+		// drained the network between the count check and the registration,
+		// in which case no one will fire ev.
+		if n.pending.Load() == 0 {
+			return true
+		}
 		remaining := n.clk.Until(deadline)
 		if remaining <= 0 {
 			return false

@@ -210,11 +210,18 @@ func TestIntraRegionUsesLocalDist(t *testing.T) {
 
 func TestMatrixRegions(t *testing.T) {
 	m := NewMatrix(nil)
-	m.SetLink("a", "b", latency.Constant(time.Millisecond))
-	m.SetLink("b", "c", latency.Constant(time.Millisecond))
+	// Insert in non-sorted order: Regions must return a sorted list
+	// regardless of insertion or map iteration order.
+	m.SetLink("c", "b", latency.Constant(time.Millisecond))
+	m.SetLink("b", "a", latency.Constant(time.Millisecond))
 	rs := m.Regions()
 	if len(rs) != 3 {
 		t.Errorf("regions=%v", rs)
+	}
+	for i := 1; i < len(rs); i++ {
+		if rs[i-1] >= rs[i] {
+			t.Fatalf("Regions not sorted: %v", rs)
+		}
 	}
 	// Unknown pairs fall back to the local distribution.
 	if m.Link("a", "zzz") == nil {

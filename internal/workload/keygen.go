@@ -19,8 +19,20 @@ type KeyGen interface {
 	Keys() []string
 }
 
-// keyName formats the canonical key for an index under a prefix.
-func keyName(prefix string, i int) string { return fmt.Sprintf("%s%06d", prefix, i) }
+// keyName formats the canonical key for an index under a prefix. Key draws
+// and seeding both sit on this, so it hand-rolls the zero-padded decimal
+// instead of going through fmt.
+func keyName(prefix string, i int) string {
+	if i < 0 || i > 999999 {
+		return fmt.Sprintf("%s%06d", prefix, i)
+	}
+	var buf [6]byte
+	for j := 5; j >= 0; j-- {
+		buf[j] = byte('0' + i%10)
+		i /= 10
+	}
+	return prefix + string(buf[:])
+}
 
 // Uniform draws uniformly from N keys.
 type Uniform struct {

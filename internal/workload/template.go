@@ -21,6 +21,34 @@ type Seeder interface {
 	SeedInt(key string, value, lo, hi int64)
 }
 
+// BulkSeeder is an optional extension of Seeder that installs a whole key
+// space in one pass, avoiding per-key locking and incremental map growth.
+// cluster.Cluster implements it; templates use it when available.
+type BulkSeeder interface {
+	SeedBytesAll(keys []string, value []byte)
+	SeedIntAll(keys []string, value, lo, hi int64)
+}
+
+func seedBytesAll(s Seeder, keys []string, value []byte) {
+	if b, ok := s.(BulkSeeder); ok {
+		b.SeedBytesAll(keys, value)
+		return
+	}
+	for _, k := range keys {
+		s.SeedBytes(k, value)
+	}
+}
+
+func seedIntAll(s Seeder, keys []string, value, lo, hi int64) {
+	if b, ok := s.(BulkSeeder); ok {
+		b.SeedIntAll(keys, value, lo, hi)
+		return
+	}
+	for _, k := range keys {
+		s.SeedInt(k, value, lo, hi)
+	}
+}
+
 // Buy models the paper's TPC-W-like microbenchmark: purchase Qty units of a
 // product with bounded stock, as a commutative decrement. Contention comes
 // from the product popularity distribution; integrity comes from the stock
@@ -52,9 +80,7 @@ func (b Buy) Seed(seeder Seeder) {
 	if stock <= 0 {
 		stock = 1 << 40 // effectively unbounded
 	}
-	for _, k := range b.Products.Keys() {
-		seeder.SeedInt(k, stock, 0, 1<<50)
-	}
+	seedIntAll(seeder, b.Products.Keys(), stock, 0, 1<<50)
 }
 
 // ReadModifyWrite reads NKeys records and writes them back — the classic
@@ -96,9 +122,7 @@ func (w ReadModifyWrite) Build(s *planet.Session, rng *rand.Rand) (*planet.Txn, 
 
 // Seed implements Template.
 func (w ReadModifyWrite) Seed(seeder Seeder) {
-	for _, k := range w.Keys.Keys() {
-		seeder.SeedBytes(k, []byte("init"))
-	}
+	seedBytesAll(seeder, w.Keys.Keys(), []byte("init"))
 }
 
 // Checkout models a shopping-cart purchase: commutative decrements on
@@ -147,12 +171,8 @@ func (c Checkout) Seed(seeder Seeder) {
 	if stock <= 0 {
 		stock = 1 << 40
 	}
-	for _, k := range c.Products.Keys() {
-		seeder.SeedInt(k, stock, 0, 1<<50)
-	}
-	for _, k := range c.Orders.Keys() {
-		seeder.SeedBytes(k, []byte("empty"))
-	}
+	seedIntAll(seeder, c.Products.Keys(), stock, 0, 1<<50)
+	seedBytesAll(seeder, c.Orders.Keys(), []byte("empty"))
 }
 
 // Transfer moves one unit between two accounts with commutative deltas,
@@ -182,7 +202,5 @@ func (t Transfer) Seed(seeder Seeder) {
 	if bal <= 0 {
 		bal = 1000
 	}
-	for _, k := range t.Accounts.Keys() {
-		seeder.SeedInt(k, bal, 0, 1<<50)
-	}
+	seedIntAll(seeder, t.Accounts.Keys(), bal, 0, 1<<50)
 }

@@ -20,3 +20,14 @@ go test -race -run Soak -short ./internal/chaos/
 go test -count=10 -run TestVirtualTimeDeterminism .
 go test -race -count=2 ./internal/vclock
 go test -count=1 -timeout 60s -run 'TestExperimentsRunClean|TestEvaluationShapes' .
+# Benchmark smoke gate: every benchmark in the tree must complete one
+# iteration cleanly (catches panics on bench-only paths), and the commit
+# hot path is held to its recorded allocation budget: 60 allocs/op when the
+# batched wire format landed (BENCH_pr5.json), gated at 80 to absorb noise.
+go test -run '^$' -bench . -benchtime 1x -benchmem ./...
+allocs=$(go test -run '^$' -bench BenchmarkCoordinatorCommit -benchtime 1000x -benchmem ./internal/mdcc/ |
+	awk '/^BenchmarkCoordinatorCommit/ {for (i = 1; i <= NF; i++) if ($i == "allocs/op") print $(i-1)}')
+[ -n "$allocs" ] && [ "$allocs" -le 80 ] || {
+	echo "verify: BenchmarkCoordinatorCommit allocs/op=$allocs exceeds ceiling 80" >&2
+	exit 1
+}
