@@ -1,11 +1,29 @@
-// Command planetd runs a PLANET deployment in-process and serves one
-// region's gateway over HTTP — the shape an application server embedding
-// this library would take.
+// Command planetd runs a PLANET deployment and serves one region's gateway
+// over HTTP — the shape an application server embedding this library would
+// take. It has two modes:
+//
+// Simulation mode (default) boots the whole multi-region cluster in-process
+// over the simulated WAN:
 //
 //	planetd [-addr :8480] [-region us-west] [-scale 0.05] [-admission 0.4]
 //	        [-slowtxn 250ms] [-logaborted] [-chaos mixed] [-chaosapi] [-shedat 0.5]
 //
-// Try it:
+// Deployment mode (-realnet) runs ONE region's node as this process —
+// replica, coordinator, and an HTTP gateway — speaking the wire protocol
+// over real TCP to its peer processes. Every region of the deployment runs
+// its own planetd:
+//
+//	planetd -realnet -region us-west -listen 127.0.0.1:9001 \
+//	        -peers 'us-west=127.0.0.1:9001,us-east=127.0.0.1:9002,eu-west=127.0.0.1:9003' \
+//	        -datadir /var/lib/planet &
+//	# ... same for us-east and eu-west with their own -addr/-listen/-datadir
+//
+// All nodes must agree on -peers: the sorted region set defines quorum
+// sizes and key mastership. With -datadir the write-ahead log lives on
+// disk and is replayed on restart, so a kill -9'd node rejoins with its
+// decisions intact.
+//
+// Try it (simulation mode):
 //
 //	planetd &
 //	curl -s 'localhost:8480/v1/read?key=demo'
@@ -16,7 +34,7 @@
 //	curl -s 'localhost:8480/v1/stats'
 //	curl -s 'localhost:8480/v1/metrics'
 //
-// With -chaosapi, faults can be injected at runtime:
+// With -chaosapi (simulation mode only), faults can be injected at runtime:
 //
 //	planetd -chaosapi &
 //	curl -s -X POST localhost:8480/v1/chaos/latency \
@@ -24,11 +42,12 @@
 //	curl -s -X POST localhost:8480/v1/chaos/scenario -d '{"preset":"mixed"}'
 //	curl -s 'localhost:8480/v1/chaos/events'
 //
-// With -chaos <preset|seed:N>, the named fault scenario starts against the
-// cluster at boot (implies -chaosapi).
+// In deployment mode the /v1/net/* routes expose peer health and fault
+// injection instead; OS-level faults (kill -9, SIGSTOP) come from outside.
 //
-// planetd shuts down gracefully on SIGINT/SIGTERM: in-flight requests
-// drain (bounded by a short timeout) and the cluster is closed.
+// planetd shuts down gracefully on SIGINT/SIGTERM in both modes: the
+// gateway stops accepting new transactions (503), in-flight transactions
+// drain bounded by -drain, the WAL is fsynced, and the process exits 0.
 package main
 
 import (
@@ -42,6 +61,8 @@ import (
 	"os/signal"
 	"strconv"
 	"strings"
+	"sync"
+	"sync/atomic"
 	"syscall"
 	"time"
 
@@ -49,7 +70,9 @@ import (
 	"planet/internal/cluster"
 	planet "planet/internal/core"
 	"planet/internal/httpapi"
+	"planet/internal/mdcc"
 	"planet/internal/obs"
+	"planet/internal/realnet"
 	"planet/internal/simnet"
 )
 
@@ -59,23 +82,66 @@ func main() {
 	}
 }
 
-func run() error {
-	var (
-		addr       = flag.String("addr", ":8480", "listen address")
-		region     = flag.String("region", "us-west", "gateway region")
-		scale      = flag.Float64("scale", 0.05, "WAN time compression")
-		admission  = flag.Float64("admission", 0, "admission MinLikelihood (0 disables)")
-		slowtxn    = flag.Duration("slowtxn", 0, "log traces of transactions at least this slow (0 disables)")
-		logaborted = flag.Bool("logaborted", false, "log every aborted transaction's trace")
-		traceCap   = flag.Int("tracecap", 512, "completed traces retained for /v1/traces")
-		chaosRun   = flag.String("chaos", "", "run a fault scenario at boot: preset name or seed:<N> (implies -chaosapi)")
-		chaosAPI   = flag.Bool("chaosapi", false, "enable runtime fault injection via POST /v1/chaos/*")
-		shedAt     = flag.Float64("shedat", 0.5, "shed speculation in a region whose recent timeout rate reaches this (0 disables)")
-	)
-	flag.Parse()
+// flags groups the command line; both modes share most of it.
+type flags struct {
+	addr       string
+	region     string
+	scale      float64
+	admission  float64
+	slowtxn    time.Duration
+	logaborted bool
+	traceCap   int
+	chaosRun   string
+	chaosAPI   bool
+	shedAt     float64
+	drain      time.Duration
 
+	realnet  bool
+	listen   string
+	peers    string
+	datadir  string
+	netdelay time.Duration
+	master   string
+	committo time.Duration
+}
+
+func parseFlags() *flags {
+	f := &flags{}
+	flag.StringVar(&f.addr, "addr", ":8480", "HTTP gateway listen address")
+	flag.StringVar(&f.region, "region", "us-west", "gateway region")
+	flag.Float64Var(&f.scale, "scale", 0.05, "WAN time compression (simulation mode)")
+	flag.Float64Var(&f.admission, "admission", 0, "admission MinLikelihood (0 disables)")
+	flag.DurationVar(&f.slowtxn, "slowtxn", 0, "log traces of transactions at least this slow (0 disables)")
+	flag.BoolVar(&f.logaborted, "logaborted", false, "log every aborted transaction's trace")
+	flag.IntVar(&f.traceCap, "tracecap", 512, "completed traces retained for /v1/traces")
+	flag.StringVar(&f.chaosRun, "chaos", "", "run a fault scenario at boot: preset name or seed:<N> (implies -chaosapi; simulation mode)")
+	flag.BoolVar(&f.chaosAPI, "chaosapi", false, "enable runtime fault injection via POST /v1/chaos/* (simulation mode)")
+	flag.Float64Var(&f.shedAt, "shedat", 0.5, "shed speculation in a region whose recent timeout rate reaches this (0 disables)")
+	flag.DurationVar(&f.drain, "drain", 10*time.Second, "bound on draining in-flight transactions at shutdown")
+
+	flag.BoolVar(&f.realnet, "realnet", false, "deployment mode: run one region's node over real TCP")
+	flag.StringVar(&f.listen, "listen", "", "transport listen address (deployment mode; default: this region's -peers entry)")
+	flag.StringVar(&f.peers, "peers", "", "comma-separated region=host:port for EVERY region, e.g. 'us-west=127.0.0.1:9001,us-east=127.0.0.1:9002'")
+	flag.StringVar(&f.datadir, "datadir", "", "directory for the on-disk WAL (deployment mode; empty keeps it in memory)")
+	flag.DurationVar(&f.netdelay, "netdelay", 0, "artificial inbound delivery delay (deployment mode, tests)")
+	flag.StringVar(&f.master, "masterregion", "", "make one region master for every key (deployment mode, tests)")
+	flag.DurationVar(&f.committo, "committimeout", 0, "bound a transaction's in-flight time (deployment mode; 0 uses the default)")
+	flag.Parse()
+	return f
+}
+
+func run() error {
+	f := parseFlags()
+	if f.realnet {
+		return runRealnet(f)
+	}
+	return runSimnet(f)
+}
+
+// runSimnet boots the whole cluster in-process over the simulated WAN.
+func runSimnet(f *flags) error {
 	// WAL on: crash/restart chaos faults recover replica state by replay.
-	c, err := cluster.New(cluster.Config{TimeScale: *scale, WAL: true})
+	c, err := cluster.New(cluster.Config{TimeScale: f.scale, WAL: true})
 	if err != nil {
 		return err
 	}
@@ -83,34 +149,31 @@ func run() error {
 
 	reg := obs.NewRegistry()
 	tracer := obs.NewTracer(obs.TracerConfig{
-		Capacity:      *traceCap,
-		SlowThreshold: *slowtxn,
-		LogAborted:    *logaborted,
+		Capacity:      f.traceCap,
+		SlowThreshold: f.slowtxn,
+		LogAborted:    f.logaborted,
 		Logf:          log.Printf,
 	})
 	db, err := planet.Open(planet.Config{
 		Cluster:   c,
-		Admission: planet.AdmissionPolicy{MinLikelihood: *admission, ProbeFraction: 0.05},
-		Health:    planet.HealthPolicy{MaxTimeoutRate: *shedAt},
+		Admission: planet.AdmissionPolicy{MinLikelihood: f.admission, ProbeFraction: 0.05},
+		Health:    planet.HealthPolicy{MaxTimeoutRate: f.shedAt},
 		Registry:  reg,
 		Tracer:    tracer,
 	})
 	if err != nil {
 		return err
 	}
-	sess, err := db.Session(simnet.Region(*region))
+	region := simnet.Region(f.region)
+	sess, err := db.Session(region)
 	if err != nil {
 		return fmt.Errorf("%v (regions: %v)", err, c.Regions())
 	}
 
-	// Seed a few records so curl examples work out of the box.
-	c.SeedBytes("demo", []byte("hello from planetd"))
-	c.SeedInt("demo-counter", 0, 0, 1<<40)
-	c.SeedInt("demo-stock", 100, 0, 100)
-
+	seedDemo(c)
 	gw := httpapi.NewServer(db, sess)
 	var eng *chaos.Engine
-	if *chaosAPI || *chaosRun != "" {
+	if f.chaosAPI || f.chaosRun != "" {
 		eng, err = chaos.New(chaos.Config{
 			Cluster:  c,
 			Registry: reg,
@@ -122,9 +185,9 @@ func run() error {
 		}
 		gw.EnableChaos(eng)
 	}
-	if *chaosRun != "" {
+	if f.chaosRun != "" {
 		var sc chaos.Scenario
-		if seedStr, ok := strings.CutPrefix(*chaosRun, "seed:"); ok {
+		if seedStr, ok := strings.CutPrefix(f.chaosRun, "seed:"); ok {
 			seed, err := strconv.ParseInt(seedStr, 10, 64)
 			if err != nil {
 				return fmt.Errorf("planetd: bad -chaos seed %q: %v", seedStr, err)
@@ -134,7 +197,7 @@ func run() error {
 				return err
 			}
 		} else {
-			sc, err = chaos.Preset(*chaosRun, c.Regions())
+			sc, err = chaos.Preset(f.chaosRun, c.Regions())
 			if err != nil {
 				return err
 			}
@@ -145,14 +208,125 @@ func run() error {
 		defer eng.Stop()
 	}
 
-	srv := &http.Server{Addr: *addr, Handler: gw}
 	fmt.Printf("planetd: %d-region cluster up, gateway for %s on %s\n",
-		len(c.Regions()), *region, *addr)
-	fmt.Printf("seeded keys: demo (bytes), demo-counter (int), demo-stock (bounded 0..100)\n")
+		len(c.Regions()), f.region, f.addr)
+	fmt.Printf("seeded keys: demo (bytes), demo-counter (int), demo-stock (bounded 0..100), acct-1..acct-8\n")
 	if eng != nil {
 		fmt.Printf("chaos: POST /v1/chaos/* enabled (presets: %v)\n", chaos.PresetNames())
 	}
+	return serve(f, gw, db, c.WALOf(region))
+}
 
+// runRealnet runs one region's node over real TCP (deployment mode).
+func runRealnet(f *flags) error {
+	peers, err := parsePeers(f.peers)
+	if err != nil {
+		return err
+	}
+	region := simnet.Region(f.region)
+	if _, ok := peers[region]; !ok {
+		return fmt.Errorf("planetd: -region %q has no -peers entry", f.region)
+	}
+
+	// Peer health feeds speculation shedding: when so many peer links are
+	// down that the fast quorum is unreachable, force the local region
+	// degraded so sessions stop speculating on commits that must take the
+	// classic path anyway. Peers with no recorded transition are up.
+	var (
+		dbPtr      atomic.Pointer[planet.DB]
+		peerMu     sync.Mutex
+		peerStates = make(map[simnet.Region]realnet.PeerState, len(peers)-1)
+	)
+	recompute := func() {
+		peerMu.Lock()
+		up := 1 // self
+		for r := range peers {
+			if r == region {
+				continue
+			}
+			if peerStates[r] != realnet.PeerDown {
+				up++
+			}
+		}
+		degraded := up < mdcc.FastQuorum(len(peers))
+		peerMu.Unlock()
+		if db := dbPtr.Load(); db != nil {
+			db.SetRegionForcedDegraded(region, degraded)
+		}
+	}
+	onPeerState := func(r simnet.Region, st realnet.PeerState) {
+		peerMu.Lock()
+		peerStates[r] = st
+		peerMu.Unlock()
+		log.Printf("planetd: peer %s -> %s", r, st)
+		recompute()
+	}
+
+	c, err := cluster.NewNode(cluster.NodeConfig{
+		Region:        region,
+		Peers:         peers,
+		Listen:        f.listen,
+		DataDir:       f.datadir,
+		InboundDelay:  f.netdelay,
+		MasterRegion:  simnet.Region(f.master),
+		CommitTimeout: f.committo,
+		OnPeerState:   onPeerState,
+		Logf:          log.Printf,
+	})
+	if err != nil {
+		return err
+	}
+	defer c.Close()
+
+	reg := obs.NewRegistry()
+	tracer := obs.NewTracer(obs.TracerConfig{
+		Capacity:      f.traceCap,
+		SlowThreshold: f.slowtxn,
+		LogAborted:    f.logaborted,
+		Logf:          log.Printf,
+	})
+	db, err := planet.Open(planet.Config{
+		Cluster:   c,
+		Admission: planet.AdmissionPolicy{MinLikelihood: f.admission, ProbeFraction: 0.05},
+		Health:    planet.HealthPolicy{MaxTimeoutRate: f.shedAt},
+		Registry:  reg,
+		Tracer:    tracer,
+	})
+	if err != nil {
+		return err
+	}
+	dbPtr.Store(db)
+	recompute()
+	sess, err := db.Session(region)
+	if err != nil {
+		return err
+	}
+
+	// Seed the baseline, then replay whatever the on-disk WAL recovered over
+	// it: a restarted node rejoins with every decision it had durably
+	// logged before the crash.
+	seedDemo(c)
+	if err := c.RestartReplica(region); err != nil {
+		return err
+	}
+	if n := c.WALRecovered(); n > 0 || c.WALTorn() {
+		log.Printf("planetd: WAL replay: %d decisions recovered (torn tail: %v)", n, c.WALTorn())
+	}
+
+	gw := httpapi.NewServer(db, sess)
+	gw.EnableRealNet(c.RealNet, c.Replica(region))
+	registerRealnetMetrics(reg, c.RealNet)
+
+	fmt.Printf("planetd: node %s up, transport on %s, gateway on %s, %d-region deployment\n",
+		region, c.RealNet.ListenAddr(), f.addr, len(peers))
+	return serve(f, gw, db, c.WALOf(region))
+}
+
+// serve runs the HTTP gateway until SIGINT/SIGTERM, then performs the
+// hardened graceful shutdown both modes share: refuse new transactions,
+// drain HTTP and in-flight transactions (bounded), fsync the WAL, exit 0.
+func serve(f *flags, gw *httpapi.Server, db *planet.DB, wal *mdcc.WAL) error {
+	srv := &http.Server{Addr: f.addr, Handler: gw}
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
 	errc := make(chan error, 1)
@@ -162,14 +336,107 @@ func run() error {
 	case err := <-errc:
 		return err
 	case <-ctx.Done():
-		// Graceful drain: stop accepting, let in-flight requests finish,
-		// then fall through to the deferred cluster Close.
-		fmt.Println("planetd: shutting down")
-		shctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
-		defer cancel()
-		if err := srv.Shutdown(shctx); err != nil && !errors.Is(err, http.ErrServerClosed) {
-			return err
-		}
-		return nil
 	}
+
+	fmt.Println("planetd: shutting down")
+	// 1. Stop accepting new transactions; reads and status polls still work
+	// so clients can observe their in-flight outcomes.
+	gw.SetDraining(true)
+	// 2. Let in-flight HTTP requests (including bounded waits) finish.
+	shctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	if err := srv.Shutdown(shctx); err != nil && !errors.Is(err, http.ErrServerClosed) {
+		log.Printf("planetd: http shutdown: %v", err)
+	}
+	// 3. Drain in-flight transactions, bounded by -drain. Real time on
+	// purpose: the bound must hold even if the cluster's clock is stalled.
+	deadline := time.Now().Add(f.drain)
+	for db.InFlight() > 0 {
+		if time.Now().After(deadline) {
+			log.Printf("planetd: drain bound hit with %d transactions in flight", db.InFlight())
+			break
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+	// 4. Make the decision log durable before the deferred cluster Close.
+	if wal != nil {
+		if err := wal.Sync(); err != nil {
+			return fmt.Errorf("planetd: wal sync: %w", err)
+		}
+	}
+	fmt.Println("planetd: shutdown complete")
+	return nil
+}
+
+// seedDemo installs the out-of-the-box records: the curl examples' keys and
+// a small bank of bounded accounts the multi-process harness moves value
+// between.
+func seedDemo(c *cluster.Cluster) {
+	c.SeedBytes("demo", []byte("hello from planetd"))
+	c.SeedInt("demo-counter", 0, 0, 1<<40)
+	c.SeedInt("demo-stock", 100, 0, 100)
+	for i := 1; i <= 8; i++ {
+		c.SeedInt(fmt.Sprintf("acct-%d", i), 100, 0, 10_000_000)
+	}
+}
+
+// parsePeers parses "r1=host:port,r2=host:port" into the deployment map.
+func parsePeers(s string) (map[simnet.Region]string, error) {
+	if s == "" {
+		return nil, fmt.Errorf("planetd: -realnet requires -peers")
+	}
+	out := make(map[simnet.Region]string)
+	for _, part := range strings.Split(s, ",") {
+		part = strings.TrimSpace(part)
+		if part == "" {
+			continue
+		}
+		name, addr, ok := strings.Cut(part, "=")
+		if !ok || name == "" || addr == "" {
+			return nil, fmt.Errorf("planetd: bad -peers entry %q (want region=host:port)", part)
+		}
+		r := simnet.Region(strings.TrimSpace(name))
+		if _, dup := out[r]; dup {
+			return nil, fmt.Errorf("planetd: duplicate -peers region %q", r)
+		}
+		out[r] = strings.TrimSpace(addr)
+	}
+	if len(out) < 2 {
+		return nil, fmt.Errorf("planetd: -peers needs at least 2 regions, got %d", len(out))
+	}
+	return out, nil
+}
+
+// registerRealnetMetrics exposes the transport's counters and peer health
+// through the gateway's /v1/metrics.
+func registerRealnetMetrics(reg *obs.Registry, tr *realnet.Transport) {
+	snap := func(pick func(realnet.StatsSnapshot) uint64) func() float64 {
+		return func() float64 { return float64(pick(tr.StatsSnapshot())) }
+	}
+	reg.GaugeFunc("planet_realnet_sent_total",
+		"Payloads handed to the transport for delivery.",
+		snap(func(s realnet.StatsSnapshot) uint64 { return s.Sent }))
+	reg.GaugeFunc("planet_realnet_delivered_total",
+		"Payloads delivered to local handlers.",
+		snap(func(s realnet.StatsSnapshot) uint64 { return s.Delivered }))
+	reg.GaugeFunc("planet_realnet_dropped_total",
+		"Payloads dropped (cut links, full queues, dead peers).",
+		snap(func(s realnet.StatsSnapshot) uint64 { return s.Dropped }))
+	reg.GaugeFunc("planet_realnet_decode_errors_total",
+		"Inbound frames rejected as malformed (connection closed).",
+		snap(func(s realnet.StatsSnapshot) uint64 { return s.DecodeErrors }))
+	reg.GaugeFunc("planet_realnet_reconnects_total",
+		"Peer connections re-established after a drop.",
+		snap(func(s realnet.StatsSnapshot) uint64 { return s.Reconnects }))
+	reg.GaugeFunc("planet_realnet_peers_down",
+		"Remote peers currently marked down.",
+		func() float64 {
+			n := 0
+			for _, st := range tr.PeerStates() {
+				if st == realnet.PeerDown {
+					n++
+				}
+			}
+			return float64(n)
+		})
 }

@@ -81,6 +81,13 @@ func New(cfg Config) (*Engine, error) {
 	if cfg.Cluster == nil {
 		return nil, fmt.Errorf("chaos: Config.Cluster is required")
 	}
+	if cfg.Cluster.Net == nil {
+		// The engine's fault surface is the simulated WAN's knobs. A
+		// realnet deployment injects faults at the OS level instead
+		// (SIGKILL/SIGSTOP, partitions via the transport's admin API — see
+		// internal/multinet).
+		return nil, fmt.Errorf("chaos: cluster has no simnet network; realnet deployments inject faults at the OS level")
+	}
 	return &Engine{
 		cfg:    cfg,
 		faultC: make(map[FaultKind]*obs.Counter),

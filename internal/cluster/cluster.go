@@ -9,6 +9,7 @@ import (
 	"time"
 
 	"planet/internal/mdcc"
+	"planet/internal/realnet"
 	"planet/internal/regions"
 	"planet/internal/simnet"
 	"planet/internal/vclock"
@@ -62,9 +63,11 @@ const (
 	DefaultPendingTTL    = 20 * time.Second
 )
 
-// Cluster is a fully wired deployment.
+// Cluster is a fully wired deployment. Exactly one of Net (simulated WAN,
+// built by New) and RealNet (TCP transport, built by NewNode) is non-nil.
 type Cluster struct {
 	Net      *simnet.Network
+	RealNet  *realnet.Transport
 	Topology regions.Topology
 
 	replicas map[simnet.Region]*mdcc.Replica
@@ -73,6 +76,10 @@ type Cluster struct {
 	scale    float64
 	clk      vclock.Clock
 	ownedClk *vclock.Virtual // non-nil when the cluster created the clock
+
+	// Node-mode recovery report (NewNode with a data dir).
+	walRecovered int
+	walTorn      bool
 }
 
 // replicaName and coordName are the per-region node names.
@@ -296,11 +303,26 @@ func (c *Cluster) UnscaleDuration(d time.Duration) time.Duration {
 // cluster owns one (in that order, so Quiesce calls racing Close observe
 // the closed network and return instead of parking on a dead clock).
 func (c *Cluster) Close() {
-	c.Net.Close()
+	if c.Net != nil {
+		c.Net.Close()
+	}
+	if c.RealNet != nil {
+		c.RealNet.Close()
+	}
 	if c.ownedClk != nil {
 		c.ownedClk.Shutdown()
 	}
 }
 
-// Quiesce waits for in-flight messages to drain (bounded by timeout).
-func (c *Cluster) Quiesce(timeout time.Duration) bool { return c.Net.Quiesce(timeout) }
+// Quiesce waits for in-flight messages to drain (bounded by timeout). On a
+// realnet node only local deliveries can be awaited; the wire has no global
+// view.
+func (c *Cluster) Quiesce(timeout time.Duration) bool {
+	if c.Net != nil {
+		return c.Net.Quiesce(timeout)
+	}
+	if c.RealNet != nil {
+		return c.RealNet.Quiesce(timeout)
+	}
+	return true
+}

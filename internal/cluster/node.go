@@ -1,0 +1,186 @@
+package cluster
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"time"
+
+	"planet/internal/mdcc"
+	"planet/internal/realnet"
+	"planet/internal/regions"
+	"planet/internal/simnet"
+)
+
+// NodeConfig parameterizes one process of a multi-process deployment: the
+// local region's replica and coordinator over a TCP transport, with the WAL
+// on disk. Every region of the deployment runs one such node (planetd
+// -realnet); together they form the same logical cluster New builds
+// in-process.
+type NodeConfig struct {
+	// Region is the local region. Required, and must appear in Peers.
+	Region simnet.Region
+	// Peers maps EVERY region of the deployment — including this one — to
+	// its transport address. All nodes must agree on this map: the sorted
+	// key set defines the region list, and with it quorum sizes and key
+	// mastership.
+	Peers map[simnet.Region]string
+	// Listen overrides the address to bind (e.g. "127.0.0.1:0" in tests);
+	// empty uses Peers[Region].
+	Listen string
+	// DataDir, when non-empty, stores the write-ahead log on disk
+	// (wal-<region>.jsonl) and recovers it on startup. Empty keeps the WAL
+	// in memory — crash durability off, tests only.
+	DataDir string
+	// CommitTimeout bounds a transaction's in-flight time, in real time
+	// (node mode runs unscaled). Defaults to DefaultCommitTimeout.
+	CommitTimeout time.Duration
+	// PendingTTL evicts orphaned pending options, in real time. Defaults
+	// to DefaultPendingTTL; negative disables eviction.
+	PendingTTL time.Duration
+	// MasterRegion, when non-empty, makes one region master for every key.
+	MasterRegion simnet.Region
+	// InboundDelay artificially delays every delivery (tests widening
+	// protocol windows that loopback TCP makes vanishingly small).
+	InboundDelay time.Duration
+	// OnPeerState observes transport peer health transitions (optional).
+	OnPeerState func(region simnet.Region, state realnet.PeerState)
+	// Logf receives transport diagnostics (optional).
+	Logf func(format string, args ...any)
+}
+
+// NewNode builds and starts one deployment node: a realnet transport bound
+// to the local address, the local replica (recovering any on-disk WAL), and
+// the local coordinator wired for graceful degradation when the transport
+// reports fast-quorum peers unreachable.
+//
+// The returned Cluster exposes the node through the same API the simnet
+// composition does, with maps populated only for the local region; Net is
+// nil and RealNet set.
+func NewNode(cfg NodeConfig) (*Cluster, error) {
+	if cfg.Region == "" {
+		return nil, fmt.Errorf("cluster: NodeConfig.Region is required")
+	}
+	if _, ok := cfg.Peers[cfg.Region]; !ok {
+		return nil, fmt.Errorf("cluster: local region %q missing from Peers", cfg.Region)
+	}
+	if len(cfg.Peers) < 2 {
+		return nil, fmt.Errorf("cluster: a deployment needs at least 2 regions, got %d", len(cfg.Peers))
+	}
+	if cfg.CommitTimeout == 0 {
+		cfg.CommitTimeout = DefaultCommitTimeout
+	}
+	switch {
+	case cfg.PendingTTL == 0:
+		cfg.PendingTTL = DefaultPendingTTL
+	case cfg.PendingTTL < 0:
+		cfg.PendingTTL = 0
+	}
+
+	// The region list — and with it FastQuorum, ClassicQuorum, and
+	// MasterFor — must be identical on every node: derive it from the
+	// sorted peer map keys.
+	regionList := make([]simnet.Region, 0, len(cfg.Peers))
+	for r := range cfg.Peers {
+		regionList = append(regionList, r)
+	}
+	sort.Slice(regionList, func(i, j int) bool { return regionList[i] < regionList[j] })
+	if cfg.MasterRegion != "" {
+		if _, ok := cfg.Peers[cfg.MasterRegion]; !ok {
+			return nil, fmt.Errorf("cluster: master region %q not in Peers", cfg.MasterRegion)
+		}
+	}
+
+	remote := make(map[simnet.Region]string, len(cfg.Peers)-1)
+	for r, addr := range cfg.Peers {
+		if r != cfg.Region {
+			remote[r] = addr
+		}
+	}
+	listen := cfg.Listen
+	if listen == "" {
+		listen = cfg.Peers[cfg.Region]
+	}
+	rn, err := realnet.New(realnet.Config{
+		Listen:       listen,
+		Peers:        remote,
+		Codec:        mdcc.WireCodec{},
+		InboundDelay: cfg.InboundDelay,
+		OnPeerState:  cfg.OnPeerState,
+		Logf:         cfg.Logf,
+	})
+	if err != nil {
+		return nil, err
+	}
+
+	c := &Cluster{
+		RealNet:  rn,
+		Topology: regions.Topology{Regions: regionList},
+		replicas: make(map[simnet.Region]*mdcc.Replica, 1),
+		coords:   make(map[simnet.Region]*mdcc.Coordinator, 1),
+		wals:     make(map[simnet.Region]*mdcc.WAL, 1),
+		scale:    1,
+		clk:      rn.Clock(),
+	}
+
+	var wal *mdcc.WAL
+	if cfg.DataDir != "" {
+		if err := os.MkdirAll(cfg.DataDir, 0o755); err != nil {
+			rn.Close()
+			return nil, fmt.Errorf("cluster: data dir: %w", err)
+		}
+		path := filepath.Join(cfg.DataDir, fmt.Sprintf("wal-%s.jsonl", cfg.Region))
+		w, recovered, torn, err := mdcc.OpenWALFile(path)
+		if err != nil {
+			rn.Close()
+			return nil, err
+		}
+		wal, c.walRecovered, c.walTorn = w, recovered, torn
+	} else {
+		wal = mdcc.NewWAL(nil)
+	}
+	c.wals[cfg.Region] = wal
+
+	replicaAddrs := make([]simnet.Addr, len(regionList))
+	for i, r := range regionList {
+		replicaAddrs[i] = simnet.Addr{Region: r, Name: replicaName}
+	}
+	masterFor := func(key string) simnet.Addr {
+		if cfg.MasterRegion != "" {
+			return simnet.Addr{Region: cfg.MasterRegion, Name: replicaName}
+		}
+		return simnet.Addr{Region: mdcc.MasterFor(key, regionList), Name: replicaName}
+	}
+
+	c.replicas[cfg.Region] = mdcc.NewReplica(mdcc.ReplicaConfig{
+		Net:        rn,
+		Addr:       simnet.Addr{Region: cfg.Region, Name: replicaName},
+		Peers:      replicaAddrs,
+		PendingTTL: cfg.PendingTTL,
+		WAL:        wal,
+	})
+	coord, err := mdcc.NewCoordinator(mdcc.CoordinatorConfig{
+		Net:           rn,
+		Addr:          simnet.Addr{Region: cfg.Region, Name: coordName},
+		Replicas:      replicaAddrs,
+		MasterFor:     masterFor,
+		CommitTimeout: cfg.CommitTimeout,
+		Unreachable:   rn.Unreachable,
+	})
+	if err != nil {
+		rn.Close()
+		return nil, err
+	}
+	c.coords[cfg.Region] = coord
+	return c, nil
+}
+
+// WALRecovered reports how many decision entries the node recovered from
+// its on-disk WAL at startup (node mode; 0 otherwise). Callers seed the
+// baseline, then RestartReplica replays these over it.
+func (c *Cluster) WALRecovered() int { return c.walRecovered }
+
+// WALTorn reports whether the recovered WAL ended in a torn record that was
+// truncated away (the signature of a crash mid-append).
+func (c *Cluster) WALTorn() bool { return c.walTorn }

@@ -100,6 +100,7 @@ type DB struct {
 
 	inFlight map[simnet.Region]*atomic.Int64
 	health   map[simnet.Region]*regionHealth // nil entries when disabled
+	forced   map[simnet.Region]*atomic.Bool  // operator/transport-forced degradation
 
 	rngMu sync.Mutex
 	rng   *rand.Rand // admission probes, retry jitter
@@ -119,13 +120,14 @@ func Open(cfg Config) (*DB, error) {
 		return nil, fmt.Errorf("planet: Config.Cluster is required")
 	}
 	regionList := cfg.Cluster.Regions()
-	clk := cfg.Cluster.Net.Clock()
+	clk := cfg.Cluster.Clock()
 	db := &DB{
 		cfg:      cfg,
 		clk:      clk,
 		preds:    make(map[simnet.Region]*predictor.Predictor, len(regionList)),
 		inFlight: make(map[simnet.Region]*atomic.Int64, len(regionList)),
 		health:   make(map[simnet.Region]*regionHealth, len(regionList)),
+		forced:   make(map[simnet.Region]*atomic.Bool, len(regionList)),
 		rng:      rand.New(rand.NewSource(1)),
 		tracer:   cfg.Tracer,
 	}
@@ -154,14 +156,21 @@ func Open(cfg Config) (*DB, error) {
 			UseLatency:       !cfg.DisableLatencyTerm,
 		})
 		db.inFlight[r] = &atomic.Int64{}
+		db.forced[r] = &atomic.Bool{}
 	}
 	if reg := cfg.Registry; reg != nil {
 		db.inst = newDBInstruments(reg, regionList, db.inFlight)
 		// Instrument the layers below: simnet traffic and per-region
-		// coordinator protocol activity all land in the same registry.
-		cfg.Cluster.Net.SetObserver(obs.NewNetInstruments(reg))
+		// coordinator protocol activity all land in the same registry. In a
+		// realnet deployment there is no simnet network and only the local
+		// region has a coordinator, hence the nil guards.
+		if cfg.Cluster.Net != nil {
+			cfg.Cluster.Net.SetObserver(obs.NewNetInstruments(reg))
+		}
 		for _, r := range regionList {
-			cfg.Cluster.Coordinator(r).SetObserver(obs.NewCoordInstruments(reg, r))
+			if coord := cfg.Cluster.Coordinator(r); coord != nil {
+				coord.SetObserver(obs.NewCoordInstruments(reg, r))
+			}
 		}
 		for _, r := range regionList {
 			if hr := db.health[r]; hr != nil {
@@ -206,9 +215,37 @@ func (db *DB) Stats() Stats {
 	}
 }
 
-// RegionDegraded reports whether the region's health tracker currently
-// judges it degraded (always false when Config.Health is disabled).
-func (db *DB) RegionDegraded(r simnet.Region) bool { return db.health[r].degraded() }
+// RegionDegraded reports whether the region currently sheds speculation:
+// either its health tracker judges it degraded (always false when
+// Config.Health is disabled) or degradation was forced via
+// SetRegionForcedDegraded (transport peer health, operator override).
+func (db *DB) RegionDegraded(r simnet.Region) bool {
+	if f := db.forced[r]; f != nil && f.Load() {
+		return true
+	}
+	return db.health[r].degraded()
+}
+
+// SetRegionForcedDegraded forces (or clears) degradation for a region
+// independent of the timeout-rate tracker. The realnet deployment wires
+// transport peer health into it: when enough peers are down that the fast
+// quorum cannot form, speculation is pointless and sheds immediately.
+// Unknown regions are ignored.
+func (db *DB) SetRegionForcedDegraded(r simnet.Region, degraded bool) {
+	if f := db.forced[r]; f != nil {
+		f.Store(degraded)
+	}
+}
+
+// InFlight returns the number of transactions currently executing across
+// all regions. Graceful shutdown drains on it.
+func (db *DB) InFlight() int64 {
+	var n int64
+	for _, c := range db.inFlight {
+		n += c.Load()
+	}
+	return n
+}
 
 // SpeculationShed reports how many transactions had speculation disabled
 // because their home region was degraded.

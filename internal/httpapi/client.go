@@ -3,6 +3,7 @@ package httpapi
 import (
 	"bytes"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"io"
 	"net/http"
@@ -12,6 +13,11 @@ import (
 
 	"planet/internal/vclock"
 )
+
+// ErrWaitTimeout reports that a transaction did not resolve within the
+// caller's wait budget — the decisive outcome when the coordinator's peers
+// are down and the transaction can never finish. Test with errors.Is.
+var ErrWaitTimeout = errors.New("httpapi: wait timed out")
 
 // Client talks to a Server. The zero HTTP client is fine for tests; set
 // HTTP for custom transports or timeouts.
@@ -131,6 +137,30 @@ func (c *Client) status(id string, wait bool) (Status, error) {
 	return out, nil
 }
 
+// WaitBounded blocks server-side for at most bound and reports whether the
+// wait expired (the server's 504) rather than folding it into an opaque
+// error: callers distinguish "not resolved yet" from "request failed".
+func (c *Client) WaitBounded(id string, bound time.Duration) (st Status, timedOut bool, err error) {
+	ms := bound.Milliseconds()
+	if ms <= 0 {
+		ms = 1
+	}
+	u := fmt.Sprintf("%s/v1/txn/%s?wait=1&waitms=%d", c.Base, url.PathEscape(id), ms)
+	resp, err := c.httpc().Get(u)
+	if err != nil {
+		return Status{}, false, fmt.Errorf("httpapi: status: %w", err)
+	}
+	if resp.StatusCode == http.StatusGatewayTimeout {
+		io.Copy(io.Discard, io.LimitReader(resp.Body, 1<<20))
+		resp.Body.Close()
+		return Status{}, true, nil
+	}
+	if err := decode(resp, &st); err != nil {
+		return Status{}, false, err
+	}
+	return st, false, nil
+}
+
 // Stats fetches the DB-wide outcome counters as a generic map (float64
 // values: the response mixes counters with the speculation-accuracy ratio).
 func (c *Client) Stats() (map[string]float64, error) {
@@ -203,15 +233,21 @@ func (c *Client) Metrics() (string, error) {
 	return string(body), nil
 }
 
-// Poll pacing for SubmitAndWait: exponential backoff from the base to the
-// cap, so a decision that lands fast is noticed fast while a long wait does
-// not hammer the gateway with 5ms polls.
+// SubmitAndWait pacing: each request asks the server to wait up to
+// submitWaitChunk; between chunks (and after transport errors) the client
+// backs off from the base to the cap so a flapping gateway is not hammered.
 const (
-	submitPollBase = time.Millisecond
-	submitPollMax  = 50 * time.Millisecond
+	submitWaitChunk     = 10 * time.Second
+	submitRetryBase     = time.Millisecond
+	submitRetryMax      = 50 * time.Millisecond
+	submitNotDoneBudget = 3
 )
 
-// SubmitAndWait is the blocking convenience path.
+// SubmitAndWait is the blocking convenience path: it submits, then rides
+// bounded server-side waits until the transaction resolves or timeout
+// passes. A transaction that can never resolve — its coordinator's peers
+// are down — surfaces as an error wrapping ErrWaitTimeout instead of
+// polling until the caller gives up.
 func (c *Client) SubmitAndWait(req SubmitRequest, timeout time.Duration) (Status, error) {
 	id, err := c.Submit(req)
 	if err != nil {
@@ -219,24 +255,86 @@ func (c *Client) SubmitAndWait(req SubmitRequest, timeout time.Duration) (Status
 	}
 	clk := vclock.Default(c.Clock)
 	deadline := clk.Now().Add(timeout)
-	delay := submitPollBase
+	delay := submitRetryBase
+	notDone := 0
 	for {
-		st, err := c.Wait(id)
-		if err == nil && st.Done {
-			return st, nil
+		remaining := clk.Until(deadline)
+		if remaining <= 0 {
+			return Status{}, fmt.Errorf("httpapi: transaction %s not resolved within %v: %w",
+				id, timeout, ErrWaitTimeout)
 		}
-		if !clk.Now().Before(deadline) {
-			if err == nil {
-				err = fmt.Errorf("httpapi: transaction %s not done before timeout", id)
+		chunk := remaining
+		if chunk > submitWaitChunk {
+			chunk = submitWaitChunk
+		}
+		st, timedOut, err := c.WaitBounded(id, chunk)
+		if err == nil && !timedOut {
+			if st.Done {
+				return st, nil
 			}
-			return st, err
+			// wait=1 returned before the final callback ran (it resolves on
+			// the handle, the outcome lands a beat later). A couple of
+			// immediate re-waits close the gap; persisting beyond that
+			// means something is genuinely wrong.
+			if notDone++; notDone > submitNotDoneBudget {
+				return st, fmt.Errorf("httpapi: transaction %s wait returned undone status", id)
+			}
 		}
-		if remaining := clk.Until(deadline); delay > remaining {
-			delay = remaining
-		}
+		// Timed out chunk or transport error: back off briefly. The sleep
+		// runs on the client's clock so tests on a virtual cluster advance
+		// scheduler time instead of stalling it.
 		clk.Sleep(delay)
-		if delay *= 2; delay > submitPollMax {
-			delay = submitPollMax
+		if delay *= 2; delay > submitRetryMax {
+			delay = submitRetryMax
 		}
 	}
+}
+
+// NetPeers fetches the transport's peer health and counters (realnet
+// deployments only).
+func (c *Client) NetPeers() (NetPeersResponse, error) {
+	resp, err := c.httpc().Get(c.Base + "/v1/net/peers")
+	if err != nil {
+		return NetPeersResponse{}, fmt.Errorf("httpapi: net peers: %w", err)
+	}
+	var out NetPeersResponse
+	if err := decode(resp, &out); err != nil {
+		return NetPeersResponse{}, err
+	}
+	return out, nil
+}
+
+// NetCut severs (cut=true) or heals the gateway node's link to a region.
+func (c *Client) NetCut(region string, cut bool) error {
+	body, _ := json.Marshal(NetCutRequest{Region: region, Cut: cut})
+	resp, err := c.httpc().Post(c.Base+"/v1/net/cut", "application/json", bytes.NewReader(body))
+	if err != nil {
+		return fmt.Errorf("httpapi: net cut: %w", err)
+	}
+	return decode(resp, nil)
+}
+
+// NetListener drops (drop=true) or restores the gateway node's transport
+// listener.
+func (c *Client) NetListener(drop bool) error {
+	body, _ := json.Marshal(NetListenerRequest{Drop: drop})
+	resp, err := c.httpc().Post(c.Base+"/v1/net/listener", "application/json", bytes.NewReader(body))
+	if err != nil {
+		return fmt.Errorf("httpapi: net listener: %w", err)
+	}
+	return decode(resp, nil)
+}
+
+// NetDecisions fetches every transaction verdict the gateway node's replica
+// retains (the multi-process agreement audit).
+func (c *Client) NetDecisions() (map[string]bool, error) {
+	resp, err := c.httpc().Get(c.Base + "/v1/net/decisions")
+	if err != nil {
+		return nil, fmt.Errorf("httpapi: net decisions: %w", err)
+	}
+	var out NetDecisionsResponse
+	if err := decode(resp, &out); err != nil {
+		return nil, err
+	}
+	return out.Decisions, nil
 }

@@ -1,0 +1,143 @@
+package httpapi
+
+// Transport administration: when the gateway is built with EnableRealNet
+// (planetd -realnet), the /v1/net/* routes expose the TCP transport's peer
+// health and OS-level-style fault injection, plus the replica's decision
+// map — the observability surface the multi-process harness drives its
+// partition cycles and agreement audits through.
+//
+//	GET  /v1/net/peers      peer health states + transport counters
+//	POST /v1/net/cut        {"region":R,"cut":true|false}  sever/heal a link
+//	POST /v1/net/listener   {"drop":true|false}  stop/resume accepting peers
+//	GET  /v1/net/decisions  every retained txn verdict at the local replica
+//
+// Without EnableRealNet every /v1/net/* request returns 404.
+
+import (
+	"encoding/json"
+	"net/http"
+	"strings"
+
+	"planet/internal/mdcc"
+	"planet/internal/realnet"
+	"planet/internal/simnet"
+)
+
+// netAdmin bundles what the /v1/net/* routes operate on.
+type netAdmin struct {
+	transport *realnet.Transport
+	replica   *mdcc.Replica
+}
+
+// NetPeersResponse is the GET /v1/net/peers body.
+type NetPeersResponse struct {
+	// Peers maps each remote region to its health state ("up", "suspect",
+	// "down").
+	Peers map[string]string `json:"peers"`
+	// Stats are the transport's cumulative counters.
+	Stats realnet.StatsSnapshot `json:"stats"`
+}
+
+// NetCutRequest is the POST /v1/net/cut body.
+type NetCutRequest struct {
+	Region string `json:"region"`
+	Cut    bool   `json:"cut"`
+}
+
+// NetListenerRequest is the POST /v1/net/listener body.
+type NetListenerRequest struct {
+	Drop bool `json:"drop"`
+}
+
+// NetDecisionsResponse is the GET /v1/net/decisions body: transaction ID →
+// committed, for every decision the local replica retains.
+type NetDecisionsResponse struct {
+	Decisions map[string]bool `json:"decisions"`
+}
+
+// EnableRealNet attaches the deployment transport (and the local replica,
+// for the decisions audit) to the gateway, activating the /v1/net/* routes.
+// Call before serving traffic.
+func (s *Server) EnableRealNet(tr *realnet.Transport, replica *mdcc.Replica) {
+	s.mu.Lock()
+	s.net = &netAdmin{transport: tr, replica: replica}
+	s.mu.Unlock()
+}
+
+// netAdminState returns the attached transport admin, if any.
+func (s *Server) netAdminState() *netAdmin {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.net
+}
+
+// handleNet dispatches /v1/net/*.
+func (s *Server) handleNet(w http.ResponseWriter, r *http.Request) {
+	na := s.netAdminState()
+	if na == nil {
+		writeErr(w, http.StatusNotFound, "transport administration is not enabled on this deployment")
+		return
+	}
+	switch strings.TrimPrefix(r.URL.Path, "/v1/net/") {
+	case "peers":
+		if r.Method != http.MethodGet {
+			writeErr(w, http.StatusMethodNotAllowed, "use GET")
+			return
+		}
+		states := na.transport.PeerStates()
+		resp := NetPeersResponse{
+			Peers: make(map[string]string, len(states)),
+			Stats: na.transport.StatsSnapshot(),
+		}
+		for region, st := range states {
+			resp.Peers[string(region)] = st.String()
+		}
+		writeJSON(w, http.StatusOK, resp)
+	case "cut":
+		if r.Method != http.MethodPost {
+			writeErr(w, http.StatusMethodNotAllowed, "use POST")
+			return
+		}
+		var req NetCutRequest
+		if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+			writeErr(w, http.StatusBadRequest, "bad JSON: %v", err)
+			return
+		}
+		if req.Region == "" {
+			writeErr(w, http.StatusBadRequest, "missing region")
+			return
+		}
+		na.transport.CutPeer(simnet.Region(req.Region), req.Cut)
+		writeJSON(w, http.StatusOK, map[string]bool{"ok": true})
+	case "listener":
+		if r.Method != http.MethodPost {
+			writeErr(w, http.StatusMethodNotAllowed, "use POST")
+			return
+		}
+		var req NetListenerRequest
+		if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+			writeErr(w, http.StatusBadRequest, "bad JSON: %v", err)
+			return
+		}
+		if req.Drop {
+			na.transport.DropListener()
+		} else if err := na.transport.RestoreListener(); err != nil {
+			writeErr(w, http.StatusServiceUnavailable, "restore listener: %v", err)
+			return
+		}
+		writeJSON(w, http.StatusOK, map[string]bool{"ok": true})
+	case "decisions":
+		if r.Method != http.MethodGet {
+			writeErr(w, http.StatusMethodNotAllowed, "use GET")
+			return
+		}
+		decided := na.replica.Decisions()
+		resp := NetDecisionsResponse{Decisions: make(map[string]bool, len(decided))}
+		for id, commit := range decided {
+			resp.Decisions[id.String()] = commit
+		}
+		writeJSON(w, http.StatusOK, resp)
+	default:
+		writeErr(w, http.StatusNotFound, "no route %s", r.URL.Path)
+	}
+}

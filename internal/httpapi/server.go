@@ -6,13 +6,18 @@
 //
 //	GET  /v1/read?key=K[&quorum=1]     read committed state
 //	POST /v1/txn                       submit a transaction (JSON body)
-//	GET  /v1/txn/{id}[?wait=1]         stage/likelihood/outcome
+//	GET  /v1/txn/{id}[?wait=1[&waitms=N]]  stage/likelihood/outcome; waitms
+//	                                   bounds the server-side wait and
+//	                                   returns 504 when it expires
 //	GET  /v1/txn/{id}/trace            recorded lifecycle events
 //	GET  /v1/traces[?aborted=1&slow=1&limit=N]  recent completed traces
 //	GET  /v1/stats                     DB-wide outcome counters
 //	GET  /v1/metrics                   Prometheus text exposition
 //	POST /v1/chaos/*                   runtime fault injection (see chaos.go;
 //	                                   requires EnableChaos, else 404)
+//	*    /v1/net/*                     transport peer health, partitions,
+//	                                   decisions (see net.go; requires
+//	                                   EnableRealNet, else 404)
 //
 // The trace and metrics resources require the DB to be opened with an
 // obs.Tracer / obs.Registry; without one they return 404. Every response —
@@ -30,6 +35,7 @@ import (
 	"strconv"
 	"strings"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"planet/internal/chaos"
@@ -117,6 +123,11 @@ type Server struct {
 	order  []string
 	maxTxn int
 	chaos  *chaos.Engine // nil unless EnableChaos
+	net    *netAdmin     // nil unless EnableRealNet
+
+	// draining refuses new transactions with 503 while graceful shutdown
+	// waits for in-flight ones (planetd's SIGTERM path).
+	draining atomic.Bool
 }
 
 // NewServer builds a gateway for one region of db. When the DB carries an
@@ -139,6 +150,7 @@ func NewServer(db *planet.DB, session *planet.Session) *Server {
 	s.mux.HandleFunc("/v1/traces", s.route("/v1/traces", s.handleTraces))
 	s.mux.HandleFunc("/v1/metrics", s.route("/v1/metrics", s.handleMetrics))
 	s.mux.HandleFunc("/v1/chaos/", s.route("/v1/chaos/*", s.handleChaos))
+	s.mux.HandleFunc("/v1/net/", s.route("/v1/net/*", s.handleNet))
 	// Unknown routes get the same JSON error envelope as everything else.
 	s.mux.HandleFunc("/", s.route("other", func(w http.ResponseWriter, r *http.Request) {
 		writeErr(w, http.StatusNotFound, "no route %s", r.URL.Path)
@@ -235,6 +247,10 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 		writeErr(w, http.StatusMethodNotAllowed, "use POST")
 		return
 	}
+	if s.draining.Load() {
+		writeErr(w, http.StatusServiceUnavailable, "shutting down: not accepting new transactions")
+		return
+	}
 	var req SubmitRequest
 	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
 		writeErr(w, http.StatusBadRequest, "bad JSON: %v", err)
@@ -320,8 +336,31 @@ func (s *Server) handleStatus(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	if r.URL.Query().Get("wait") == "1" {
+		// An optional waitms bounds the server-side wait: when a
+		// transaction can never resolve (coordinator's peers down), the
+		// client gets a definitive 504 instead of a hung request. The
+		// timer is real wall time on purpose — this goroutine belongs to
+		// net/http, not the DB's (possibly virtual) scheduler.
+		var bound <-chan time.Time
+		if raw := r.URL.Query().Get("waitms"); raw != "" {
+			ms, err := strconv.ParseInt(raw, 10, 64)
+			if err != nil || ms <= 0 {
+				writeErr(w, http.StatusBadRequest, "bad waitms %q", raw)
+				return
+			}
+			timer := time.NewTimer(time.Duration(ms) * time.Millisecond)
+			defer timer.Stop()
+			bound = timer.C
+		}
 		select {
 		case <-tr.handle.Done():
+		case <-bound:
+			if s.reg != nil {
+				s.reg.Counter("planet_http_wait_timeouts_total",
+					"Status waits that hit their waitms bound before the transaction resolved.").Inc()
+			}
+			writeErr(w, http.StatusGatewayTimeout, "transaction %s not resolved within wait bound", id)
+			return
 		case <-r.Context().Done():
 			writeErr(w, http.StatusRequestTimeout, "client gave up")
 			return
@@ -329,6 +368,12 @@ func (s *Server) handleStatus(w http.ResponseWriter, r *http.Request) {
 	}
 	writeJSON(w, http.StatusOK, s.statusOf(id, tr))
 }
+
+// SetDraining switches the gateway into (or out of) drain mode: new
+// transaction submissions are refused with 503 while reads and status
+// queries keep working, so graceful shutdown can wait out the in-flight
+// tail without admitting new work.
+func (s *Server) SetDraining(v bool) { s.draining.Store(v) }
 
 // statusOf snapshots a tracked transaction.
 func (s *Server) statusOf(id string, tr *tracked) Status {

@@ -1,0 +1,102 @@
+package httpapi
+
+import (
+	"errors"
+	"strings"
+	"testing"
+	"time"
+
+	planet "planet/internal/core"
+	"planet/internal/obs"
+	"planet/internal/regions"
+)
+
+// hangRegions takes every region except the gateway's down, so a submitted
+// transaction cannot gather votes and sits unresolved until the (long)
+// commit timeout.
+func hangRegions(db *planet.DB) {
+	for _, r := range db.Cluster().Regions() {
+		if r != regions.California {
+			db.Cluster().Net.SetRegionDown(r, true)
+		}
+	}
+}
+
+// TestWaitBoundedTimesOut submits against a cluster whose peers are all
+// down and requires the bounded wait to report a definitive timeout (the
+// server's 504) plus the planet_http_wait_timeouts_total metric.
+func TestWaitBoundedTimesOut(t *testing.T) {
+	reg := obs.NewRegistry()
+	cl, _, db := newGateway(t, planet.Config{Registry: reg})
+	db.Cluster().SeedInt("stock", 10, 0, 100)
+	hangRegions(db)
+
+	id, err := cl.Submit(SubmitRequest{Ops: []Op{{Kind: "add", Key: "stock", Delta: -1}}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	st, timedOut, err := cl.WaitBounded(id, 30*time.Millisecond)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !timedOut {
+		t.Fatalf("expected bounded wait to time out, got %+v", st)
+	}
+	if v, ok := reg.Value("planet_http_wait_timeouts_total"); !ok || v < 1 {
+		t.Fatalf("planet_http_wait_timeouts_total = %v (ok=%v)", v, ok)
+	}
+}
+
+// TestSubmitAndWaitTimeoutError requires the convenience path to surface
+// ErrWaitTimeout when the transaction cannot resolve in time, instead of
+// polling forever.
+func TestSubmitAndWaitTimeoutError(t *testing.T) {
+	cl, _, db := newGateway(t, planet.Config{})
+	db.Cluster().SeedInt("stock", 10, 0, 100)
+	hangRegions(db)
+
+	_, err := cl.SubmitAndWait(SubmitRequest{
+		Ops: []Op{{Kind: "add", Key: "stock", Delta: -1}},
+	}, 50*time.Millisecond)
+	if err == nil {
+		t.Fatal("expected a timeout error")
+	}
+	if !errors.Is(err, ErrWaitTimeout) {
+		t.Fatalf("error %v does not wrap ErrWaitTimeout", err)
+	}
+}
+
+// TestDrainingRefusesSubmits flips the gateway into drain mode and requires
+// new submissions to bounce with 503 while reads keep working.
+func TestDrainingRefusesSubmits(t *testing.T) {
+	cl, srv, db := newGateway(t, planet.Config{})
+	db.Cluster().SeedInt("stock", 10, 0, 100)
+
+	srv.SetDraining(true)
+	_, err := cl.Submit(SubmitRequest{Ops: []Op{{Kind: "add", Key: "stock", Delta: -1}}})
+	if err == nil || !strings.Contains(err.Error(), "503") {
+		t.Fatalf("draining submit error = %v, want 503", err)
+	}
+	if _, err := cl.Read("stock"); err != nil {
+		t.Fatalf("reads must keep working while draining: %v", err)
+	}
+
+	srv.SetDraining(false)
+	st, err := cl.SubmitAndWait(SubmitRequest{
+		Ops: []Op{{Kind: "add", Key: "stock", Delta: -1}},
+	}, 10*time.Second)
+	if err != nil || !st.Committed {
+		t.Fatalf("post-drain submit: st=%+v err=%v", st, err)
+	}
+}
+
+// TestNetRoutesRequireEnable keeps /v1/net/* a 404 on simnet deployments.
+func TestNetRoutesRequireEnable(t *testing.T) {
+	cl, _, _ := newGateway(t, planet.Config{})
+	if _, err := cl.NetPeers(); err == nil || !strings.Contains(err.Error(), "404") {
+		t.Fatalf("net peers without EnableRealNet: %v, want 404", err)
+	}
+	if _, err := cl.NetDecisions(); err == nil || !strings.Contains(err.Error(), "404") {
+		t.Fatalf("net decisions without EnableRealNet: %v, want 404", err)
+	}
+}

@@ -13,8 +13,8 @@ import (
 
 // CoordinatorConfig parameterizes a region's transaction coordinator.
 type CoordinatorConfig struct {
-	// Net is the transport. Required.
-	Net *simnet.Network
+	// Net is the transport (simnet.Network or realnet.Transport). Required.
+	Net Transport
 	// Addr is the coordinator's own address. Required.
 	Addr simnet.Addr
 	// Replicas lists every replica address. Required.
@@ -28,6 +28,13 @@ type CoordinatorConfig struct {
 	// propose message per option instead of one batch per master.
 	// Equivalence tests use it; see ReplicaConfig.PerOptionMessages.
 	PerOptionMessages bool
+	// Unreachable, when non-nil, reports whether a replica region is
+	// currently unreachable over the transport (realnet peer health).
+	// When so many replicas are unreachable that the fast quorum cannot
+	// form, a fast-path submit degrades straight to the classic path
+	// instead of burning its commit timeout waiting for votes that cannot
+	// arrive. Nil (the simnet default) disables the check.
+	Unreachable func(region simnet.Region) bool
 }
 
 // optStatus is the lifecycle of a single option at the coordinator.
@@ -103,6 +110,10 @@ type Coordinator struct {
 	// Stats for tests and experiments.
 	Fallbacks uint64
 	Timeouts  uint64
+	// DegradedSubmits counts fast-path submissions rerouted to the classic
+	// path because the fast quorum was unreachable (see
+	// CoordinatorConfig.Unreachable).
+	DegradedSubmits uint64
 }
 
 // SetObserver installs o (nil clears). Typically wired once at startup.
@@ -147,6 +158,23 @@ func (c *Coordinator) Submit(id txn.ID, ops []txn.Op, mode Mode, sink ProgressSi
 		}
 	}
 
+	// Graceful degradation: with the fast quorum known-unreachable, fast
+	// proposals can only time out. The classic path needs one master plus a
+	// majority, which may still be reachable, so go there directly.
+	degraded := false
+	if mode == ModeFast && c.cfg.Unreachable != nil && len(ops) > 0 {
+		reachable := 0
+		for _, rep := range c.cfg.Replicas {
+			if !c.cfg.Unreachable(rep.Region) {
+				reachable++
+			}
+		}
+		if reachable < FastQuorum(len(c.cfg.Replicas)) {
+			mode = ModeClassic
+			degraded = true
+		}
+	}
+
 	s := &commitState{
 		id:    id,
 		ops:   ops,
@@ -171,6 +199,9 @@ func (c *Coordinator) Submit(id txn.ID, ops []txn.Op, mode Mode, sink ProgressSi
 		return fmt.Errorf("mdcc: submit %s: %w", id, ErrCrashed)
 	}
 	c.active[id] = s
+	if degraded {
+		c.DegradedSubmits++
+	}
 	if c.cfg.CommitTimeout > 0 {
 		s.timer = c.clk.AfterFunc(c.cfg.CommitTimeout, func() { c.onTimeout(id) })
 	}

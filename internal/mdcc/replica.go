@@ -12,8 +12,8 @@ import (
 
 // ReplicaConfig parameterizes one region's replica.
 type ReplicaConfig struct {
-	// Net is the transport. Required.
-	Net *simnet.Network
+	// Net is the transport (simnet.Network or realnet.Transport). Required.
+	Net Transport
 	// Addr is this replica's address. Required.
 	Addr simnet.Addr
 	// Peers lists all replica addresses including this one. Required.
@@ -239,6 +239,19 @@ func (r *Replica) CompactDecided(keepLast int) int {
 		delete(r.decided, id)
 	}
 	return excess
+}
+
+// Decisions returns a copy of every transaction verdict this replica
+// retains. The multi-process harness compares these maps across nodes to
+// assert agreement (no dual decisions) after crash-restart cycles.
+func (r *Replica) Decisions() map[txn.ID]bool {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	out := make(map[txn.ID]bool, len(r.decided))
+	for id, commit := range r.decided {
+		out[id] = commit
+	}
+	return out
 }
 
 // Snapshot returns the committed state of every key this replica holds.

@@ -4,6 +4,7 @@ import (
 	"encoding/json"
 	"fmt"
 	"io"
+	"os"
 	"sync"
 	"time"
 
@@ -60,6 +61,59 @@ func (w *WAL) Err() error {
 	w.mu.Lock()
 	defer w.mu.Unlock()
 	return w.err
+}
+
+// Sync flushes the sink to stable storage when it supports it (an *os.File
+// does). Graceful shutdown calls it so the final decisions survive not just
+// a process kill but a machine crash.
+func (w *WAL) Sync() error {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	if s, ok := w.sink.(interface{ Sync() error }); ok {
+		return s.Sync()
+	}
+	return nil
+}
+
+// OpenWALFile opens (creating if needed) a durable WAL at path, recovers the
+// decodable prefix of any existing log, truncates away a torn tail so new
+// appends extend a clean stream, and returns a WAL ready for both Replay and
+// Append. It reports how many entries were recovered and whether the file
+// ended in a torn record.
+func OpenWALFile(path string) (w *WAL, recovered int, torn bool, err error) {
+	f, err := os.OpenFile(path, os.O_RDWR|os.O_CREATE, 0o644)
+	if err != nil {
+		return nil, 0, false, fmt.Errorf("mdcc: open wal: %w", err)
+	}
+	dec := json.NewDecoder(f)
+	var entries []Entry
+	var good int64
+	for {
+		var e Entry
+		derr := dec.Decode(&e)
+		if derr == io.EOF {
+			break
+		}
+		if derr != nil {
+			torn = true
+			break
+		}
+		entries = append(entries, e)
+		good = dec.InputOffset()
+	}
+	if torn {
+		if err := f.Truncate(good); err != nil {
+			f.Close()
+			return nil, 0, false, fmt.Errorf("mdcc: truncate torn wal: %w", err)
+		}
+	}
+	if _, err := f.Seek(good, io.SeekStart); err != nil {
+		f.Close()
+		return nil, 0, false, fmt.Errorf("mdcc: seek wal: %w", err)
+	}
+	w = NewWAL(f)
+	w.entries = entries
+	return w, len(entries), torn, nil
 }
 
 // Replay invokes fn on every entry in append order. fn returning an error

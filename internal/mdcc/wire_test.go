@@ -1,0 +1,254 @@
+package mdcc
+
+import (
+	"bytes"
+	"math/rand"
+	"reflect"
+	"testing"
+
+	"planet/internal/simnet"
+	"planet/internal/txn"
+)
+
+// wireSamples returns one representative instance of every wire message
+// type, exercising nil vs empty slices, zero values, and every enum value
+// somewhere in the set.
+func wireSamples() []any {
+	ops := []txn.Op{
+		{Kind: txn.OpSet, Key: "k1", Value: []byte("hello"), ReadVersion: 7},
+		{Kind: txn.OpAdd, Key: "k2", Delta: -42, ReadVersion: 0},
+		{Kind: txn.OpSet, Key: "", Value: []byte{}, Delta: 1 << 40},
+	}
+	coord := simnet.Addr{Region: "us-west", Name: "coord"}
+	master := simnet.Addr{Region: "eu-west", Name: "replica"}
+	return []any{
+		proposeMsg{Txn: 1, Coord: coord, Options: ops},
+		proposeMsg{Txn: 2, Coord: simnet.Addr{}},
+		voteMsg{Txn: 3, Key: "k", Accept: true, Reason: ReasonNone, Region: "us-east"},
+		voteMsg{Txn: 4, Key: "k", Accept: false, Reason: ReasonBallot, Region: ""},
+		classicProposeMsg{Txn: 5, Coord: coord, Option: ops[1]},
+		classicResultMsg{Txn: 6, Key: "k", Accepted: false, Reason: ReasonBound},
+		phase1aMsg{Key: "k", Ballot: 9, Master: master},
+		phase1bMsg{Key: "k", Ballot: 9, OK: true, Region: "eu-west",
+			Pending: []pendingSnapshot{{Txn: 7, Option: ops[0], Ballot: 2}, {Txn: 8, Option: ops[1]}}},
+		phase1bMsg{Key: "k", OK: false},
+		phase2aMsg{Txn: 9, Key: "k", Ballot: 3, Option: ops[2], Master: master},
+		phase2bMsg{Txn: 10, Key: "k", Ballot: 3, Accept: true, Region: "us-west"},
+		decideMsg{Txn: 11, Commit: true, Options: ops},
+		decideMsg{Txn: 12, Commit: false},
+		voteBatchMsg{Txn: 13, Region: "us-east", Votes: []optionVote{
+			{Key: "a", Accept: true}, {Key: "b", Reason: ReasonPending},
+			{Key: "c", Reason: ReasonVersion}, {Key: "d", Reason: ReasonClassicOwned},
+			{Key: "e", Reason: ReasonDecided}}},
+		classicProposeBatchMsg{Txn: 14, Coord: coord, Options: ops[:1]},
+		classicResultBatchMsg{Txn: 15, Results: []optionResult{
+			{Key: "a", Accepted: true}, {Key: "b", Reason: ReasonBound}}},
+		phase2aBatchMsg{Master: master, Items: []phase2aItem{
+			{Txn: 16, Key: "a", Ballot: 1, Option: ops[0]},
+			{Txn: 16, Key: "b", Ballot: 2, Option: ops[1]}}},
+		phase2bBatchMsg{Region: "ap-south", Items: []phase2bItem{
+			{Txn: 17, Key: "a", Ballot: 1, Accept: true},
+			{Txn: 17, Key: "b", Ballot: 2, Accept: false}}},
+		readReq{ReqID: 1, Key: "stock", From: coord},
+		readResp{ReqID: 1, Key: "stock", Found: true, Region: "us-west",
+			Value: Value{Int: 99, IsInt: true, Version: 4}},
+		readResp{ReqID: 2, Key: "blob", Found: true,
+			Value: Value{Bytes: []byte{0, 1, 2}, Version: 1}},
+		readResp{ReqID: 3, Key: "missing"},
+		syncReq{ReqID: 5, From: master},
+		syncResp{ReqID: 5, Records: map[string]Value{
+			"a": {Int: 1, IsInt: true, Version: 2},
+			"b": {Bytes: []byte("x"), Version: 9},
+			"c": {}}},
+		syncResp{ReqID: 6},
+	}
+}
+
+// TestWireRoundTrip encodes and decodes every message type and requires the
+// result to be structurally identical to the input.
+func TestWireRoundTrip(t *testing.T) {
+	var c WireCodec
+	for _, m := range wireSamples() {
+		buf, err := c.Append(nil, m)
+		if err != nil {
+			t.Fatalf("encode %T: %v", m, err)
+		}
+		got, err := c.Decode(buf)
+		if err != nil {
+			t.Fatalf("decode %T: %v", m, err)
+		}
+		if !reflect.DeepEqual(got, m) {
+			t.Errorf("round trip %T:\n  sent %#v\n  got  %#v", m, m, got)
+		}
+	}
+}
+
+// TestWireDeterministic requires equal messages to encode to equal bytes
+// (map fields must serialize in sorted key order).
+func TestWireDeterministic(t *testing.T) {
+	var c WireCodec
+	for _, m := range wireSamples() {
+		a, _ := c.Append(nil, m)
+		b, _ := c.Append(nil, m)
+		if !bytes.Equal(a, b) {
+			t.Errorf("%T encoded differently across calls", m)
+		}
+	}
+}
+
+// TestWireAppendExtends verifies Append really appends (framing writes the
+// header first, then the payloads into the same buffer).
+func TestWireAppendExtends(t *testing.T) {
+	var c WireCodec
+	prefix := []byte{0xde, 0xad}
+	buf, err := c.Append(prefix, voteMsg{Txn: 1, Key: "k", Accept: true, Region: "r"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.HasPrefix(buf, prefix) {
+		t.Fatalf("Append overwrote the destination prefix")
+	}
+	if _, err := c.Decode(buf[len(prefix):]); err != nil {
+		t.Fatalf("decode after prefix: %v", err)
+	}
+}
+
+// TestWireUnencodable rejects non-protocol payloads instead of panicking.
+func TestWireUnencodable(t *testing.T) {
+	var c WireCodec
+	if _, err := c.Append(nil, "not a message"); err == nil {
+		t.Fatal("expected error encoding a non-protocol type")
+	}
+	if _, err := c.Append(nil, nil); err == nil {
+		t.Fatal("expected error encoding nil")
+	}
+}
+
+// TestWireTruncation decodes every strict prefix of every encoded message;
+// each must return an error (or, for the empty-message edge, never a panic).
+func TestWireTruncation(t *testing.T) {
+	var c WireCodec
+	for _, m := range wireSamples() {
+		buf, err := c.Append(nil, m)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for n := 0; n < len(buf); n++ {
+			if _, err := c.Decode(buf[:n]); err == nil {
+				t.Errorf("%T: truncation to %d/%d bytes decoded without error",
+					m, n, len(buf))
+			}
+		}
+	}
+}
+
+// TestWireTrailingBytes rejects frames with bytes left over after the
+// message, which would otherwise hide desync between sender and receiver.
+func TestWireTrailingBytes(t *testing.T) {
+	var c WireCodec
+	buf, _ := c.Append(nil, syncReq{ReqID: 1})
+	if _, err := c.Decode(append(buf, 0)); err == nil {
+		t.Fatal("expected trailing-bytes error")
+	}
+}
+
+// TestWireCorruption flips every byte of every encoded message through a few
+// values; decoding must never panic, and when it succeeds the result must
+// still be a protocol message (corruption may produce a different valid
+// message — the framing checksum of TCP already guards integrity; this test
+// guards the decoder against crashes and runaway allocations).
+func TestWireCorruption(t *testing.T) {
+	var c WireCodec
+	for _, m := range wireSamples() {
+		orig, err := c.Append(nil, m)
+		if err != nil {
+			t.Fatal(err)
+		}
+		buf := make([]byte, len(orig))
+		for i := range orig {
+			for _, delta := range []byte{1, 0x80, 0xff} {
+				copy(buf, orig)
+				buf[i] ^= delta
+				func() {
+					defer func() {
+						if r := recover(); r != nil {
+							t.Fatalf("%T: decode panicked after corrupting byte %d: %v", m, i, r)
+						}
+					}()
+					c.Decode(buf)
+				}()
+			}
+		}
+	}
+}
+
+// TestWireRandomGarbage feeds random byte strings to the decoder; none may
+// panic.
+func TestWireRandomGarbage(t *testing.T) {
+	var c WireCodec
+	rng := rand.New(rand.NewSource(42))
+	for i := 0; i < 5000; i++ {
+		n := rng.Intn(64)
+		buf := make([]byte, n)
+		rng.Read(buf)
+		func() {
+			defer func() {
+				if r := recover(); r != nil {
+					t.Fatalf("decode panicked on %x: %v", buf, r)
+				}
+			}()
+			c.Decode(buf)
+		}()
+	}
+}
+
+// TestWireHostileLengths hand-builds frames whose length fields claim far
+// more data than present; the decoder must error without allocating
+// gigabytes.
+func TestWireHostileLengths(t *testing.T) {
+	var c WireCodec
+	hostile := [][]byte{
+		// propose with an options count of 2^40.
+		append([]byte{tagPropose, 1, 0, 0}, 0x80, 0x80, 0x80, 0x80, 0x80, 0x80, 0x80, 0x40),
+		// vote with a key length of 2^30.
+		{tagVote, 1, 0x80, 0x80, 0x80, 0x80, 0x04},
+		// syncResp with a huge record count and no data.
+		{tagSyncResp, 1, 0xff, 0xff, 0xff, 0x7f},
+	}
+	for _, buf := range hostile {
+		if _, err := c.Decode(buf); err == nil {
+			t.Errorf("hostile frame %x decoded without error", buf)
+		}
+	}
+}
+
+// FuzzWireDecode is the go-native fuzz entry: any input must decode without
+// panicking, and every successful decode must re-encode and re-decode to the
+// same message (decode∘encode is idempotent even for inputs we didn't
+// generate).
+func FuzzWireDecode(f *testing.F) {
+	var c WireCodec
+	for _, m := range wireSamples() {
+		buf, _ := c.Append(nil, m)
+		f.Add(buf)
+	}
+	f.Add([]byte{})
+	f.Add([]byte{0xff})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		m, err := c.Decode(data)
+		if err != nil {
+			return
+		}
+		buf, err := c.Append(nil, m)
+		if err != nil {
+			t.Fatalf("re-encode of decoded %T failed: %v", m, err)
+		}
+		m2, err := c.Decode(buf)
+		if err != nil {
+			t.Fatalf("re-decode of %T failed: %v", m, err)
+		}
+		if !reflect.DeepEqual(m, m2) {
+			t.Fatalf("decode∘encode not idempotent:\n  %#v\n  %#v", m, m2)
+		}
+	})
+}

@@ -1,0 +1,259 @@
+package realnet
+
+import (
+	"fmt"
+	"math/rand"
+	"net"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"planet/internal/simnet"
+)
+
+// PeerState is the transport's opinion of one remote peer's reachability.
+type PeerState int32
+
+const (
+	// PeerUp: the last write (or dial) succeeded.
+	PeerUp PeerState = iota
+	// PeerSuspect: at least one consecutive failure; the link may be
+	// blipping or the peer restarting.
+	PeerSuspect
+	// PeerDown: failures reached Config.DownAfter. Outbound frames are
+	// dropped (the protocol is built on loss) and the writer falls back to
+	// periodic redial probes until the peer answers again.
+	PeerDown
+)
+
+// String implements fmt.Stringer.
+func (s PeerState) String() string {
+	switch s {
+	case PeerUp:
+		return "up"
+	case PeerSuspect:
+		return "suspect"
+	case PeerDown:
+		return "down"
+	default:
+		return fmt.Sprintf("state(%d)", int32(s))
+	}
+}
+
+// peer manages the outbound connection to one remote region: a bounded
+// frame queue, a writer goroutine that dials lazily, and reconnect with
+// jittered exponential backoff mirroring internal/core/retry.go (base
+// doubling per attempt to a cap, jitter factor in [0.5, 1.5)).
+type peer struct {
+	t      *Transport
+	region simnet.Region // remote region
+	addr   string        // TCP address
+
+	queue chan []byte // encoded frames awaiting write
+	state atomic.Int32
+
+	// connMu guards conn so CutPeer/Close can sever a live connection from
+	// outside the writer goroutine.
+	connMu sync.Mutex
+	conn   net.Conn
+
+	// Writer-goroutine-local reconnect bookkeeping.
+	fails     int
+	connected bool // a dial has succeeded at least once
+	rng       *rand.Rand
+}
+
+func (p *peer) stateVal() PeerState { return PeerState(p.state.Load()) }
+
+// setState publishes a state transition and notifies the health callback.
+func (p *peer) setState(s PeerState) {
+	old := PeerState(p.state.Swap(int32(s)))
+	if old == s {
+		return
+	}
+	p.t.logf("realnet: peer %s (%s) %s -> %s", p.region, p.addr, old, s)
+	if cb := p.t.cfg.OnPeerState; cb != nil {
+		cb(p.region, s)
+	}
+}
+
+// enqueue hands a frame to the writer without ever blocking the sender: a
+// full queue (peer slower than the workload, or down with frames piling up)
+// drops the frame, exactly as a lossy WAN would.
+func (p *peer) enqueue(frame []byte) {
+	select {
+	case p.queue <- frame:
+	default:
+		p.t.stats.Dropped.Add(1)
+	}
+}
+
+// run is the writer loop: pull a frame, write it, retrying with backoff
+// through transient failures; while the peer is down, probe periodically so
+// health recovers even when no traffic is flowing.
+func (p *peer) run() {
+	defer p.t.wg.Done()
+	for {
+		var frame []byte
+		if p.stateVal() == PeerUp {
+			select {
+			case frame = <-p.queue:
+			case <-p.t.done:
+				return
+			}
+		} else {
+			probe := time.NewTimer(p.t.cfg.BackoffMax)
+			select {
+			case frame = <-p.queue:
+				probe.Stop()
+			case <-probe.C:
+				// Idle redial probe: no frame to carry, just a health check.
+				if !p.t.isCut(p.region) && p.currentConn() == nil {
+					p.dial()
+				}
+				continue
+			case <-p.t.done:
+				probe.Stop()
+				return
+			}
+		}
+		p.write(frame)
+	}
+}
+
+// write delivers one frame, dialing and retrying with jittered exponential
+// backoff. A frame is abandoned (dropped, counted) when the peer reaches
+// PeerDown or is administratively cut; the queue is drained along with it so
+// a long outage doesn't replay stale protocol traffic on reconnect.
+func (p *peer) write(frame []byte) {
+	for attempt := 0; ; attempt++ {
+		select {
+		case <-p.t.done:
+			return
+		default:
+		}
+		if p.t.isCut(p.region) {
+			p.t.stats.Dropped.Add(1)
+			return
+		}
+		conn := p.currentConn()
+		if conn == nil {
+			if conn = p.dial(); conn == nil {
+				if p.stateVal() == PeerDown {
+					p.abandon(frame)
+					return
+				}
+				if !p.sleepBackoff(attempt) {
+					return
+				}
+				continue
+			}
+		}
+		conn.SetWriteDeadline(time.Now().Add(p.t.cfg.WriteTimeout))
+		_, err := conn.Write(frame)
+		if err == nil {
+			p.noteSuccess()
+			p.t.stats.Sent.Add(1)
+			return
+		}
+		p.t.logf("realnet: write to %s: %v", p.region, err)
+		p.closeConn()
+		p.noteFailure()
+		if p.stateVal() == PeerDown {
+			p.abandon(frame)
+			return
+		}
+		if !p.sleepBackoff(attempt) {
+			return
+		}
+	}
+}
+
+// abandon drops the current frame and everything queued behind it.
+func (p *peer) abandon(frame []byte) {
+	p.t.stats.Dropped.Add(1)
+	for {
+		select {
+		case <-p.queue:
+			p.t.stats.Dropped.Add(1)
+		default:
+			return
+		}
+	}
+}
+
+// dial attempts a connection; success resets the failure streak.
+func (p *peer) dial() net.Conn {
+	c, err := net.DialTimeout("tcp", p.addr, p.t.cfg.DialTimeout)
+	if err != nil {
+		p.t.logf("realnet: dial %s (%s): %v", p.region, p.addr, err)
+		p.noteFailure()
+		return nil
+	}
+	if tc, ok := c.(*net.TCPConn); ok {
+		tc.SetNoDelay(true)
+	}
+	p.connMu.Lock()
+	p.conn = c
+	p.connMu.Unlock()
+	if p.connected {
+		p.t.stats.Reconnects.Add(1)
+	}
+	p.connected = true
+	p.noteSuccess()
+	return c
+}
+
+func (p *peer) currentConn() net.Conn {
+	p.connMu.Lock()
+	defer p.connMu.Unlock()
+	return p.conn
+}
+
+// closeConn severs the live connection (writer, CutPeer, and Close use it).
+func (p *peer) closeConn() {
+	p.connMu.Lock()
+	c := p.conn
+	p.conn = nil
+	p.connMu.Unlock()
+	if c != nil {
+		c.Close()
+	}
+}
+
+func (p *peer) noteSuccess() {
+	p.fails = 0
+	p.setState(PeerUp)
+}
+
+func (p *peer) noteFailure() {
+	p.fails++
+	if p.fails >= p.t.cfg.DownAfter {
+		p.setState(PeerDown)
+	} else {
+		p.setState(PeerSuspect)
+	}
+}
+
+// sleepBackoff waits the jittered exponential delay for the attempt-th
+// consecutive failure (mirrors internal/core/retry.go: base doubling to the
+// cap, jitter factor in [0.5, 1.5)). Returns false when the transport shut
+// down mid-sleep.
+func (p *peer) sleepBackoff(attempt int) bool {
+	d := p.t.cfg.BackoffBase
+	for i := 0; i < attempt && d < p.t.cfg.BackoffMax; i++ {
+		d *= 2
+	}
+	if d > p.t.cfg.BackoffMax {
+		d = p.t.cfg.BackoffMax
+	}
+	d = time.Duration(float64(d) * (0.5 + p.rng.Float64()))
+	timer := time.NewTimer(d)
+	defer timer.Stop()
+	select {
+	case <-timer.C:
+		return true
+	case <-p.t.done:
+		return false
+	}
+}

@@ -20,6 +20,16 @@ go test -race -run Soak -short ./internal/chaos/
 go test -count=10 -run TestVirtualTimeDeterminism .
 go test -race -count=2 ./internal/vclock
 go test -count=1 -timeout 60s -run 'TestExperimentsRunClean|TestEvaluationShapes' .
+# Realnet smoke gate: build planetd, boot a 3-process loopback cluster,
+# commit transfers, SIGKILL one master mid-load, restart it, and require
+# WAL replay, rejoin, cross-node agreement, and conservation — all inside
+# a wall-clock budget. The wire codec's corruption-tolerance property
+# tests ride in the same budget.
+go test -count=1 -timeout 180s -run 'TestRealnet' ./internal/multinet/
+go test -count=1 -timeout 60s -run 'TestWire' ./internal/mdcc/
+# Transport equivalence gate: the same seeded workloads must produce the
+# same verdicts and final state over simnet and over real TCP.
+go test -count=1 -timeout 120s -run TestTransportEquivalence ./internal/cluster/
 # Benchmark smoke gate: every benchmark in the tree must complete one
 # iteration cleanly (catches panics on bench-only paths), and the commit
 # hot path is held to its recorded allocation budget: 60 allocs/op when the
