@@ -9,6 +9,7 @@ package main_test
 import (
 	"fmt"
 	"math"
+	"strings"
 	"testing"
 
 	"planet/internal/experiments"
@@ -55,6 +56,7 @@ func BenchmarkA2PredictorAblation(b *testing.B) { runExperiment(b, "a2") }
 func BenchmarkA3Commutative(b *testing.B)       { runExperiment(b, "a3") }
 func BenchmarkE1LossSweep(b *testing.B)         { runExperiment(b, "e1") }
 func BenchmarkE2JitterSweep(b *testing.B)       { runExperiment(b, "e2") }
+func BenchmarkE3AttributionFeed(b *testing.B)   { runExperiment(b, "e3") }
 
 // TestExperimentsRunClean is the smoke test that every registered
 // experiment completes without error in quick mode.
@@ -195,6 +197,32 @@ func TestEvaluationShapes(t *testing.T) {
 		}
 		if m["mc_max_abs_diff"] > 0.08 {
 			t.Errorf("analytic and Monte-Carlo disagree by %.4f", m["mc_max_abs_diff"])
+		}
+	})
+
+	t.Run("e3-attribution-feed-improves-calibration", func(t *testing.T) {
+		t.Parallel()
+		res, err := experiments.E3AttributionFeed(experiments.Config{Quick: true, Seed: 41})
+		if err != nil {
+			t.Fatal(err)
+		}
+		m := res.Metrics
+		// Under jitter and a tight commit budget, the stage-statistics feed
+		// must tighten predictions: lower calibration error than the
+		// feed-less baseline.
+		if m["attribution_feed_mae"] >= m["no_feed_mae"] {
+			t.Errorf("feed MAE %.4f not below no-feed MAE %.4f",
+				m["attribution_feed_mae"], m["no_feed_mae"])
+		}
+		// The tight budget must actually bite, or the comparison is vacuous.
+		if m["no_feed_commit_rate"] > 0.995 {
+			t.Errorf("no-feed commit rate %.3f too high: timeouts never engaged",
+				m["no_feed_commit_rate"])
+		}
+		// Injected WAN jitter lives on the propose legs: attribution must
+		// finger the option RPC stage as the dominant variance source.
+		if !strings.Contains(res.Text, "dominant variance stage under jitter: option_rpc") {
+			t.Errorf("attribution did not rank option_rpc dominant:\n%s", res.Text)
 		}
 	})
 

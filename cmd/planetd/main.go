@@ -5,8 +5,9 @@
 // Simulation mode (default) boots the whole multi-region cluster in-process
 // over the simulated WAN:
 //
-//	planetd [-addr :8480] [-region us-west] [-scale 0.05] [-admission 0.4]
-//	        [-slowtxn 250ms] [-logaborted] [-chaos mixed] [-chaosapi] [-shedat 0.5]
+//	planetd [-addr :8480] [-region us-west] [-mode fast] [-scale 0.05]
+//	        [-admission 0.4] [-slowtxn 250ms] [-logaborted] [-chaos mixed]
+//	        [-chaosapi] [-shedat 0.5] [-pprof localhost:6060] [-attr 30s]
 //
 // Deployment mode (-realnet) runs ONE region's node as this process —
 // replica, coordinator, and an HTTP gateway — speaking the wire protocol
@@ -45,6 +46,12 @@
 // In deployment mode the /v1/net/* routes expose peer health and fault
 // injection instead; OS-level faults (kill -9, SIGSTOP) come from outside.
 //
+// Observability extras in both modes: -pprof serves net/http/pprof on a
+// separate address (profiling never shares the public gateway port), -attr
+// periodically logs the per-stage latency attribution table (the same data
+// as GET /v1/attribution), and per-transaction causal span trees are on by
+// default under GET /v1/txn/{id}/trace.
+//
 // planetd shuts down gracefully on SIGINT/SIGTERM in both modes: the
 // gateway stops accepting new transactions (503), in-flight transactions
 // drain bounded by -drain, the WAL is fsynced, and the process exits 0.
@@ -57,6 +64,7 @@ import (
 	"fmt"
 	"log"
 	"net/http"
+	_ "net/http/pprof" // registers /debug/pprof/* on the default mux (-pprof)
 	"os"
 	"os/signal"
 	"strconv"
@@ -86,6 +94,7 @@ func main() {
 type flags struct {
 	addr       string
 	region     string
+	mode       string
 	scale      float64
 	admission  float64
 	slowtxn    time.Duration
@@ -95,6 +104,8 @@ type flags struct {
 	chaosAPI   bool
 	shedAt     float64
 	drain      time.Duration
+	pprofAddr  string
+	attr       time.Duration
 
 	realnet  bool
 	listen   string
@@ -118,6 +129,9 @@ func parseFlags() *flags {
 	flag.BoolVar(&f.chaosAPI, "chaosapi", false, "enable runtime fault injection via POST /v1/chaos/* (simulation mode)")
 	flag.Float64Var(&f.shedAt, "shedat", 0.5, "shed speculation in a region whose recent timeout rate reaches this (0 disables)")
 	flag.DurationVar(&f.drain, "drain", 10*time.Second, "bound on draining in-flight transactions at shutdown")
+	flag.StringVar(&f.mode, "mode", "fast", "commit path: fast (Fast Paxos with classic fallback) or classic (master-arbitrated)")
+	flag.StringVar(&f.pprofAddr, "pprof", "", "serve net/http/pprof on this address (e.g. localhost:6060; empty disables)")
+	flag.DurationVar(&f.attr, "attr", 0, "log the per-stage latency attribution table at this interval (0 disables)")
 
 	flag.BoolVar(&f.realnet, "realnet", false, "deployment mode: run one region's node over real TCP")
 	flag.StringVar(&f.listen, "listen", "", "transport listen address (deployment mode; default: this region's -peers entry)")
@@ -132,10 +146,59 @@ func parseFlags() *flags {
 
 func run() error {
 	f := parseFlags()
+	if _, err := commitMode(f.mode); err != nil {
+		return err
+	}
+	if f.pprofAddr != "" {
+		// The pprof mux is the default ServeMux (net/http/pprof registers
+		// there on import); serve it on its own listener so profiling never
+		// shares a port with the public gateway.
+		go func() {
+			log.Printf("planetd: pprof on http://%s/debug/pprof/", f.pprofAddr)
+			if err := http.ListenAndServe(f.pprofAddr, nil); err != nil {
+				log.Printf("planetd: pprof server: %v", err)
+			}
+		}()
+	}
 	if f.realnet {
 		return runRealnet(f)
 	}
 	return runSimnet(f)
+}
+
+// commitMode maps the -mode flag to the protocol constant.
+func commitMode(s string) (mdcc.Mode, error) {
+	switch s {
+	case "fast":
+		return mdcc.ModeFast, nil
+	case "classic":
+		return mdcc.ModeClassic, nil
+	}
+	return 0, fmt.Errorf("planetd: -mode must be fast or classic, got %q", s)
+}
+
+// attrLogger periodically logs the attribution table until stop is closed.
+// It gives operators the "where is my latency going" answer in the process
+// log without needing to poll /v1/attribution.
+func attrLogger(db *planet.DB, every time.Duration, stop <-chan struct{}) {
+	a := db.Attribution()
+	if a == nil || every <= 0 {
+		return
+	}
+	t := time.NewTicker(every)
+	defer t.Stop()
+	for {
+		select {
+		case <-stop:
+			return
+		case <-t.C:
+			snap := a.Snapshot()
+			if len(snap.Stages) == 0 {
+				continue
+			}
+			log.Printf("planetd: latency attribution\n%s", snap.Table())
+		}
+	}
 }
 
 // runSimnet boots the whole cluster in-process over the simulated WAN.
@@ -154,12 +217,16 @@ func runSimnet(f *flags) error {
 		LogAborted:    f.logaborted,
 		Logf:          log.Printf,
 	})
+	mode, _ := commitMode(f.mode)
 	db, err := planet.Open(planet.Config{
-		Cluster:   c,
-		Admission: planet.AdmissionPolicy{MinLikelihood: f.admission, ProbeFraction: 0.05},
-		Health:    planet.HealthPolicy{MaxTimeoutRate: f.shedAt},
-		Registry:  reg,
-		Tracer:    tracer,
+		Cluster:         c,
+		Mode:            mode,
+		Admission:       planet.AdmissionPolicy{MinLikelihood: f.admission, ProbeFraction: 0.05},
+		Health:          planet.HealthPolicy{MaxTimeoutRate: f.shedAt},
+		Registry:        reg,
+		Tracer:          tracer,
+		Trace:           true,
+		AttributionFeed: true,
 	})
 	if err != nil {
 		return err
@@ -228,6 +295,14 @@ func runRealnet(f *flags) error {
 		return fmt.Errorf("planetd: -region %q has no -peers entry", f.region)
 	}
 
+	reg := obs.NewRegistry()
+	tracer := obs.NewTracer(obs.TracerConfig{
+		Capacity:      f.traceCap,
+		SlowThreshold: f.slowtxn,
+		LogAborted:    f.logaborted,
+		Logf:          log.Printf,
+	})
+
 	// Peer health feeds speculation shedding: when so many peer links are
 	// down that the fast quorum is unreachable, force the local region
 	// degraded so sessions stop speculating on commits that must take the
@@ -259,6 +334,17 @@ func runRealnet(f *flags) error {
 		peerStates[r] = st
 		peerMu.Unlock()
 		log.Printf("planetd: peer %s -> %s", r, st)
+		// Every transition lands in the metrics (rate of flapping) and, as a
+		// fault event, in all in-flight traces — so a trace of a transaction
+		// that stalled shows the peer going down mid-flight.
+		reg.Counter("planet_realnet_peer_transitions_total",
+			"Peer health transitions observed by the transport.",
+			obs.L("peer", string(r)), obs.L("state", st.String())).Inc()
+		tracer.Broadcast(obs.Event{
+			Kind:   obs.EvFault,
+			Region: string(r),
+			Note:   fmt.Sprintf("peer %s -> %s", r, st),
+		})
 		recompute()
 	}
 
@@ -278,19 +364,16 @@ func runRealnet(f *flags) error {
 	}
 	defer c.Close()
 
-	reg := obs.NewRegistry()
-	tracer := obs.NewTracer(obs.TracerConfig{
-		Capacity:      f.traceCap,
-		SlowThreshold: f.slowtxn,
-		LogAborted:    f.logaborted,
-		Logf:          log.Printf,
-	})
+	mode, _ := commitMode(f.mode)
 	db, err := planet.Open(planet.Config{
-		Cluster:   c,
-		Admission: planet.AdmissionPolicy{MinLikelihood: f.admission, ProbeFraction: 0.05},
-		Health:    planet.HealthPolicy{MaxTimeoutRate: f.shedAt},
-		Registry:  reg,
-		Tracer:    tracer,
+		Cluster:         c,
+		Mode:            mode,
+		Admission:       planet.AdmissionPolicy{MinLikelihood: f.admission, ProbeFraction: 0.05},
+		Health:          planet.HealthPolicy{MaxTimeoutRate: f.shedAt},
+		Registry:        reg,
+		Tracer:          tracer,
+		Trace:           true,
+		AttributionFeed: true,
 	})
 	if err != nil {
 		return err
@@ -329,6 +412,11 @@ func serve(f *flags, gw *httpapi.Server, db *planet.DB, wal *mdcc.WAL) error {
 	srv := &http.Server{Addr: f.addr, Handler: gw}
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
+	if f.attr > 0 {
+		attrStop := make(chan struct{})
+		defer close(attrStop)
+		go attrLogger(db, f.attr, attrStop)
+	}
 	errc := make(chan error, 1)
 	go func() { errc <- srv.ListenAndServe() }()
 

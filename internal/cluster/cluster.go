@@ -74,6 +74,7 @@ type Cluster struct {
 	coords   map[simnet.Region]*mdcc.Coordinator
 	wals     map[simnet.Region]*mdcc.WAL
 	scale    float64
+	timeout  time.Duration // effective (scaled) commit timeout
 	clk      vclock.Clock
 	ownedClk *vclock.Virtual // non-nil when the cluster created the clock
 
@@ -161,6 +162,7 @@ func New(cfg Config) (*Cluster, error) {
 		coords:   make(map[simnet.Region]*mdcc.Coordinator, len(regionList)),
 		wals:     make(map[simnet.Region]*mdcc.WAL, len(regionList)),
 		scale:    cfg.TimeScale,
+		timeout:  time.Duration(float64(cfg.CommitTimeout) * cfg.TimeScale),
 		clk:      clk,
 		ownedClk: owned,
 	}
@@ -200,6 +202,11 @@ func (c *Cluster) Regions() []simnet.Region { return c.Topology.Regions }
 
 // TimeScale returns the WAN compression factor.
 func (c *Cluster) TimeScale() float64 { return c.scale }
+
+// CommitTimeout returns the effective (already time-scaled) commit budget
+// the coordinators run with. The attribution-fed predictor measures learned
+// stage costs against it.
+func (c *Cluster) CommitTimeout() time.Duration { return c.timeout }
 
 // Clock returns the cluster's time source.
 func (c *Cluster) Clock() vclock.Clock { return c.clk }

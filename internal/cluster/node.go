@@ -121,6 +121,7 @@ func NewNode(cfg NodeConfig) (*Cluster, error) {
 		coords:   make(map[simnet.Region]*mdcc.Coordinator, 1),
 		wals:     make(map[simnet.Region]*mdcc.WAL, 1),
 		scale:    1,
+		timeout:  cfg.CommitTimeout,
 		clk:      rn.Clock(),
 	}
 

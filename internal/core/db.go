@@ -73,6 +73,24 @@ type Config struct {
 	Registry *obs.Registry
 	// Tracer, when non-nil, records per-transaction lifecycle traces.
 	Tracer *obs.Tracer
+	// Trace enables cross-process causal tracing: every commit gets a root
+	// span, protocol messages carry trace context, and spans recorded at
+	// replicas and masters flow back to the coordinator's span store, where
+	// they stitch into one causal tree per transaction and feed the
+	// attribution engine.
+	Trace bool
+	// TraceCapacity bounds retained per-transaction traces (default 512,
+	// FIFO eviction). Attribution statistics survive eviction.
+	TraceCapacity int
+	// AttributionFeed feeds the attribution engine's per-stage EWMA and
+	// jitter into the likelihood predictors: with a commit timeout known,
+	// the predictor discounts outstanding votes by whether the learned
+	// option-RPC + vote-return cost still fits the remaining budget.
+	// Requires Trace.
+	AttributionFeed bool
+	// CommitTimeout is the commit budget AttributionFeed measures against.
+	// Defaults to 30s (the coordinator's own default).
+	CommitTimeout time.Duration
 	// Health configures per-region degradation tracking; degraded regions
 	// shed speculation. The zero value disables tracking.
 	Health HealthPolicy
@@ -97,6 +115,8 @@ type DB struct {
 	calib  *metrics.Calibration
 	tracer *obs.Tracer
 	inst   *dbInstruments
+	spans  *obs.SpanStore   // nil unless Config.Trace
+	attr   *obs.Attribution // nil unless Config.Trace
 
 	inFlight map[simnet.Region]*atomic.Int64
 	health   map[simnet.Region]*regionHealth // nil entries when disabled
@@ -146,6 +166,29 @@ func Open(cfg Config) (*DB, error) {
 	if cfg.Calibrate {
 		db.calib = metrics.NewCalibration(10)
 	}
+	if cfg.Trace {
+		db.attr = obs.NewAttribution()
+		db.spans = obs.NewSpanStore(obs.SpanStoreConfig{
+			Capacity: cfg.TraceCapacity, Attr: db.attr})
+		// Every protocol actor in this process records into (or flushes to)
+		// the same store; remote actors' spans arrive as spanReportMsg and
+		// land here via the local coordinator.
+		for _, r := range regionList {
+			if coord := cfg.Cluster.Coordinator(r); coord != nil {
+				coord.SetSpans(db.spans)
+			}
+			if rep := cfg.Cluster.Replica(r); rep != nil {
+				rep.SetSpans(db.spans)
+			}
+		}
+	}
+	if cfg.CommitTimeout <= 0 {
+		cfg.CommitTimeout = cfg.Cluster.CommitTimeout()
+	}
+	var feed predictor.StageFeed
+	if cfg.AttributionFeed && db.attr != nil {
+		feed = db.attr
+	}
 	for _, r := range regionList {
 		db.preds[r] = predictor.New(predictor.Config{
 			Regions:          regionList,
@@ -154,6 +197,8 @@ func Open(cfg Config) (*DB, error) {
 			ConflictHalfLife: cfg.ConflictHalfLife,
 			UseConflicts:     !cfg.DisableConflictTerm,
 			UseLatency:       !cfg.DisableLatencyTerm,
+			StageFeed:        feed,
+			CommitTimeout:    cfg.CommitTimeout,
 		})
 		db.inFlight[r] = &atomic.Int64{}
 		db.forced[r] = &atomic.Bool{}
@@ -202,6 +247,13 @@ func (db *DB) Registry() *obs.Registry { return db.cfg.Registry }
 
 // Tracer returns the lifecycle tracer (nil unless configured).
 func (db *DB) Tracer() *obs.Tracer { return db.tracer }
+
+// Spans returns the causal span store (nil unless Config.Trace).
+func (db *DB) Spans() *obs.SpanStore { return db.spans }
+
+// Attribution returns the per-stage latency attribution engine (nil unless
+// Config.Trace).
+func (db *DB) Attribution() *obs.Attribution { return db.attr }
 
 // Stats snapshots the outcome counters.
 func (db *DB) Stats() Stats {

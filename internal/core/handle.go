@@ -82,6 +82,10 @@ type Handle struct {
 	session *Session
 	opts    CommitOptions
 	regions []simnet.Region
+	// span is the transaction's root trace span id (0 = untraced). Every
+	// span recorded for the transaction — locally or at remote replicas and
+	// masters — descends from it.
+	span uint64
 
 	mu         sync.Mutex
 	stage      txn.Stage
@@ -163,6 +167,9 @@ func (t *Txn) Commit(opts CommitOptions) (*Handle, error) {
 			fellBack: db.cfg.Mode == mdcc.ModeClassic,
 		}
 	}
+	if db.spans != nil {
+		h.span = obs.NewSpanID()
+	}
 	h.cbcond = sync.NewCond(&h.cbmu)
 	go h.dispatch()
 
@@ -200,6 +207,7 @@ func (t *Txn) Commit(opts CommitOptions) (*Handle, error) {
 	h.stage = txn.StageAccepted
 	db.inst.stage(txn.StageAccepted)
 	db.tracer.Record(h.id, obs.Event{Kind: obs.EvAdmission, Accept: true, Likelihood: prior})
+	h.recordSpan(obs.StageAdmit, h.start, "")
 	h.enqueue(h.opts.OnAccept, h.progressLocked())
 
 	// The prior may already clear the speculation threshold — an
@@ -217,13 +225,28 @@ func (t *Txn) Commit(opts CommitOptions) (*Handle, error) {
 	if opts.Deadline > 0 {
 		h.timer = db.clk.AfterFunc(opts.Deadline, h.onDeadline)
 	}
-	if err := s.coord.Submit(h.id, ops, db.cfg.Mode, (*handleSink)(h)); err != nil {
+	preSubmit := db.clk.Now()
+	if err := s.coord.SubmitTraced(h.id, ops, db.cfg.Mode, (*handleSink)(h), h.span); err != nil {
 		// Unreachable for well-formed ops, but fail closed.
 		db.inFlight[s.region].Add(-1)
 		h.finishLocked(false, err, true)
 		return h, nil
 	}
+	h.recordSpan(obs.StageSubmit, preSubmit, "")
 	return h, nil
+}
+
+// recordSpan records one core-side span under the transaction's root,
+// ending now. No-op when the transaction is untraced.
+func (h *Handle) recordSpan(st obs.Stage, start time.Time, note string) {
+	if h.span == 0 {
+		return
+	}
+	h.db.spans.Add(obs.Span{
+		Txn: h.id, ID: obs.NewSpanID(), Parent: h.span, Stage: st,
+		Region: string(h.session.region), Note: note,
+		Start: start, End: h.db.clk.Now(),
+	})
 }
 
 // ID returns the transaction ID.
@@ -551,5 +574,17 @@ func (h *Handle) finishLocked(committed bool, err error, submitFailed bool) {
 		h.enqueueOutcome(h.opts.OnApology, h.outcome)
 	}
 	h.db.tracer.Finish(h.id, outcome, h.speculated)
+	if h.span != 0 && !submitFailed {
+		// The root span closes at the decision; the client-notify span then
+		// measures how long the outcome takes to reach the application
+		// (callback queue drain), recorded from the dispatch goroutine after
+		// OnFinal and OnApology have run.
+		decided := h.outcome.Decided
+		h.db.spans.Add(obs.Span{
+			Txn: h.id, ID: h.span, Stage: obs.StageTotal,
+			Region: string(h.session.region), Start: h.start, End: decided,
+		})
+		h.push(func() { h.recordSpan(obs.StageClientNotify, decided, "") })
+	}
 	h.push(nil)
 }

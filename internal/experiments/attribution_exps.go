@@ -1,0 +1,98 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+	"time"
+
+	"planet/internal/cluster"
+	planet "planet/internal/core"
+	"planet/internal/regions"
+	"planet/internal/workload"
+)
+
+// E3AttributionFeed measures what the attribution engine buys the
+// predictor. Under heavy WAN jitter and a tight commit budget, a predictor
+// without stage statistics keeps estimating near-certain commits for
+// uncontended transactions — it has no reason not to, since conflicts are
+// absent and no application deadline engages the latency term — while the
+// real commit rate sags under timeout aborts. The attribution feed closes
+// exactly that gap: the learned option-RPC and vote-return EWMA/jitter let
+// the timeliness term discount in-flight likelihood by the probability the
+// remaining votes still fit the budget. Calibration error (MAE between
+// predicted likelihood and realized outcome) is the scorecard.
+func E3AttributionFeed(cfg Config) (Result, error) {
+	// The same gentler compression E2 uses, for the same reason: this
+	// experiment lives in the latency tail.
+	if cfg.TimeScale < 0.1 {
+		cfg.TimeScale = 0.1
+	}
+	regionSet := regions.Five().Regions
+	topo, err := jitterTopology(regionSet, 0.8)
+	if err != nil {
+		return Result{}, err
+	}
+
+	variants := []struct {
+		name string
+		feed bool
+	}{
+		{"no-feed", false},
+		{"attribution-feed", true},
+	}
+	var b strings.Builder
+	out := make(map[string]float64)
+	var dominant string
+	for _, v := range variants {
+		db, cleanup, err := openDB(cfg, cluster.Config{
+			Topology: topo, Seed: cfg.Seed + 211,
+			// Tight budget: the jittered quorum tail must actually blow it,
+			// or timeliness has nothing to predict. ~p75 of the quorum wait
+			// under this topology's jitter.
+			CommitTimeout: 240 * time.Millisecond,
+		}, planet.Config{
+			Calibrate:       true,
+			Trace:           true,
+			AttributionFeed: v.feed,
+		})
+		if err != nil {
+			return Result{}, err
+		}
+		// Uncontended uniform keys: every miss is a timeout, not a
+		// conflict, so calibration error isolates the timeliness term.
+		rep, err := workload.Closed{
+			Options: workload.Options{
+				DB:       db,
+				Template: workload.Buy{Products: workload.Uniform{Prefix: "at-", N: 4000}},
+				Seed:     cfg.Seed + 223,
+			},
+			Clients: 16, PerClient: cfg.pick(60, 15),
+		}.Run()
+		if err != nil {
+			cleanup()
+			return Result{}, err
+		}
+		mae := db.Calibration().MeanAbsoluteError()
+		snap := db.Attribution().Snapshot()
+		cleanup()
+
+		key := strings.ReplaceAll(v.name, "-", "_")
+		out[key+"_mae"] = mae
+		out[key+"_commit_rate"] = rep.CommitRate()
+		fmt.Fprintf(&b, "%-18s mae=%.4f commit_rate=%.3f\n", v.name, mae, rep.CommitRate())
+		if v.feed {
+			dominant = snap.Dominant
+			fmt.Fprintf(&b, "\nper-stage attribution (feed variant):\n%s", snap.Table())
+		}
+	}
+	if out["no_feed_mae"] > 0 {
+		out["mae_improvement"] = 1 - out["attribution_feed_mae"]/out["no_feed_mae"]
+	}
+	fmt.Fprintf(&b, "\ncalibration MAE improvement with feed: %.1f%%\n",
+		out["mae_improvement"]*100)
+	if dominant != "" {
+		fmt.Fprintf(&b, "dominant variance stage under jitter: %s\n", dominant)
+	}
+	return Result{Name: "E3 attribution feed vs predictor calibration (extension)",
+		Text: b.String(), Metrics: out}, nil
+}

@@ -149,6 +149,7 @@ var Registry = []struct {
 	{"a3", "Ablation: commutative updates (demarcation)", A3Commutative},
 	{"e1", "Extension: message-loss sweep", E1LossSweep},
 	{"e2", "Extension: latency-jitter sweep", E2JitterSweep},
+	{"e3", "Extension: attribution feed vs predictor calibration", E3AttributionFeed},
 }
 
 // Find returns the registered experiment with the given ID.

@@ -11,6 +11,7 @@ import (
 	"strconv"
 	"time"
 
+	"planet/internal/obs"
 	"planet/internal/vclock"
 )
 
@@ -214,6 +215,19 @@ func (c *Client) Traces(abortedOnly, slowOnly bool, limit int) ([]TraceResponse,
 		return nil, err
 	}
 	return out.Traces, nil
+}
+
+// Attribution fetches the per-stage latency variance attribution snapshot.
+func (c *Client) Attribution() (obs.Snapshot, error) {
+	resp, err := c.httpc().Get(c.Base + "/v1/attribution")
+	if err != nil {
+		return obs.Snapshot{}, fmt.Errorf("httpapi: attribution: %w", err)
+	}
+	var out obs.Snapshot
+	if err := decode(resp, &out); err != nil {
+		return obs.Snapshot{}, err
+	}
+	return out, nil
 }
 
 // Metrics fetches the Prometheus exposition text.

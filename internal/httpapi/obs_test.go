@@ -128,8 +128,8 @@ func TestMetricsEndpoint(t *testing.T) {
 		`planet_txn_stage_total{stage="speculative"} 1`,
 		`planet_txn_apologies_total 0`,
 		`planet_txn_duration_seconds_count{outcome="committed"} 1`,
-		`planet_mdcc_vote_latency_seconds{region=`,
-		`quantile="0.99"`,
+		`planet_mdcc_vote_latency_seconds_bucket{region=`,
+		`le="+Inf"`,
 		`planet_mdcc_decisions_total{coordinator=`,
 		`planet_simnet_messages_sent_total{`,
 		`planet_simnet_link_delay_seconds_count{`,

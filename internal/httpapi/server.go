@@ -9,8 +9,11 @@
 //	GET  /v1/txn/{id}[?wait=1[&waitms=N]]  stage/likelihood/outcome; waitms
 //	                                   bounds the server-side wait and
 //	                                   returns 504 when it expires
-//	GET  /v1/txn/{id}/trace            recorded lifecycle events
+//	GET  /v1/txn/{id}/trace            recorded lifecycle events + causal
+//	                                   span tree (spans require Config.Trace)
 //	GET  /v1/traces[?aborted=1&slow=1&limit=N]  recent completed traces
+//	GET  /v1/attribution[?format=table]  per-stage latency variance
+//	                                   attribution (requires Config.Trace)
 //	GET  /v1/stats                     DB-wide outcome counters
 //	GET  /v1/metrics                   Prometheus text exposition
 //	POST /v1/chaos/*                   runtime fault injection (see chaos.go;
@@ -148,6 +151,7 @@ func NewServer(db *planet.DB, session *planet.Session) *Server {
 	s.mux.HandleFunc("/v1/txn/", s.route("/v1/txn/{id}", s.handleStatus))
 	s.mux.HandleFunc("/v1/stats", s.route("/v1/stats", s.handleStats))
 	s.mux.HandleFunc("/v1/traces", s.route("/v1/traces", s.handleTraces))
+	s.mux.HandleFunc("/v1/attribution", s.route("/v1/attribution", s.handleAttribution))
 	s.mux.HandleFunc("/v1/metrics", s.route("/v1/metrics", s.handleMetrics))
 	s.mux.HandleFunc("/v1/chaos/", s.route("/v1/chaos/*", s.handleChaos))
 	s.mux.HandleFunc("/v1/net/", s.route("/v1/net/*", s.handleNet))
@@ -470,6 +474,19 @@ type TraceEvent struct {
 	Note       string  `json:"note,omitempty"`
 }
 
+// SpanJSON is the wire form of one causal span. Parent links spans into one
+// tree per transaction; spans recorded in other processes (replicas,
+// masters) appear here once their reports reach this coordinator.
+type SpanJSON struct {
+	ID            uint64  `json:"id"`
+	Parent        uint64  `json:"parent,omitempty"`
+	Stage         string  `json:"stage"`
+	Region        string  `json:"region,omitempty"`
+	Note          string  `json:"note,omitempty"`
+	StartUnixNano int64   `json:"startUnixNano"`
+	DurationMs    float64 `json:"durationMs"`
+}
+
 // TraceResponse is the GET /v1/txn/{id}/trace body and the element type of
 // GET /v1/traces.
 type TraceResponse struct {
@@ -480,6 +497,9 @@ type TraceResponse struct {
 	Slow       bool         `json:"slow,omitempty"`
 	DurationMs float64      `json:"durationMs"`
 	Events     []TraceEvent `json:"events"`
+	// Spans is the transaction's causal span tree (present only on
+	// deployments with Config.Trace).
+	Spans []SpanJSON `json:"spans,omitempty"`
 }
 
 // TracesResponse is the GET /v1/traces body.
@@ -512,9 +532,27 @@ func traceJSON(tr obs.Trace) TraceResponse {
 	return resp
 }
 
+// spansJSON converts recorded spans to their wire form.
+func spansJSON(spans []obs.Span) []SpanJSON {
+	out := make([]SpanJSON, 0, len(spans))
+	for _, sp := range spans {
+		out = append(out, SpanJSON{
+			ID:            sp.ID,
+			Parent:        sp.Parent,
+			Stage:         sp.Stage.String(),
+			Region:        sp.Region,
+			Note:          sp.Note,
+			StartUnixNano: sp.Start.UnixNano(),
+			DurationMs:    float64(sp.Duration()) / float64(time.Millisecond),
+		})
+	}
+	return out
+}
+
 // handleTrace serves GET /v1/txn/{id}/trace (dispatched by handleStatus).
 func (s *Server) handleTrace(w http.ResponseWriter, rawID string) {
-	if s.tracer == nil {
+	store := s.db.Spans()
+	if s.tracer == nil && store == nil {
 		writeErr(w, http.StatusNotFound, "tracing is not enabled on this deployment")
 		return
 	}
@@ -523,12 +561,51 @@ func (s *Server) handleTrace(w http.ResponseWriter, rawID string) {
 		writeErr(w, http.StatusBadRequest, "bad transaction id %q", rawID)
 		return
 	}
-	tr, ok := s.tracer.Lookup(id)
-	if !ok {
+	var resp TraceResponse
+	found := false
+	if s.tracer != nil {
+		if tr, ok := s.tracer.Lookup(id); ok {
+			resp = traceJSON(tr)
+			found = true
+		}
+	}
+	if store != nil {
+		if spans := store.Spans(id); len(spans) > 0 {
+			if !found {
+				resp.Txn = id.String()
+				found = true
+			}
+			resp.Spans = spansJSON(spans)
+		}
+	}
+	if !found {
 		writeErr(w, http.StatusNotFound, "no trace for %q (evicted, unsampled, or unknown)", rawID)
 		return
 	}
-	writeJSON(w, http.StatusOK, traceJSON(tr))
+	writeJSON(w, http.StatusOK, resp)
+}
+
+// handleAttribution serves GET /v1/attribution[?format=table]: per-stage
+// latency statistics aggregated from completed traces, ranked by variance
+// contribution, with the dominant leaf stage named. format=table renders
+// the deterministic fixed-width text table instead of JSON.
+func (s *Server) handleAttribution(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		writeErr(w, http.StatusMethodNotAllowed, "use GET")
+		return
+	}
+	attr := s.db.Attribution()
+	if attr == nil {
+		writeErr(w, http.StatusNotFound, "attribution is not enabled on this deployment")
+		return
+	}
+	snap := attr.Snapshot()
+	if r.URL.Query().Get("format") == "table" {
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		fmt.Fprint(w, snap.Table())
+		return
+	}
+	writeJSON(w, http.StatusOK, snap)
 }
 
 // handleTraces serves GET /v1/traces?aborted=1&slow=1&limit=N.

@@ -6,6 +6,7 @@ import (
 	"sync"
 	"time"
 
+	"planet/internal/obs"
 	"planet/internal/simnet"
 	"planet/internal/txn"
 	"planet/internal/vclock"
@@ -71,6 +72,9 @@ type commitState struct {
 	open    int // options not yet learned
 	decided bool
 	timer   vclock.Timer
+	// span is the transaction's root span id (0 = untraced); every
+	// protocol message for the transaction carries it as trace context.
+	span uint64
 }
 
 // opt returns the state for key, or nil.
@@ -105,6 +109,7 @@ type Coordinator struct {
 	active  map[txn.ID]*commitState
 	reads   map[uint64]*readWaiter
 	obs     CoordObserver
+	spans   *obs.SpanStore
 	crashed bool
 
 	// Stats for tests and experiments.
@@ -121,6 +126,15 @@ func (c *Coordinator) SetObserver(o CoordObserver) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	c.obs = o
+}
+
+// SetSpans installs the span store receiving this coordinator's stage spans
+// and the span reports replicas and masters flush back to it (nil clears).
+// Typically wired once at startup.
+func (c *Coordinator) SetSpans(st *obs.SpanStore) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.spans = st
 }
 
 // NewCoordinator constructs and registers a coordinator on cfg.Net.
@@ -147,6 +161,14 @@ func (c *Coordinator) N() int { return len(c.cfg.Replicas) }
 // is delivered through sink from network goroutines. A transaction with no
 // writes commits immediately.
 func (c *Coordinator) Submit(id txn.ID, ops []txn.Op, mode Mode, sink ProgressSink) error {
+	return c.SubmitTraced(id, ops, mode, sink, 0)
+}
+
+// SubmitTraced is Submit with a caller-provided root span id: every
+// protocol message of the transaction carries it as trace context, and
+// spans recorded at replicas and masters parent to it, stitching the
+// cross-process causal tree. span 0 disables tracing for the transaction.
+func (c *Coordinator) SubmitTraced(id txn.ID, ops []txn.Op, mode Mode, sink ProgressSink, span uint64) error {
 	for i, op := range ops {
 		if op.Key == "" {
 			return fmt.Errorf("mdcc: %s has an operation with an empty key", id)
@@ -183,6 +205,7 @@ func (c *Coordinator) Submit(id txn.ID, ops []txn.Op, mode Mode, sink ProgressSi
 		start: c.clk.Now(),
 		opts:  make([]optState, len(ops)),
 		open:  len(ops),
+		span:  span,
 	}
 	for i, op := range ops {
 		s.opts[i].op = op
@@ -218,23 +241,35 @@ func (c *Coordinator) Submit(id txn.ID, ops []txn.Op, mode Mode, sink ProgressSi
 
 	switch mode {
 	case ModeClassic:
-		c.sendClassic(id, ops)
+		c.sendClassic(id, span, ops)
 	default:
+		tc := c.traceCtx(span)
 		for _, rep := range c.cfg.Replicas {
-			c.cfg.Net.Send(c.cfg.Addr, rep, proposeMsg{Txn: id, Coord: c.cfg.Addr, Options: ops})
+			c.cfg.Net.Send(c.cfg.Addr, rep, proposeMsg{Txn: id, Coord: c.cfg.Addr, Options: ops, TC: tc})
 		}
 	}
 	return nil
 }
 
+// traceCtx builds the outgoing trace context for a transaction's root span:
+// the zero TraceCtx when untraced, else the span plus the current clock for
+// the receiver's network-leg timing.
+func (c *Coordinator) traceCtx(span uint64) TraceCtx {
+	if span == 0 {
+		return TraceCtx{}
+	}
+	return TraceCtx{Span: span, SentUnixNano: c.clk.Now().UnixNano()}
+}
+
 // sendClassic routes options to their masters: one classicProposeBatchMsg
 // per master normally (grouped in option order, never map order, so routing
 // is deterministic), one classicProposeMsg per option in compat mode.
-func (c *Coordinator) sendClassic(id txn.ID, ops []txn.Op) {
+func (c *Coordinator) sendClassic(id txn.ID, span uint64, ops []txn.Op) {
+	tc := c.traceCtx(span)
 	if c.cfg.PerOptionMessages {
 		for _, op := range ops {
 			c.cfg.Net.Send(c.cfg.Addr, c.cfg.MasterFor(op.Key),
-				classicProposeMsg{Txn: id, Coord: c.cfg.Addr, Option: op})
+				classicProposeMsg{Txn: id, Coord: c.cfg.Addr, Option: op, TC: tc})
 		}
 		return
 	}
@@ -256,7 +291,7 @@ outer:
 	}
 	for _, g := range groups {
 		c.cfg.Net.Send(c.cfg.Addr, g.to,
-			classicProposeBatchMsg{Txn: id, Coord: c.cfg.Addr, Options: g.ops})
+			classicProposeBatchMsg{Txn: id, Coord: c.cfg.Addr, Options: g.ops, TC: tc})
 	}
 }
 
@@ -289,10 +324,30 @@ func (c *Coordinator) recv(m simnet.Message) {
 		c.onClassicResult(p)
 	case classicResultBatchMsg:
 		c.onClassicResultBatch(p)
+	case spanReportMsg:
+		c.mu.Lock()
+		st := c.spans
+		c.mu.Unlock()
+		st.AddBatch(p.Spans)
 	case readResp:
 		c.onReadResp(p)
 	}
 }
+
+// recordReturnLegLocked times the network leg that carried a vote or
+// classic result back to the coordinator, parenting it to the sender's
+// span. Caller holds c.mu.
+func (c *Coordinator) recordReturnLegLocked(id txn.ID, tc TraceCtx, region simnet.Region) {
+	if tc.Span == 0 || c.spans == nil {
+		return
+	}
+	c.spans.Add(obs.Span{
+		Txn: id, ID: obs.NewSpanID(), Parent: tc.Span,
+		Stage: obs.StageVoteReturn, Region: string(region),
+		Start: time.Unix(0, tc.SentUnixNano), End: c.clk.Now(),
+	})
+}
+
 
 // onVote processes one fast-path vote (compat wire format).
 func (c *Coordinator) onVote(v voteMsg) {
@@ -302,8 +357,9 @@ func (c *Coordinator) onVote(v voteMsg) {
 		c.mu.Unlock()
 		return
 	}
+	c.recordReturnLegLocked(v.Txn, v.TC, v.Region)
 	if op, fell := c.applyVoteLocked(s, v.Key, v.Region, v.Accept, v.Reason); fell {
-		c.sendClassic(s.id, []txn.Op{op})
+		c.sendClassic(s.id, s.span, []txn.Op{op})
 	}
 	c.mu.Unlock()
 }
@@ -320,6 +376,7 @@ func (c *Coordinator) onVoteBatch(b voteBatchMsg) {
 		c.mu.Unlock()
 		return
 	}
+	c.recordReturnLegLocked(b.Txn, b.TC, b.Region)
 	var fallbacks []txn.Op
 	for _, v := range b.Votes {
 		if s.decided {
@@ -333,7 +390,7 @@ func (c *Coordinator) onVoteBatch(b voteBatchMsg) {
 		}
 	}
 	if len(fallbacks) > 0 {
-		c.sendClassic(s.id, fallbacks)
+		c.sendClassic(s.id, s.span, fallbacks)
 	}
 	c.mu.Unlock()
 }
@@ -401,6 +458,7 @@ func (c *Coordinator) onClassicResult(r classicResultMsg) {
 		c.mu.Unlock()
 		return
 	}
+	c.recordReturnLegLocked(r.Txn, r.TC, "")
 	c.applyClassicResultLocked(s, r.Key, r.Accepted, r.Reason)
 	c.mu.Unlock()
 }
@@ -414,6 +472,7 @@ func (c *Coordinator) onClassicResultBatch(b classicResultBatchMsg) {
 		c.mu.Unlock()
 		return
 	}
+	c.recordReturnLegLocked(b.Txn, b.TC, "")
 	for _, res := range b.Results {
 		if s.decided {
 			break
@@ -487,8 +546,19 @@ func (c *Coordinator) decideLocked(s *commitState, commit bool, err error) {
 	}
 	delete(c.active, s.id)
 
+	d := decideMsg{Txn: s.id, Commit: commit, Options: s.ops}
+	if s.span != 0 && c.spans != nil {
+		now := c.clk.Now()
+		c.spans.Add(obs.Span{
+			Txn: s.id, ID: obs.NewSpanID(), Parent: s.span,
+			Stage: obs.StageQuorumWait, Region: string(c.Region()),
+			Start: s.start, End: now,
+		})
+		d.TC = TraceCtx{Span: s.span, SentUnixNano: now.UnixNano()}
+		d.Coord = c.cfg.Addr
+	}
 	for _, rep := range c.cfg.Replicas {
-		c.cfg.Net.Send(c.cfg.Addr, rep, decideMsg{Txn: s.id, Commit: commit, Options: s.ops})
+		c.cfg.Net.Send(c.cfg.Addr, rep, d)
 	}
 	if c.obs != nil {
 		c.obs.Decided(commit, c.clk.Since(s.start))

@@ -3,7 +3,9 @@ package mdcc
 import (
 	"math/bits"
 	"sort"
+	"time"
 
+	"planet/internal/obs"
 	"planet/internal/simnet"
 	"planet/internal/txn"
 )
@@ -41,6 +43,11 @@ type masterOption struct {
 	// re-proposals, which have no direct requester.
 	coord *simnet.Addr
 	done  bool
+	// traceParent is the master's option-RPC leg span this option's
+	// arbitration span parents to (0 = untraced); traceStart is when the
+	// master began sequencing the option.
+	traceParent uint64
+	traceStart  time.Time
 }
 
 // regionBit maps a region to its bit in quorum masks (the region's index in
@@ -71,7 +78,9 @@ func (r *Replica) masterFor(key string) *masterKey {
 // option (compat wire format).
 func (r *Replica) onClassicPropose(p classicProposeMsg) {
 	r.mu.Lock()
-	out := r.classicProposeLocked(p)
+	leg, out := r.masterLegLocked(p.Txn, p.Coord, p.TC, r.clk.Now())
+	p.TC = TraceCtx{Span: leg}
+	out = append(out, r.classicProposeLocked(p)...)
 	r.mu.Unlock()
 	r.flush(out)
 }
@@ -81,14 +90,41 @@ func (r *Replica) onClassicPropose(p classicProposeMsg) {
 // and everything they produce — results back to the coordinator, phase-1/2
 // traffic to peers — leaves as one message per destination.
 func (r *Replica) onClassicProposeBatch(b classicProposeBatchMsg) {
-	var out []envelope
 	r.mu.Lock()
+	leg, out := r.masterLegLocked(b.Txn, b.Coord, b.TC, r.clk.Now())
+	tc := TraceCtx{Span: leg}
 	for _, op := range b.Options {
 		out = append(out, r.classicProposeLocked(classicProposeMsg{
-			Txn: b.Txn, Coord: b.Coord, Option: op})...)
+			Txn: b.Txn, Coord: b.Coord, Option: op, TC: tc})...)
 	}
 	r.mu.Unlock()
 	r.flush(out)
+}
+
+// masterLegLocked records the option-RPC network leg of a traced classic
+// proposal at the master and stages its report to the coordinator, returning
+// the leg's span id (0 when untraced). Per-option spans recorded later —
+// arbitrations, results — parent to this leg. Caller holds r.mu.
+func (r *Replica) masterLegLocked(id txn.ID, coord simnet.Addr, tc TraceCtx, now time.Time) (uint64, []envelope) {
+	if r.spans == nil || tc.Span == 0 {
+		return 0, nil
+	}
+	leg := obs.Span{
+		Txn: id, ID: obs.NewSpanID(), Parent: tc.Span,
+		Stage: obs.StageOptionRPC, Region: string(r.Region()), Note: "master",
+		Start: time.Unix(0, tc.SentUnixNano), End: now,
+	}
+	return leg.ID, []envelope{{coord, spanReportMsg{Txn: id, Spans: []obs.Span{leg}}}}
+}
+
+// resultTC stamps a classic result's trace context: the span the
+// coordinator's vote-return leg should parent to, and the send time. Zero
+// span means untraced and yields a zero context.
+func (r *Replica) resultTC(span uint64) TraceCtx {
+	if span == 0 {
+		return TraceCtx{}
+	}
+	return TraceCtx{Span: span, SentUnixNano: r.clk.Now().UnixNano()}
 }
 
 // classicProposeLocked is the master-side handling of one classic-path
@@ -99,7 +135,7 @@ func (r *Replica) classicProposeLocked(p classicProposeMsg) []envelope {
 	if r.isDecided(p.Txn) {
 		committed := r.decided[p.Txn]
 		return []envelope{{p.Coord, classicResultMsg{Txn: p.Txn, Key: p.Option.Key,
-			Accepted: committed, Reason: ReasonDecided}}}
+			Accepted: committed, Reason: ReasonDecided, TC: r.resultTC(p.TC.Span)}}}
 	}
 	ks := r.masterFor(p.Option.Key)
 	r.ClassicRuns++
@@ -176,7 +212,9 @@ func (r *Replica) sendCoalesced(to simnet.Addr, payloads []any) {
 					continue
 				}
 			}
-			merged = append(merged, classicResultBatchMsg{Txn: m.Txn,
+			// The batch adopts the first result's trace context; same-message
+			// results share one option-RPC leg, so first-wins is consistent.
+			merged = append(merged, classicResultBatchMsg{Txn: m.Txn, TC: m.TC,
 				Results: []optionResult{{m.Key, m.Accepted, m.Reason}}})
 		case phase2aMsg:
 			if i := len(merged) - 1; i >= 0 {
@@ -312,7 +350,7 @@ func (r *Replica) finishPhase1Locked(key string, ks *masterKey) []envelope {
 		// Possibly fast-chosen: must be fixed at the new ballot before
 		// any competing value. Recovery skips validation by design.
 		r.RecoveryRuns++
-		out = append(out, r.proposeAtMasterLocked(ks, key, id, s.op, nil)...)
+		out = append(out, r.proposeAtMasterLocked(ks, key, id, s.op, nil, TraceCtx{})...)
 	}
 
 	queue := ks.queue
@@ -329,30 +367,35 @@ func (r *Replica) sequenceLocked(ks *masterKey, p classicProposeMsg) []envelope 
 	key := p.Option.Key
 	if r.isDecided(p.Txn) {
 		return []envelope{{p.Coord, classicResultMsg{Txn: p.Txn, Key: key,
-			Accepted: r.decided[p.Txn], Reason: ReasonDecided}}}
+			Accepted: r.decided[p.Txn], Reason: ReasonDecided, TC: r.resultTC(p.TC.Span)}}}
 	}
 	if mo := ks.inflight[p.Txn]; mo != nil {
 		// The option is already in flight (fast leftover recovered, or a
 		// duplicate fallback): attach the coordinator to its outcome.
 		if mo.done {
 			return []envelope{{p.Coord, classicResultMsg{Txn: p.Txn, Key: key,
-				Accepted: bits.OnesCount64(mo.accepts) >= ClassicQuorum(len(r.cfg.Peers))}}}
+				Accepted: bits.OnesCount64(mo.accepts) >= ClassicQuorum(len(r.cfg.Peers)),
+				TC:       r.resultTC(p.TC.Span)}}}
 		}
 		mo.coord = &p.Coord
+		if mo.traceParent == 0 {
+			mo.traceParent = p.TC.Span
+			mo.traceStart = r.clk.Now()
+		}
 		return nil
 	}
 	rc := r.rec(key)
 	rc.evictStale(r.clk.Now(), r.cfg.PendingTTL)
 	if reason := rc.validate(p.Option, ks.ballot, p.Txn); reason != ReasonNone {
 		return []envelope{{p.Coord, classicResultMsg{Txn: p.Txn, Key: key,
-			Accepted: false, Reason: reason}}}
+			Accepted: false, Reason: reason, TC: r.resultTC(p.TC.Span)}}}
 	}
-	return r.proposeAtMasterLocked(ks, key, p.Txn, p.Option, &p.Coord)
+	return r.proposeAtMasterLocked(ks, key, p.Txn, p.Option, &p.Coord, p.TC)
 }
 
 // proposeAtMasterLocked runs phase 2 for one option: the master accepts
 // locally, then asks its peers. Caller holds r.mu; returns staged messages.
-func (r *Replica) proposeAtMasterLocked(ks *masterKey, key string, id txn.ID, op txn.Op, coord *simnet.Addr) []envelope {
+func (r *Replica) proposeAtMasterLocked(ks *masterKey, key string, id txn.ID, op txn.Op, coord *simnet.Addr, tc TraceCtx) []envelope {
 	now := r.clk.Now()
 	rc := r.rec(key)
 	rc.evictConflictingBelow(op, ks.ballot, id)
@@ -361,8 +404,10 @@ func (r *Replica) proposeAtMasterLocked(ks *masterKey, key string, id txn.ID, op
 	selfBit, _ := r.regionBit(r.Region())
 	mo := &masterOption{
 		id: id, op: op, ballot: ks.ballot,
-		accepts: selfBit,
-		coord:   coord,
+		accepts:     selfBit,
+		coord:       coord,
+		traceParent: tc.Span,
+		traceStart:  now,
 	}
 	ks.inflight[id] = mo
 
@@ -471,15 +516,36 @@ func (r *Replica) checkMasterQuorumLocked(ks *masterKey, mo *masterOption) []env
 	switch {
 	case bits.OnesCount64(mo.accepts) >= q:
 		mo.done = true
+		out := r.masterArbitratedLocked(mo)
 		if mo.coord != nil {
-			return []envelope{{*mo.coord, classicResultMsg{Txn: mo.id, Key: mo.op.Key, Accepted: true}}}
+			out = append(out, envelope{*mo.coord, classicResultMsg{Txn: mo.id, Key: mo.op.Key,
+				Accepted: true, TC: r.resultTC(mo.traceParent)}})
 		}
+		return out
 	case mo.rejects > n-q:
 		mo.done = true
+		out := r.masterArbitratedLocked(mo)
 		if mo.coord != nil {
-			return []envelope{{*mo.coord, classicResultMsg{Txn: mo.id, Key: mo.op.Key,
-				Accepted: false, Reason: ReasonBallot}}}
+			out = append(out, envelope{*mo.coord, classicResultMsg{Txn: mo.id, Key: mo.op.Key,
+				Accepted: false, Reason: ReasonBallot, TC: r.resultTC(mo.traceParent)}})
 		}
+		return out
 	}
 	return nil
+}
+
+// masterArbitratedLocked records the master's arbitration span for a traced
+// option — sequencing start to quorum resolution — and stages its report to
+// the waiting coordinator (spans reach the store only through that flush;
+// see beginTraceLocked). Caller holds r.mu.
+func (r *Replica) masterArbitratedLocked(mo *masterOption) []envelope {
+	if r.spans == nil || mo.traceParent == 0 || mo.coord == nil {
+		return nil
+	}
+	sp := obs.Span{
+		Txn: mo.id, ID: obs.NewSpanID(), Parent: mo.traceParent,
+		Stage: obs.StageMasterArbitrate, Region: string(r.Region()),
+		Note: mo.op.Key, Start: mo.traceStart, End: r.clk.Now(),
+	}
+	return []envelope{{*mo.coord, spanReportMsg{Txn: mo.id, Spans: []obs.Span{sp}}}}
 }

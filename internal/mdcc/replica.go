@@ -5,6 +5,7 @@ import (
 	"sync"
 	"time"
 
+	"planet/internal/obs"
 	"planet/internal/simnet"
 	"planet/internal/txn"
 	"planet/internal/vclock"
@@ -44,6 +45,13 @@ type Replica struct {
 	syncs   map[uint64]*syncWaiter
 	crashed bool
 
+	// spans is the local span store (nil = tracing off); traces is the
+	// per-transaction trace state accumulated between proposal and decide,
+	// flushed to the coordinator as a spanReportMsg when the transaction
+	// decides.
+	spans  *obs.SpanStore
+	traces map[txn.ID]*replicaTrace
+
 	// baseline is the seeded initial state (the "disk image" installed
 	// before the protocol ran). Crash recovery rebuilds records from it
 	// before replaying the WAL.
@@ -64,6 +72,45 @@ type seedRecord struct {
 	isInt   bool
 	bounded bool
 	lo, hi  int64
+}
+
+// replicaTrace is the trace state one replica keeps for one in-flight
+// traced transaction: where to flush spans, this replica's option-RPC span
+// (the causal anchor the WAL persists), and the spans accumulated so far.
+type replicaTrace struct {
+	coord      simnet.Addr
+	optionSpan uint64
+	spans      []obs.Span
+	at         time.Time // insertion time, for TTL eviction
+}
+
+// maxReplicaTraces bounds the per-transaction trace map against decide
+// messages that never arrive faster than PendingTTL can reap them.
+const maxReplicaTraces = 4096
+
+// SetSpans installs the replica's local span store (nil disables tracing).
+// Typically wired once at startup, before traffic.
+func (r *Replica) SetSpans(st *obs.SpanStore) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.spans = st
+	if st != nil && r.traces == nil {
+		r.traces = make(map[txn.ID]*replicaTrace)
+	}
+}
+
+// evictTracesLocked reaps trace state older than PendingTTL (orphans of
+// lost decides). Caller holds r.mu.
+func (r *Replica) evictTracesLocked(now time.Time) {
+	ttl := r.cfg.PendingTTL
+	if ttl <= 0 {
+		ttl = time.Minute
+	}
+	for id, tr := range r.traces {
+		if now.Sub(tr.at) > ttl {
+			delete(r.traces, id)
+		}
+	}
 }
 
 // NewReplica constructs and registers a replica on cfg.Net.
@@ -279,6 +326,9 @@ func (r *Replica) Crash() {
 	r.decided = make(map[txn.ID]bool)
 	r.masters = make(map[string]*masterKey)
 	r.syncs = nil
+	if r.traces != nil {
+		r.traces = make(map[txn.ID]*replicaTrace)
+	}
 }
 
 // Restore recovers a crashed replica: committed state is rebuilt from the
@@ -306,7 +356,9 @@ func (r *Replica) Restore() error {
 		}
 	}
 	var err error
+	var replaySpans []obs.Span
 	if r.cfg.WAL != nil {
+		now := r.clk.Now()
 		err = r.cfg.WAL.Replay(func(e Entry) error {
 			r.decided[e.Txn] = e.Commit
 			if e.Commit {
@@ -315,12 +367,24 @@ func (r *Replica) Restore() error {
 					r.Applied++
 				}
 			}
+			if r.spans != nil && e.OptionSpan != 0 {
+				// Re-link the replayed decision to the pre-crash option
+				// span persisted with the entry, so the causal tree stays
+				// stitched across a crash-restart cycle.
+				replaySpans = append(replaySpans, obs.Span{
+					Txn: e.Txn, ID: obs.NewSpanID(), Parent: e.OptionSpan,
+					Stage: obs.StageReplicaWAL, Region: string(r.Region()),
+					Note: "replay", Start: now, End: now,
+				})
+			}
 			return nil
 		})
 	}
 	r.RecoveryRuns++
 	r.crashed = false
+	st := r.spans
 	r.mu.Unlock()
+	st.AddBatch(replaySpans)
 	if err != nil {
 		return err
 	}
@@ -391,9 +455,10 @@ func (r *Replica) onPropose(p proposeMsg) {
 		for _, op := range p.Options {
 			votes = append(votes, optionVote{Key: op.Key, Reason: ReasonDecided})
 		}
-		r.sendVotes(p.Txn, p.Coord, votes)
+		r.sendVotes(p.Txn, p.Coord, votes, 0)
 		return
 	}
+	span := r.beginTraceLocked(p.Txn, p.Coord, p.TC, now)
 	for _, op := range p.Options {
 		rc := r.rec(op.Key)
 		rc.evictStale(now, r.cfg.PendingTTL)
@@ -409,20 +474,51 @@ func (r *Replica) onPropose(p proposeMsg) {
 	}
 	r.mu.Unlock()
 
-	r.sendVotes(p.Txn, p.Coord, votes)
+	r.sendVotes(p.Txn, p.Coord, votes, span)
+}
+
+// beginTraceLocked records the option-RPC network leg of a traced proposal
+// and opens the transaction's trace state, returning the leg's span id (0
+// when tracing is off or the proposal is untraced). The leg span is the
+// causal anchor for everything this replica later records for the
+// transaction — votes parent to it and the WAL persists it. Spans are held
+// in the trace state and delivered only via the decide-time flush to the
+// coordinator, never folded into the local store: in a single-process
+// deployment the replica and coordinator share one store, and recording at
+// both ends would double-count every span. Caller holds r.mu.
+func (r *Replica) beginTraceLocked(id txn.ID, coord simnet.Addr, tc TraceCtx, now time.Time) uint64 {
+	if r.spans == nil || tc.Span == 0 {
+		return 0
+	}
+	leg := obs.Span{
+		Txn: id, ID: obs.NewSpanID(), Parent: tc.Span,
+		Stage: obs.StageOptionRPC, Region: string(r.Region()),
+		Start: time.Unix(0, tc.SentUnixNano), End: now,
+	}
+	r.evictTracesLocked(now)
+	if _, dup := r.traces[id]; !dup && len(r.traces) < maxReplicaTraces {
+		r.traces[id] = &replicaTrace{coord: coord, optionSpan: leg.ID,
+			spans: []obs.Span{leg}, at: now}
+	}
+	return leg.ID
 }
 
 // sendVotes replies with the replica's verdicts on a proposal: one
 // voteBatchMsg normally, one voteMsg per option in compat mode. Votes are in
-// proposal (submission) order either way.
-func (r *Replica) sendVotes(id txn.ID, coord simnet.Addr, votes []optionVote) {
+// proposal (submission) order either way. span, when non-zero, is the
+// option-RPC leg the coordinator's vote-return span should parent to.
+func (r *Replica) sendVotes(id txn.ID, coord simnet.Addr, votes []optionVote, span uint64) {
+	var tc TraceCtx
+	if span != 0 {
+		tc = TraceCtx{Span: span, SentUnixNano: r.clk.Now().UnixNano()}
+	}
 	if !r.cfg.PerOptionMessages {
-		r.send(coord, voteBatchMsg{Txn: id, Region: r.Region(), Votes: votes})
+		r.send(coord, voteBatchMsg{Txn: id, Region: r.Region(), Votes: votes, TC: tc})
 		return
 	}
 	for _, v := range votes {
 		r.send(coord, voteMsg{Txn: id, Key: v.Key, Accept: v.Accept,
-			Reason: v.Reason, Region: r.Region()})
+			Reason: v.Reason, Region: r.Region(), TC: tc})
 	}
 }
 
@@ -433,6 +529,22 @@ func (r *Replica) onDecide(d decideMsg) {
 	if _, seen := r.decided[d.Txn]; seen {
 		r.mu.Unlock()
 		return
+	}
+	now := r.clk.Now()
+	var tr *replicaTrace
+	var decSpans []obs.Span
+	optionSpan := uint64(0)
+	st := r.spans
+	if st != nil && d.TC.Span != 0 {
+		if tr = r.traces[d.Txn]; tr != nil {
+			delete(r.traces, d.Txn)
+			optionSpan = tr.optionSpan
+		}
+		decSpans = append(decSpans, obs.Span{
+			Txn: d.Txn, ID: obs.NewSpanID(), Parent: d.TC.Span,
+			Stage: obs.StageDecideBroadcast, Region: string(r.Region()),
+			Start: time.Unix(0, d.TC.SentUnixNano), End: now,
+		})
 	}
 	r.decided[d.Txn] = d.Commit
 	for _, op := range d.Options {
@@ -451,9 +563,43 @@ func (r *Replica) onDecide(d decideMsg) {
 	// opposite order, and a replay of physical (OpSet) writes would then
 	// reconstruct the wrong final value.
 	if r.cfg.WAL != nil {
-		r.cfg.WAL.Append(Entry{Txn: d.Txn, Commit: d.Commit, Options: d.Options, At: r.clk.Now()})
+		walStart := r.clk.Now()
+		e := Entry{Txn: d.Txn, Commit: d.Commit, Options: d.Options, At: walStart}
+		if len(decSpans) > 0 {
+			// Persist the trace context so a post-crash replay can re-link
+			// the decision to the pre-crash option span.
+			e.TraceSpan = d.TC.Span
+			e.OptionSpan = optionSpan
+		}
+		r.cfg.WAL.Append(e)
+		if len(decSpans) > 0 {
+			decSpans = append(decSpans, obs.Span{
+				Txn: d.Txn, ID: obs.NewSpanID(), Parent: decSpans[0].ID,
+				Stage: obs.StageReplicaWAL, Region: string(r.Region()),
+				Start: walStart, End: r.clk.Now(),
+			})
+		}
 	}
 	r.mu.Unlock()
+
+	if len(decSpans) == 0 {
+		return
+	}
+	// Flush everything this replica recorded for the transaction to the
+	// deciding coordinator, which owns the stitched tree. Classic-path
+	// acceptors have no trace state (the proposal went to the master), so
+	// they rely on the coordinator address carried by the decide.
+	all := decSpans
+	coord := d.Coord
+	if tr != nil {
+		all = append(tr.spans, decSpans...)
+		if coord == (simnet.Addr{}) {
+			coord = tr.coord
+		}
+	}
+	if coord != (simnet.Addr{}) {
+		r.send(coord, spanReportMsg{Txn: d.Txn, Spans: all})
+	}
 }
 
 // send is a convenience wrapper.

@@ -6,6 +6,7 @@ import (
 	"hash/fnv"
 	"time"
 
+	"planet/internal/obs"
 	"planet/internal/simnet"
 	"planet/internal/txn"
 )
@@ -185,10 +186,23 @@ func MasterFor(key string, regions []simnet.Region) simnet.Region {
 
 // --- wire messages (simnet payloads) ---
 
+// TraceCtx is the causal trace context piggybacked on protocol messages so
+// spans recorded in different processes stitch into one tree. Span is the
+// sender-side span the receiver's spans should parent to; SentUnixNano is
+// the sender's clock at send time, letting the receiver time the network
+// leg. The zero value means "not traced" and encodes to nothing on the
+// wire (see wire.go), so untraced frames are byte-identical to the
+// pre-trace protocol and old frames still decode.
+type TraceCtx struct {
+	Span         uint64
+	SentUnixNano int64
+}
+
 type proposeMsg struct {
 	Txn     txn.ID
 	Coord   simnet.Addr
 	Options []txn.Op
+	TC      TraceCtx
 }
 
 type voteMsg struct {
@@ -197,12 +211,14 @@ type voteMsg struct {
 	Accept bool
 	Reason RejectReason
 	Region simnet.Region
+	TC     TraceCtx
 }
 
 type classicProposeMsg struct {
 	Txn    txn.ID
 	Coord  simnet.Addr
 	Option txn.Op
+	TC     TraceCtx
 }
 
 type classicResultMsg struct {
@@ -210,6 +226,7 @@ type classicResultMsg struct {
 	Key      string
 	Accepted bool
 	Reason   RejectReason
+	TC       TraceCtx
 }
 
 type phase1aMsg struct {
@@ -254,6 +271,12 @@ type decideMsg struct {
 	Txn     txn.ID
 	Commit  bool
 	Options []txn.Op
+	TC      TraceCtx
+	// Coord is the deciding coordinator, carried only when traced (it
+	// rides in the same optional trailing wire group as TC): replicas
+	// that never saw the proposal — classic-path acceptors — still learn
+	// where to flush their decide-time spans.
+	Coord simnet.Addr
 }
 
 // --- batched wire messages ---
@@ -280,6 +303,7 @@ type voteBatchMsg struct {
 	Txn    txn.ID
 	Region simnet.Region
 	Votes  []optionVote
+	TC     TraceCtx
 }
 
 // classicProposeBatchMsg carries all of one transaction's classic-path
@@ -288,6 +312,7 @@ type classicProposeBatchMsg struct {
 	Txn     txn.ID
 	Coord   simnet.Addr
 	Options []txn.Op
+	TC      TraceCtx
 }
 
 // optionResult is one option's verdict inside a classicResultBatchMsg.
@@ -302,6 +327,16 @@ type optionResult struct {
 type classicResultBatchMsg struct {
 	Txn     txn.ID
 	Results []optionResult
+	TC      TraceCtx
+}
+
+// spanReportMsg ships spans recorded at a replica or master back to the
+// transaction's coordinator, which owns the stitched causal tree. Spans
+// travel after the fact (with the vote/result, or after the decide) so the
+// hot path never blocks on trace bookkeeping.
+type spanReportMsg struct {
+	Txn   txn.ID
+	Spans []obs.Span
 }
 
 // phase2aItem is one option's phase-2a proposal inside a batch. Ballots are

@@ -12,11 +12,18 @@ import (
 )
 
 // Entry is one durable log record: a decided transaction and its options.
+// TraceSpan and OptionSpan persist the causal trace context for traced
+// transactions (zero otherwise): TraceSpan is the coordinator's root span
+// the decide carried, OptionSpan this replica's option-RPC span. A
+// post-crash replay re-links the replayed decision to OptionSpan, keeping
+// the trace tree stitched across a crash-restart cycle.
 type Entry struct {
-	Txn     txn.ID    `json:"txn"`
-	Commit  bool      `json:"commit"`
-	Options []txn.Op  `json:"options"`
-	At      time.Time `json:"at"`
+	Txn        txn.ID    `json:"txn"`
+	Commit     bool      `json:"commit"`
+	Options    []txn.Op  `json:"options"`
+	At         time.Time `json:"at"`
+	TraceSpan  uint64    `json:"trace_span,omitempty"`
+	OptionSpan uint64    `json:"option_span,omitempty"`
 }
 
 // WAL is the replica's write-ahead log of decisions. It always retains

@@ -4,7 +4,9 @@ import (
 	"encoding/binary"
 	"fmt"
 	"sort"
+	"time"
 
+	"planet/internal/obs"
 	"planet/internal/simnet"
 	"planet/internal/txn"
 )
@@ -25,6 +27,12 @@ import (
 // length, an out-of-range enum, or trailing bytes all return an error and
 // never panic — the receiver treats any error as a corrupt frame and closes
 // the connection (see realnet).
+//
+// Version tolerance: commit-path messages may carry an optional trace
+// context (TraceCtx) appended *after* their fixed fields. An untraced
+// message appends nothing — its frame is byte-identical to the pre-trace
+// format — and the decoder reads the context only when bytes remain after
+// the fixed fields, so frames from pre-trace senders still decode.
 
 // WireCodec encodes and decodes protocol messages for transmission over a
 // byte-oriented transport. The zero value is ready to use.
@@ -63,6 +71,7 @@ const (
 	tagReadResp
 	tagSyncReq
 	tagSyncResp
+	tagSpanReport
 )
 
 // Decode-side sanity limits. A frame that claims more than these is corrupt
@@ -132,6 +141,30 @@ func (e *wireEnc) value(v Value) {
 	e.varint(v.Version)
 }
 
+// tc appends the optional trailing trace context. An untraced message
+// (Span == 0) appends nothing, keeping its frame byte-identical to the
+// pre-trace wire format; a traced one appends the context after the fixed
+// fields, where old decoders would have rejected it and new ones look for
+// it (version tolerance by trailing extension).
+func (e *wireEnc) tc(t TraceCtx) {
+	if t.Span == 0 {
+		return
+	}
+	e.uvarint(t.Span)
+	e.varint(t.SentUnixNano)
+}
+
+func (e *wireEnc) span(sp obs.Span) {
+	e.uvarint(uint64(sp.Txn))
+	e.uvarint(sp.ID)
+	e.uvarint(sp.Parent)
+	e.u8(uint8(sp.Stage))
+	e.str(sp.Region)
+	e.str(sp.Note)
+	e.varint(sp.Start.UnixNano())
+	e.varint(sp.End.UnixNano())
+}
+
 func appendMessage(dst []byte, m any) ([]byte, error) {
 	e := &wireEnc{buf: dst}
 	switch p := m.(type) {
@@ -140,6 +173,7 @@ func appendMessage(dst []byte, m any) ([]byte, error) {
 		e.uvarint(uint64(p.Txn))
 		e.addr(p.Coord)
 		e.ops(p.Options)
+		e.tc(p.TC)
 	case voteMsg:
 		e.u8(tagVote)
 		e.uvarint(uint64(p.Txn))
@@ -147,17 +181,20 @@ func appendMessage(dst []byte, m any) ([]byte, error) {
 		e.bool(p.Accept)
 		e.u8(uint8(p.Reason))
 		e.str(string(p.Region))
+		e.tc(p.TC)
 	case classicProposeMsg:
 		e.u8(tagClassicPropose)
 		e.uvarint(uint64(p.Txn))
 		e.addr(p.Coord)
 		e.op(p.Option)
+		e.tc(p.TC)
 	case classicResultMsg:
 		e.u8(tagClassicResult)
 		e.uvarint(uint64(p.Txn))
 		e.str(p.Key)
 		e.bool(p.Accepted)
 		e.u8(uint8(p.Reason))
+		e.tc(p.TC)
 	case phase1aMsg:
 		e.u8(tagPhase1a)
 		e.str(p.Key)
@@ -194,6 +231,12 @@ func appendMessage(dst []byte, m any) ([]byte, error) {
 		e.uvarint(uint64(p.Txn))
 		e.bool(p.Commit)
 		e.ops(p.Options)
+		// The decide's trailing group also names the coordinator, so
+		// classic-path acceptors know where to flush decide-time spans.
+		if p.TC.Span != 0 {
+			e.tc(p.TC)
+			e.addr(p.Coord)
+		}
 	case voteBatchMsg:
 		e.u8(tagVoteBatch)
 		e.uvarint(uint64(p.Txn))
@@ -204,11 +247,13 @@ func appendMessage(dst []byte, m any) ([]byte, error) {
 			e.bool(v.Accept)
 			e.u8(uint8(v.Reason))
 		}
+		e.tc(p.TC)
 	case classicProposeBatchMsg:
 		e.u8(tagClassicProposeBatch)
 		e.uvarint(uint64(p.Txn))
 		e.addr(p.Coord)
 		e.ops(p.Options)
+		e.tc(p.TC)
 	case classicResultBatchMsg:
 		e.u8(tagClassicResultBatch)
 		e.uvarint(uint64(p.Txn))
@@ -218,6 +263,7 @@ func appendMessage(dst []byte, m any) ([]byte, error) {
 			e.bool(res.Accepted)
 			e.u8(uint8(res.Reason))
 		}
+		e.tc(p.TC)
 	case phase2aBatchMsg:
 		e.u8(tagPhase2aBatch)
 		e.addr(p.Master)
@@ -266,6 +312,13 @@ func appendMessage(dst []byte, m any) ([]byte, error) {
 		for _, k := range keys {
 			e.str(k)
 			e.value(p.Records[k])
+		}
+	case spanReportMsg:
+		e.u8(tagSpanReport)
+		e.uvarint(uint64(p.Txn))
+		e.uvarint(uint64(len(p.Spans)))
+		for _, sp := range p.Spans {
+			e.span(sp)
 		}
 	default:
 		return dst, fmt.Errorf("mdcc: wire: unencodable message type %T", m)
@@ -448,6 +501,36 @@ func (d *wireDec) value() Value {
 	return v
 }
 
+// tc decodes the optional trailing trace context. A frame that ends at the
+// fixed fields — the pre-trace wire format — yields the zero TraceCtx, so
+// old frames keep decoding.
+func (d *wireDec) tc() TraceCtx {
+	if d.err != nil || d.off >= len(d.data) {
+		return TraceCtx{}
+	}
+	var t TraceCtx
+	t.Span = d.uvarint()
+	t.SentUnixNano = d.varint()
+	return t
+}
+
+func (d *wireDec) span() obs.Span {
+	var sp obs.Span
+	sp.Txn = txn.ID(d.uvarint())
+	sp.ID = d.uvarint()
+	sp.Parent = d.uvarint()
+	sp.Stage = obs.Stage(d.u8())
+	if d.err == nil && sp.Stage >= obs.NumStages {
+		d.fail("bad span stage %d", sp.Stage)
+		return obs.Span{}
+	}
+	sp.Region = d.str()
+	sp.Note = d.str()
+	sp.Start = time.Unix(0, d.varint())
+	sp.End = time.Unix(0, d.varint())
+	return sp
+}
+
 func decodeMessage(data []byte) (any, error) {
 	d := &wireDec{data: data}
 	tag := d.u8()
@@ -461,6 +544,7 @@ func decodeMessage(data []byte) (any, error) {
 		p.Txn = txn.ID(d.uvarint())
 		p.Coord = d.addr()
 		p.Options = d.ops()
+		p.TC = d.tc()
 		m = p
 	case tagVote:
 		var p voteMsg
@@ -469,12 +553,14 @@ func decodeMessage(data []byte) (any, error) {
 		p.Accept = d.bool()
 		p.Reason = d.reason()
 		p.Region = simnet.Region(d.str())
+		p.TC = d.tc()
 		m = p
 	case tagClassicPropose:
 		var p classicProposeMsg
 		p.Txn = txn.ID(d.uvarint())
 		p.Coord = d.addr()
 		p.Option = d.op()
+		p.TC = d.tc()
 		m = p
 	case tagClassicResult:
 		var p classicResultMsg
@@ -482,6 +568,7 @@ func decodeMessage(data []byte) (any, error) {
 		p.Key = d.str()
 		p.Accepted = d.bool()
 		p.Reason = d.reason()
+		p.TC = d.tc()
 		m = p
 	case tagPhase1a:
 		var p phase1aMsg
@@ -525,6 +612,9 @@ func decodeMessage(data []byte) (any, error) {
 		p.Txn = txn.ID(d.uvarint())
 		p.Commit = d.bool()
 		p.Options = d.ops()
+		if p.TC = d.tc(); p.TC.Span != 0 {
+			p.Coord = d.addr()
+		}
 		m = p
 	case tagVoteBatch:
 		var p voteBatchMsg
@@ -538,12 +628,14 @@ func decodeMessage(data []byte) (any, error) {
 				p.Votes[i].Reason = d.reason()
 			}
 		}
+		p.TC = d.tc()
 		m = p
 	case tagClassicProposeBatch:
 		var p classicProposeBatchMsg
 		p.Txn = txn.ID(d.uvarint())
 		p.Coord = d.addr()
 		p.Options = d.ops()
+		p.TC = d.tc()
 		m = p
 	case tagClassicResultBatch:
 		var p classicResultBatchMsg
@@ -556,6 +648,7 @@ func decodeMessage(data []byte) (any, error) {
 				p.Results[i].Reason = d.reason()
 			}
 		}
+		p.TC = d.tc()
 		m = p
 	case tagPhase2aBatch:
 		var p phase2aBatchMsg
@@ -601,6 +694,16 @@ func decodeMessage(data []byte) (any, error) {
 		var p syncReq
 		p.ReqID = d.uvarint()
 		p.From = d.addr()
+		m = p
+	case tagSpanReport:
+		var p spanReportMsg
+		p.Txn = txn.ID(d.uvarint())
+		if n := d.count(); d.err == nil && n > 0 {
+			p.Spans = make([]obs.Span, n)
+			for i := range p.Spans {
+				p.Spans[i] = d.span()
+			}
+		}
 		m = p
 	case tagSyncResp:
 		var p syncResp

@@ -5,7 +5,9 @@ import (
 	"math/rand"
 	"reflect"
 	"testing"
+	"time"
 
+	"planet/internal/obs"
 	"planet/internal/simnet"
 	"planet/internal/txn"
 )
@@ -61,6 +63,86 @@ func wireSamples() []any {
 			"b": {Bytes: []byte("x"), Version: 9},
 			"c": {}}},
 		syncResp{ReqID: 6},
+		// Traced variants: the optional trailing trace context present.
+		proposeMsg{Txn: 18, Coord: coord, Options: ops[:1],
+			TC: TraceCtx{Span: 0xabc0001, SentUnixNano: 1_700_000_000_000_000_001}},
+		voteMsg{Txn: 19, Key: "k", Accept: true, Region: "us-east",
+			TC: TraceCtx{Span: 0xabc0002, SentUnixNano: -5}},
+		classicProposeMsg{Txn: 20, Coord: coord, Option: ops[0],
+			TC: TraceCtx{Span: 3, SentUnixNano: 9}},
+		classicResultMsg{Txn: 21, Key: "k", Accepted: true,
+			TC: TraceCtx{Span: 4, SentUnixNano: 10}},
+		decideMsg{Txn: 22, Commit: true, Options: ops[:1], Coord: coord,
+			TC: TraceCtx{Span: 5, SentUnixNano: 11}},
+		voteBatchMsg{Txn: 23, Region: "us-east",
+			Votes: []optionVote{{Key: "a", Accept: true}},
+			TC:    TraceCtx{Span: 6, SentUnixNano: 12}},
+		classicProposeBatchMsg{Txn: 24, Coord: coord, Options: ops[:2],
+			TC: TraceCtx{Span: 7, SentUnixNano: 13}},
+		classicResultBatchMsg{Txn: 25,
+			Results: []optionResult{{Key: "a", Accepted: true}},
+			TC:      TraceCtx{Span: 8, SentUnixNano: 14}},
+		spanReportMsg{Txn: 26, Spans: []obs.Span{
+			{Txn: 26, ID: 100, Parent: 99, Stage: obs.StageOptionRPC,
+				Region: "us-east", Note: "leg",
+				Start: time.Unix(0, 1_000), End: time.Unix(0, 2_000)},
+			{Txn: 26, ID: 101, Parent: 100, Stage: obs.StageReplicaWAL,
+				Start: time.Unix(0, 3_000), End: time.Unix(0, 4_000)},
+		}},
+		spanReportMsg{Txn: 27},
+	}
+}
+
+// TestWireTraceVersionTolerance pins the compatibility contract for the
+// trailing trace context: an untraced message encodes byte-identically to
+// the pre-trace wire format (its traced encoding strictly extends it), and
+// decoding the shorter untraced frame yields a zero TraceCtx.
+func TestWireTraceVersionTolerance(t *testing.T) {
+	var c WireCodec
+	coord := simnet.Addr{Region: "us-west", Name: "coord"}
+	ops := []txn.Op{{Kind: txn.OpSet, Key: "k", Value: []byte("v")}}
+
+	untraced := proposeMsg{Txn: 1, Coord: coord, Options: ops}
+	traced := untraced
+	traced.TC = TraceCtx{Span: 42, SentUnixNano: 7}
+
+	plain, err := c.Append(nil, untraced)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ext, err := c.Append(nil, traced)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.HasPrefix(ext, plain) {
+		t.Fatal("traced frame does not extend the untraced frame: old-format frames would not decode")
+	}
+	if len(ext) <= len(plain) {
+		t.Fatal("traced frame no longer than untraced frame")
+	}
+
+	// An old-format frame (no trailing context) decodes to the zero TraceCtx.
+	got, err := c.Decode(plain)
+	if err != nil {
+		t.Fatalf("decode pre-trace frame: %v", err)
+	}
+	if p := got.(proposeMsg); p.TC != (TraceCtx{}) {
+		t.Errorf("pre-trace frame decoded with TC %+v, want zero", p.TC)
+	}
+
+	// decideMsg's trailing group additionally carries the coordinator.
+	dPlain, _ := c.Append(nil, decideMsg{Txn: 2, Commit: true, Options: ops})
+	dTraced, _ := c.Append(nil, decideMsg{Txn: 2, Commit: true, Options: ops,
+		TC: TraceCtx{Span: 9, SentUnixNano: 1}, Coord: coord})
+	if !bytes.HasPrefix(dTraced, dPlain) {
+		t.Fatal("traced decide does not extend the untraced decide")
+	}
+	gd, err := c.Decode(dTraced)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d := gd.(decideMsg); d.Coord != coord || d.TC.Span != 9 {
+		t.Errorf("traced decide round trip lost trailing group: %+v", d)
 	}
 }
 
@@ -124,8 +206,11 @@ func TestWireUnencodable(t *testing.T) {
 	}
 }
 
-// TestWireTruncation decodes every strict prefix of every encoded message;
-// each must return an error (or, for the empty-message edge, never a panic).
+// TestWireTruncation decodes every strict prefix of every encoded message.
+// Each must return an error, with one designed exception: a traced message
+// truncated exactly at its fixed-field boundary IS the valid pre-trace
+// frame (that is the version-tolerance contract). Such a prefix must decode
+// cleanly and re-encode to exactly itself; any other prefix must error.
 func TestWireTruncation(t *testing.T) {
 	var c WireCodec
 	for _, m := range wireSamples() {
@@ -134,9 +219,14 @@ func TestWireTruncation(t *testing.T) {
 			t.Fatal(err)
 		}
 		for n := 0; n < len(buf); n++ {
-			if _, err := c.Decode(buf[:n]); err == nil {
-				t.Errorf("%T: truncation to %d/%d bytes decoded without error",
-					m, n, len(buf))
+			got, err := c.Decode(buf[:n])
+			if err != nil {
+				continue
+			}
+			re, err := c.Append(nil, got)
+			if err != nil || !bytes.Equal(re, buf[:n]) {
+				t.Errorf("%T: truncation to %d/%d bytes decoded to %T that re-encodes differently",
+					m, n, len(buf), got)
 			}
 		}
 	}

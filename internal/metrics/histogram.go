@@ -161,6 +161,38 @@ func (h *Histogram) Quantile(p float64) time.Duration {
 	return max
 }
 
+// BucketCount is one cumulative histogram bucket: Count samples were at or
+// below UpperBound.
+type BucketCount struct {
+	UpperBound time.Duration
+	Count      uint64
+}
+
+// bucketUpper returns the upper edge of bucket i.
+func bucketUpper(i int) time.Duration {
+	return time.Duration(histBase * math.Pow(bucketGrowth, float64(i+1)))
+}
+
+// CumulativeBuckets returns cumulative counts at the upper edge of every
+// non-empty bucket, in increasing bound order — exactly the series a
+// Prometheus histogram exposes as `_bucket{le="..."}` lines (the caller
+// appends the `+Inf` bucket). Skipping empty buckets keeps the exposition
+// compact without changing its meaning: cumulative counts are valid at any
+// subset of edges.
+func (h *Histogram) CumulativeBuckets() []BucketCount {
+	var out []BucketCount
+	var cum uint64
+	for i := range h.buckets {
+		c := h.buckets[i].Load()
+		if c == 0 {
+			continue
+		}
+		cum += c
+		out = append(out, BucketCount{UpperBound: bucketUpper(i), Count: cum})
+	}
+	return out
+}
+
 // CDFPoints returns (duration, cumulative fraction) pairs suitable for
 // plotting the sample CDF, one point per non-empty bucket.
 func (h *Histogram) CDFPoints() []CDFPoint {

@@ -52,6 +52,10 @@ type Config struct {
 	// MasterRegion pins every key's master (-masterregion); empty keeps
 	// hash mastership.
 	MasterRegion simnet.Region
+	// Mode is passed as -mode ("fast" or "classic"); empty keeps the
+	// default. Classic routes every option through the key's master, which
+	// the trace tests use to get master-side spans from a separate process.
+	Mode string
 	// Drain is passed as -drain (0 keeps the default).
 	Drain time.Duration
 	// ReadyTimeout bounds waiting for a node's gateway to come up.
@@ -130,6 +134,9 @@ func Start(cfg Config) (*Network, error) {
 		}
 		if cfg.MasterRegion != "" {
 			nd.args = append(nd.args, "-masterregion", string(cfg.MasterRegion))
+		}
+		if cfg.Mode != "" {
+			nd.args = append(nd.args, "-mode", cfg.Mode)
 		}
 		if cfg.Drain > 0 {
 			nd.args = append(nd.args, "-drain", cfg.Drain.String())

@@ -7,7 +7,8 @@
 // labels returns the same instrument — so call sites can be written
 // declaratively without a separate registration phase. WritePrometheus
 // renders every series in the Prometheus text exposition format (counters
-// and gauges verbatim, histograms as summaries with quantile labels).
+// and gauges verbatim, histograms as cumulative _bucket series with le
+// labels plus _sum and _count, parseable by any Prometheus scraper).
 //
 // The tracer records timestamped lifecycle events (submitted, admission
 // verdict, per-region votes, fallback, speculative fire, deadline fire,

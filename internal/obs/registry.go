@@ -28,7 +28,7 @@ type metricType uint8
 const (
 	typeCounter metricType = iota
 	typeGauge
-	typeSummary
+	typeHistogram
 )
 
 func (t metricType) String() string {
@@ -38,7 +38,7 @@ func (t metricType) String() string {
 	case typeGauge:
 		return "gauge"
 	default:
-		return "summary"
+		return "histogram"
 	}
 }
 
@@ -76,8 +76,8 @@ func (g *Gauge) Value() float64 { return bitsFloat(g.bits.Load()) }
 func floatBits(v float64) uint64 { return math.Float64bits(v) }
 func bitsFloat(b uint64) float64 { return math.Float64frombits(b) }
 
-// Histogram records duration samples; it exposes as a Prometheus summary
-// (quantiles + _sum + _count) in seconds.
+// Histogram records duration samples; it exposes as a Prometheus histogram
+// (cumulative `_bucket{le="..."}` series + _sum + _count) in seconds.
 type Histogram struct{ h *metrics.Histogram }
 
 // Observe records one sample.
@@ -231,7 +231,7 @@ func (r *Registry) GaugeFunc(name, help string, fn func() float64, labels ...Lab
 
 // Histogram returns the named latency histogram, creating it on first use.
 func (r *Registry) Histogram(name, help string, labels ...Label) *Histogram {
-	f := r.familyFor(name, help, typeSummary, labels)
+	f := r.familyFor(name, help, typeHistogram, labels)
 	return f.seriesFor(labels, func() *series {
 		return &series{hist: &Histogram{h: metrics.NewHistogram()}}
 	}).hist
@@ -274,7 +274,7 @@ func escapeLabel(v string) string {
 }
 
 // formatLabels renders {a="x",b="y"}; extra, when non-empty, is appended
-// as-is (used for quantile labels).
+// as-is (used for bucket le labels).
 func formatLabels(labels []Label, extra string) string {
 	if len(labels) == 0 && extra == "" {
 		return ""
@@ -298,9 +298,6 @@ func formatLabels(labels []Label, extra string) string {
 	b.WriteByte('}')
 	return b.String()
 }
-
-// summaryQuantiles are the quantile labels emitted per histogram series.
-var summaryQuantiles = []float64{0.5, 0.9, 0.95, 0.99}
 
 // WritePrometheus renders every family in the Prometheus text exposition
 // format (version 0.0.4), families and series in sorted order so the
@@ -357,20 +354,35 @@ func writeSeries(w io.Writer, f *family, s *series) error {
 		_, err := fmt.Fprintf(w, "%s%s %g\n", f.name, formatLabels(s.labels, ""), s.gfn())
 		return err
 	case s.hist != nil:
-		sum := s.hist.Summarize()
-		for _, q := range summaryQuantiles {
-			lbl := formatLabels(s.labels, fmt.Sprintf("quantile=%q", fmt.Sprintf("%g", q)))
-			if _, err := fmt.Fprintf(w, "%s%s %g\n", f.name, lbl,
-				s.hist.h.Quantile(q).Seconds()); err != nil {
+		// Cumulative buckets, then the mandatory +Inf bucket, _sum, and
+		// _count — the shape prometheus.WriteHistogram parsers require.
+		// Racy snapshot: a sample landing between reads can make the bucket
+		// cumulative exceed the count snapshot, so +Inf (which must equal
+		// _count) takes the larger of the two.
+		buckets := s.hist.h.CumulativeBuckets()
+		var cum uint64
+		for _, b := range buckets {
+			lbl := formatLabels(s.labels, fmt.Sprintf("le=\"%g\"", b.UpperBound.Seconds()))
+			if _, err := fmt.Fprintf(w, "%s_bucket%s %d\n", f.name, lbl, b.Count); err != nil {
 				return err
 			}
+			cum = b.Count
+		}
+		sum := s.hist.Summarize()
+		count := sum.Count
+		if count < cum {
+			count = cum
+		}
+		if _, err := fmt.Fprintf(w, "%s_bucket%s %d\n", f.name,
+			formatLabels(s.labels, `le="+Inf"`), count); err != nil {
+			return err
 		}
 		totalSec := sum.Mean.Seconds() * float64(sum.Count)
 		if _, err := fmt.Fprintf(w, "%s_sum%s %g\n", f.name,
 			formatLabels(s.labels, ""), totalSec); err != nil {
 			return err
 		}
-		_, err := fmt.Fprintf(w, "%s_count%s %d\n", f.name, formatLabels(s.labels, ""), sum.Count)
+		_, err := fmt.Fprintf(w, "%s_count%s %d\n", f.name, formatLabels(s.labels, ""), count)
 		return err
 	}
 	return nil

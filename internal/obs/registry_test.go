@@ -1,6 +1,8 @@
 package obs
 
 import (
+	"fmt"
+	"math"
 	"strings"
 	"sync"
 	"testing"
@@ -66,8 +68,9 @@ func TestPrometheusExposition(t *testing.T) {
 		`planet_txn_total{stage="committed"} 7`,
 		"# TYPE planet_in_flight gauge",
 		"planet_in_flight 3",
-		"# TYPE planet_latency_seconds summary",
-		`planet_latency_seconds{region="us-west",quantile="0.5"} 0.01`,
+		"# TYPE planet_latency_seconds histogram",
+		`planet_latency_seconds_bucket{region="us-west",le="+Inf"} 100`,
+		`planet_latency_seconds_sum{region="us-west"} 1`,
 		`planet_latency_seconds_count{region="us-west"} 100`,
 	} {
 		if !strings.Contains(out, want) {
@@ -77,6 +80,133 @@ func TestPrometheusExposition(t *testing.T) {
 	// Families must appear in sorted order for diff-stable scraping.
 	if strings.Index(out, "planet_in_flight") > strings.Index(out, "planet_txn_total") {
 		t.Error("families not sorted by name")
+	}
+}
+
+// TestHistogramExpositionParses round-trips the histogram exposition through
+// a strict text-format parser and checks the invariants a Prometheus scraper
+// relies on: bucket counts are cumulative and non-decreasing in le order, the
+// mandatory +Inf bucket is present and equals _count, and _sum is consistent
+// with the observed samples.
+func TestHistogramExpositionParses(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram("planet_rt_seconds", "Round trips.", L("path", "fast"))
+	samples := []time.Duration{
+		100 * time.Microsecond, 1 * time.Millisecond, 1 * time.Millisecond,
+		10 * time.Millisecond, 250 * time.Millisecond, 2 * time.Second,
+	}
+	var total time.Duration
+	for _, d := range samples {
+		h.Observe(d)
+		total += d
+	}
+
+	var b strings.Builder
+	if err := r.WritePrometheus(&b); err != nil {
+		t.Fatal(err)
+	}
+
+	type bucket struct {
+		le  float64
+		cum uint64
+	}
+	var (
+		buckets  []bucket
+		haveInf  bool
+		infCount uint64
+		sum      float64
+		count    uint64
+		sawType  bool
+	)
+	for _, line := range strings.Split(b.String(), "\n") {
+		if line == "" {
+			continue
+		}
+		if strings.HasPrefix(line, "#") {
+			if line == "# TYPE planet_rt_seconds histogram" {
+				sawType = true
+			}
+			continue
+		}
+		name, rest, ok := strings.Cut(line, "{")
+		if !ok {
+			name, rest, _ = strings.Cut(line, " ")
+			rest = "} " + rest // normalize the no-label shape
+		}
+		if !strings.HasPrefix(name, "planet_rt_seconds") {
+			continue
+		}
+		labelStr, valStr, ok := strings.Cut(rest, "} ")
+		if !ok {
+			t.Fatalf("unparseable line %q", line)
+		}
+		switch {
+		case name == "planet_rt_seconds_bucket":
+			var le float64
+			leIdx := strings.Index(labelStr, `le="`)
+			if leIdx < 0 {
+				t.Fatalf("bucket line without le label: %q", line)
+			}
+			leVal := labelStr[leIdx+len(`le="`):]
+			leVal = leVal[:strings.IndexByte(leVal, '"')]
+			var c uint64
+			if _, err := fmt.Sscanf(valStr, "%d", &c); err != nil {
+				t.Fatalf("bucket value in %q: %v", line, err)
+			}
+			if leVal == "+Inf" {
+				haveInf, infCount = true, c
+				continue
+			}
+			if _, err := fmt.Sscanf(leVal, "%g", &le); err != nil {
+				t.Fatalf("le value in %q: %v", line, err)
+			}
+			buckets = append(buckets, bucket{le: le, cum: c})
+		case name == "planet_rt_seconds_sum":
+			if _, err := fmt.Sscanf(valStr, "%g", &sum); err != nil {
+				t.Fatalf("sum value in %q: %v", line, err)
+			}
+		case name == "planet_rt_seconds_count":
+			if _, err := fmt.Sscanf(valStr, "%d", &count); err != nil {
+				t.Fatalf("count value in %q: %v", line, err)
+			}
+		}
+	}
+
+	if !sawType {
+		t.Error("missing '# TYPE planet_rt_seconds histogram' line")
+	}
+	if !haveInf {
+		t.Fatal("missing mandatory le=\"+Inf\" bucket")
+	}
+	if count != uint64(len(samples)) {
+		t.Errorf("_count = %d, want %d", count, len(samples))
+	}
+	if infCount != count {
+		t.Errorf("+Inf bucket = %d, want _count = %d", infCount, count)
+	}
+	if len(buckets) == 0 {
+		t.Fatal("no finite buckets emitted")
+	}
+	prevLE, prevCum := -1.0, uint64(0)
+	for _, bk := range buckets {
+		if bk.le <= prevLE {
+			t.Errorf("bucket le %g not increasing after %g", bk.le, prevLE)
+		}
+		if bk.cum < prevCum {
+			t.Errorf("bucket cumulative count %d decreased after %d", bk.cum, prevCum)
+		}
+		prevLE, prevCum = bk.le, bk.cum
+	}
+	if last := buckets[len(buckets)-1].cum; last > infCount {
+		t.Errorf("last finite bucket %d exceeds +Inf bucket %d", last, infCount)
+	}
+	// Every sample fits under the largest finite bucket here, so the last
+	// finite cumulative must already equal the total count.
+	if last := buckets[len(buckets)-1].cum; last != count {
+		t.Errorf("last finite bucket %d, want %d (all samples in range)", last, count)
+	}
+	if want := total.Seconds(); math.Abs(sum-want) > want*0.01 {
+		t.Errorf("_sum = %g, want ~%g", sum, want)
 	}
 }
 

@@ -1,0 +1,244 @@
+package obs
+
+import (
+	"fmt"
+	"os"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"planet/internal/txn"
+)
+
+// Stage identifies one latency stage of the commit pipeline. The taxonomy
+// decomposes a transaction's submit-to-notify latency into the hops a
+// decision actually takes: local bookkeeping (submit, admit), the
+// option-phase RPC out to the replicas, master arbitration on the classic
+// path, the replica's WAL append, the vote's return leg, the coordinator's
+// quorum wait, the decision broadcast, and the client notification.
+type Stage uint8
+
+const (
+	// StageTotal spans the whole transaction, submit to finish. It is a
+	// container: the other stages decompose it.
+	StageTotal Stage = iota
+	// StageSubmit covers local submission bookkeeping before the options
+	// leave the coordinator's region.
+	StageSubmit
+	// StageAdmit covers prediction + admission control at submit.
+	StageAdmit
+	// StageOptionRPC is the network leg carrying an option proposal from
+	// the coordinator to one replica (or master).
+	StageOptionRPC
+	// StageMasterArbitrate covers a master's classic-round work for one
+	// option: phase 1 (if the key is fresh), sequencing, and the phase-2
+	// round trip with its acceptors.
+	StageMasterArbitrate
+	// StageReplicaWAL covers a replica's write-ahead-log append (and
+	// fsync, when the WAL is disk-backed) for a decision.
+	StageReplicaWAL
+	// StageVoteReturn is the network leg carrying a vote (or classic
+	// result) back to the coordinator.
+	StageVoteReturn
+	// StageQuorumWait spans the coordinator's wait from option send-out to
+	// decision. It is a container: option RPCs, arbitration, and vote
+	// returns happen inside it.
+	StageQuorumWait
+	// StageDecideBroadcast is the network leg carrying the decision from
+	// the coordinator to one replica.
+	StageDecideBroadcast
+	// StageClientNotify covers decision-to-application delivery (callback
+	// dispatch and handle wakeup).
+	StageClientNotify
+
+	// NumStages bounds the enum; new stages go before it.
+	NumStages
+)
+
+// String implements fmt.Stringer. These names are API surface: they appear
+// in /v1/attribution, the -attr log line, and PROTOCOL.md.
+func (s Stage) String() string {
+	switch s {
+	case StageTotal:
+		return "total"
+	case StageSubmit:
+		return "submit"
+	case StageAdmit:
+		return "admit"
+	case StageOptionRPC:
+		return "option_rpc"
+	case StageMasterArbitrate:
+		return "master_arbitrate"
+	case StageReplicaWAL:
+		return "replica_wal"
+	case StageVoteReturn:
+		return "vote_return"
+	case StageQuorumWait:
+		return "quorum_wait"
+	case StageDecideBroadcast:
+		return "decide_broadcast"
+	case StageClientNotify:
+		return "client_notify"
+	default:
+		return fmt.Sprintf("stage(%d)", uint8(s))
+	}
+}
+
+// Leaf reports whether the stage is a leaf of the decomposition — a stage
+// whose duration is not an aggregate of other stages. Dominant-variance
+// ranking considers only leaves, so a container's (necessarily larger)
+// variance cannot mask the hop actually responsible. Total contains
+// everything; quorum_wait contains the option RPCs, arbitration, and vote
+// returns; decide_broadcast brackets each replica's apply and contains its
+// WAL append (and, sharing the propose leg's links, its transit variance
+// would double-count option_rpc's verdict in the ranking).
+func (s Stage) Leaf() bool {
+	return s != StageTotal && s != StageQuorumWait && s != StageDecideBroadcast
+}
+
+// Span is one timed stage of one transaction, recorded wherever the stage
+// ran — coordinator, master, or replica, possibly in different processes.
+// Parent links spans into a causal tree: a span's parent is the span whose
+// work caused it (the option RPC that carried the proposal, the root span
+// that issued the decision).
+type Span struct {
+	Txn    txn.ID    `json:"txn"`
+	ID     uint64    `json:"id"`
+	Parent uint64    `json:"parent,omitempty"`
+	Stage  Stage     `json:"-"`
+	Region string    `json:"region,omitempty"`
+	Note   string    `json:"note,omitempty"`
+	Start  time.Time `json:"start"`
+	End    time.Time `json:"end"`
+}
+
+// Duration returns the span's elapsed time (clamped at zero: cross-process
+// one-way legs can go slightly negative under clock skew).
+func (sp Span) Duration() time.Duration {
+	d := sp.End.Sub(sp.Start)
+	if d < 0 {
+		return 0
+	}
+	return d
+}
+
+// spanSeq hands out process-unique span ids; spanBase folds the pid into
+// the high bits so ids from different processes of one deployment never
+// collide when their spans are stitched into one tree.
+var (
+	spanSeq  atomic.Uint64
+	spanBase = uint64(os.Getpid()&0xffff) << 44
+)
+
+// NewSpanID returns a fresh span id, unique within the deployment.
+func NewSpanID() uint64 { return spanBase | spanSeq.Add(1) }
+
+// SpanStoreConfig parameterizes NewSpanStore. The zero value retains spans
+// for 512 transactions and aggregates into a fresh Attribution.
+type SpanStoreConfig struct {
+	// Capacity bounds the number of transactions whose spans are retained
+	// (FIFO eviction). Default 512.
+	Capacity int
+	// Attr receives every added span's duration; nil creates one.
+	Attr *Attribution
+}
+
+// SpanStore retains the spans of recent transactions, keyed by transaction
+// id, and folds every added span into a per-stage Attribution. All methods
+// are safe on a nil receiver (no-ops), giving instrumented code a zero-cost
+// disabled path.
+type SpanStore struct {
+	mu    sync.Mutex
+	cap   int
+	txns  map[txn.ID][]Span
+	order []txn.ID // FIFO eviction ring, order[next] oldest
+	next  int
+	attr  *Attribution
+}
+
+// NewSpanStore builds a span store from cfg.
+func NewSpanStore(cfg SpanStoreConfig) *SpanStore {
+	if cfg.Capacity <= 0 {
+		cfg.Capacity = 512
+	}
+	if cfg.Attr == nil {
+		cfg.Attr = NewAttribution()
+	}
+	return &SpanStore{
+		cap:   cfg.Capacity,
+		txns:  make(map[txn.ID][]Span, cfg.Capacity),
+		order: make([]txn.ID, 0, cfg.Capacity),
+		attr:  cfg.Attr,
+	}
+}
+
+// Attribution returns the store's aggregation engine (nil on a nil store).
+func (s *SpanStore) Attribution() *Attribution {
+	if s == nil {
+		return nil
+	}
+	return s.attr
+}
+
+// Add records one span.
+func (s *SpanStore) Add(sp Span) {
+	if s == nil {
+		return
+	}
+	s.mu.Lock()
+	s.addLocked(sp)
+	s.mu.Unlock()
+	s.attr.observe(sp.Stage, sp.Duration())
+}
+
+// AddBatch records several spans under one lock acquisition.
+func (s *SpanStore) AddBatch(sps []Span) {
+	if s == nil || len(sps) == 0 {
+		return
+	}
+	s.mu.Lock()
+	for _, sp := range sps {
+		s.addLocked(sp)
+	}
+	s.mu.Unlock()
+	for _, sp := range sps {
+		s.attr.observe(sp.Stage, sp.Duration())
+	}
+}
+
+func (s *SpanStore) addLocked(sp Span) {
+	if _, ok := s.txns[sp.Txn]; !ok {
+		if len(s.order) < s.cap {
+			s.order = append(s.order, sp.Txn)
+		} else {
+			delete(s.txns, s.order[s.next])
+			s.order[s.next] = sp.Txn
+			s.next = (s.next + 1) % s.cap
+		}
+	}
+	s.txns[sp.Txn] = append(s.txns[sp.Txn], sp)
+}
+
+// Spans returns a copy of id's recorded spans (nil if unknown or evicted).
+func (s *SpanStore) Spans(id txn.ID) []Span {
+	if s == nil {
+		return nil
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	sps := s.txns[id]
+	if sps == nil {
+		return nil
+	}
+	return append([]Span(nil), sps...)
+}
+
+// TxnCount reports how many transactions currently have retained spans.
+func (s *SpanStore) TxnCount() int {
+	if s == nil {
+		return 0
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return len(s.txns)
+}

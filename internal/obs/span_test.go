@@ -1,0 +1,168 @@
+package obs
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"planet/internal/txn"
+)
+
+func TestStageNamesAndLeaves(t *testing.T) {
+	seen := make(map[string]bool)
+	for st := Stage(0); st < NumStages; st++ {
+		name := st.String()
+		if strings.HasPrefix(name, "stage(") {
+			t.Errorf("stage %d has no name", st)
+		}
+		if seen[name] {
+			t.Errorf("duplicate stage name %q", name)
+		}
+		seen[name] = true
+	}
+	if StageTotal.Leaf() || StageQuorumWait.Leaf() || StageDecideBroadcast.Leaf() {
+		t.Error("container stages reported as leaves")
+	}
+	for _, st := range []Stage{StageOptionRPC, StageReplicaWAL, StageVoteReturn} {
+		if !st.Leaf() {
+			t.Errorf("%s should be a leaf", st)
+		}
+	}
+}
+
+func TestNewSpanIDUnique(t *testing.T) {
+	const n = 1000
+	ids := make(map[uint64]bool, n)
+	for i := 0; i < n; i++ {
+		id := NewSpanID()
+		if id == 0 {
+			t.Fatal("zero span id (zero means untraced on the wire)")
+		}
+		if ids[id] {
+			t.Fatalf("duplicate span id %d", id)
+		}
+		ids[id] = true
+	}
+}
+
+func TestSpanDurationClampsNegative(t *testing.T) {
+	now := time.Now()
+	sp := Span{Start: now, End: now.Add(-time.Second)}
+	if d := sp.Duration(); d != 0 {
+		t.Errorf("negative span duration = %v, want 0 (clock skew clamp)", d)
+	}
+}
+
+func TestSpanStoreNilSafe(t *testing.T) {
+	var s *SpanStore
+	s.Add(Span{})
+	s.AddBatch([]Span{{}})
+	if s.Spans(1) != nil || s.TxnCount() != 0 || s.Attribution() != nil {
+		t.Error("nil store not inert")
+	}
+}
+
+func TestSpanStoreEviction(t *testing.T) {
+	s := NewSpanStore(SpanStoreConfig{Capacity: 2})
+	add := func(id txn.ID) {
+		s.Add(Span{Txn: id, ID: NewSpanID(), Stage: StageSubmit})
+	}
+	add(1)
+	add(2)
+	add(1) // existing txn: no eviction
+	add(3) // evicts txn 1 (FIFO)
+	if s.Spans(1) != nil {
+		t.Error("oldest txn not evicted")
+	}
+	if len(s.Spans(2)) != 1 || len(s.Spans(3)) != 1 {
+		t.Error("retained txns lost spans")
+	}
+	if n := s.TxnCount(); n != 2 {
+		t.Errorf("TxnCount = %d, want 2", n)
+	}
+}
+
+func TestAttributionRanksDominantVariance(t *testing.T) {
+	a := NewAttribution()
+	base := time.Now()
+	rec := func(st Stage, ds ...time.Duration) {
+		for _, d := range ds {
+			a.observe(st, d)
+		}
+	}
+	// WAL durations are all over the place; the option RPC is steady but
+	// slower on average. Variance ranking must name the WAL, not the RPC.
+	rec(StageReplicaWAL, 1*time.Millisecond, 80*time.Millisecond, 2*time.Millisecond, 120*time.Millisecond)
+	rec(StageOptionRPC, 50*time.Millisecond, 51*time.Millisecond, 50*time.Millisecond, 52*time.Millisecond)
+	// The container's variance is even larger, but it must not be dominant.
+	rec(StageTotal, 60*time.Millisecond, 250*time.Millisecond, 55*time.Millisecond, 300*time.Millisecond)
+
+	snap := a.Snapshot()
+	if snap.Dominant != "replica_wal" {
+		t.Errorf("dominant = %q, want replica_wal\n%s", snap.Dominant, snap.Table())
+	}
+	if len(snap.Stages) != 3 {
+		t.Fatalf("got %d stages, want 3", len(snap.Stages))
+	}
+	// Ranked by descending variance: total (container) first, then WAL.
+	if snap.Stages[0].Stage != "total" || snap.Stages[1].Stage != "replica_wal" {
+		t.Errorf("rank order %q, %q", snap.Stages[0].Stage, snap.Stages[1].Stage)
+	}
+	// Shares over leaves only, and they sum to ~1.
+	var shares float64
+	for _, st := range snap.Stages {
+		if !st.Leaf && st.Share != 0 {
+			t.Errorf("container %s has share %v", st.Stage, st.Share)
+		}
+		shares += st.Share
+	}
+	if shares < 0.999 || shares > 1.001 {
+		t.Errorf("leaf shares sum to %v, want 1", shares)
+	}
+	_ = base
+}
+
+func TestAttributionStageStats(t *testing.T) {
+	a := NewAttribution()
+	for i := 0; i < 10; i++ {
+		a.observe(StageOptionRPC, 10*time.Millisecond)
+	}
+	ewma, jitter, n := a.StageStats(StageOptionRPC)
+	if n != 10 {
+		t.Errorf("n = %d, want 10", n)
+	}
+	if ewma != 10*time.Millisecond {
+		t.Errorf("ewma = %v, want 10ms (constant input)", ewma)
+	}
+	if jitter != 0 {
+		t.Errorf("jitter = %v, want 0 (constant input)", jitter)
+	}
+
+	// Nil engine is inert.
+	var nilA *Attribution
+	if _, _, n := nilA.StageStats(StageOptionRPC); n != 0 {
+		t.Error("nil attribution returned samples")
+	}
+	nilA.observe(StageOptionRPC, time.Second)
+	if snap := nilA.Snapshot(); len(snap.Stages) != 0 {
+		t.Error("nil attribution snapshot not empty")
+	}
+}
+
+func TestAttributionTableDeterministic(t *testing.T) {
+	mk := func() string {
+		a := NewAttribution()
+		a.observe(StageOptionRPC, 5*time.Millisecond)
+		a.observe(StageOptionRPC, 9*time.Millisecond)
+		a.observe(StageVoteReturn, 7*time.Millisecond)
+		a.observe(StageVoteReturn, 7*time.Millisecond)
+		return a.Snapshot().Table()
+	}
+	t1, t2 := mk(), mk()
+	if t1 != t2 {
+		t.Errorf("identical inputs rendered different tables:\n%s\nvs\n%s", t1, t2)
+	}
+	if !strings.Contains(t1, "dominant variance: option_rpc") {
+		t.Errorf("table missing dominant line:\n%s", t1)
+	}
+}

@@ -1,13 +1,22 @@
 package predictor
 
 import (
+	"math"
 	"sync"
 	"time"
 
 	"planet/internal/latency"
+	"planet/internal/obs"
 	"planet/internal/simnet"
 	"planet/internal/vclock"
 )
+
+// StageFeed supplies per-stage latency statistics learned by the
+// attribution engine: the stage's duration EWMA, its jitter EWMA (mean
+// absolute deviation), and the sample count. *obs.Attribution implements it.
+type StageFeed interface {
+	StageStats(st obs.Stage) (ewma, jitter time.Duration, n uint64)
+}
 
 // Config parameterizes a Predictor. One predictor serves one coordinator
 // (latency is origin-dependent).
@@ -29,6 +38,14 @@ type Config struct {
 	UseLatency bool
 	// Clock timestamps decay horizons. Nil means the real system clock.
 	Clock vclock.Clock
+	// StageFeed, when non-nil, supplies attribution statistics (option-RPC
+	// and vote-return EWMA/jitter) and enables the timeliness term: the
+	// probability that an outstanding vote's round trip still fits the
+	// remaining commit budget, given the learned stage cost and volatility.
+	StageFeed StageFeed
+	// CommitTimeout is the commit budget the timeliness term measures
+	// against. The term is inert when zero.
+	CommitTimeout time.Duration
 }
 
 // Predictor estimates commit likelihood. Safe for concurrent use.
@@ -201,7 +218,54 @@ func (p *Predictor) optionProb(opt OptionFlight, elapsed, deadline time.Duration
 		}
 		probs = append(probs, pr*q)
 	}
-	return tailAtLeast(probs, need)
+	// Timeliness applies once per option, not per outstanding vote: the
+	// learned stage cost m already measures a full propose→vote round trip,
+	// so it estimates P(the quorum's votes fit the budget) as a whole.
+	// Multiplying it into every region would compound the discount.
+	return tailAtLeast(probs, need) * p.stageTimeliness(elapsed)
+}
+
+// stageTimelinessMinSamples is how many option-RPC legs the attribution
+// engine must have seen before the timeliness term engages; below it the
+// EWMA is noise and the term stays optimistic.
+const stageTimelinessMinSamples = 8
+
+// stageTimeliness estimates P(an outstanding vote's round trip completes
+// within the remaining commit budget) from attribution statistics: a
+// logistic in (budget − m)/s, where m is the learned option-RPC +
+// vote-return cost (EWMA) and s their summed jitter. High jitter flattens
+// the curve — volatile stages make the predictor appropriately unsure —
+// while a calm network snaps it toward a step function at the budget.
+// Returns 1 when the feed is absent, unwarmed, or no budget is configured.
+func (p *Predictor) stageTimeliness(elapsed time.Duration) float64 {
+	feed := p.cfg.StageFeed
+	if feed == nil || p.cfg.CommitTimeout <= 0 {
+		return 1
+	}
+	rpcEwma, rpcJit, n := feed.StageStats(obs.StageOptionRPC)
+	if n < stageTimelinessMinSamples {
+		return 1
+	}
+	retEwma, retJit, _ := feed.StageStats(obs.StageVoteReturn)
+	budget := float64(p.cfg.CommitTimeout - elapsed)
+	m := float64(rpcEwma + retEwma)
+	s := float64(rpcJit + retJit)
+	// Floor the scale: a perfectly calm history must not divide by ~zero,
+	// and some spread below m/8 is always plausible.
+	if floor := m / 8; s < floor {
+		s = floor
+	}
+	if floor := float64(100 * time.Microsecond); s < floor {
+		s = floor
+	}
+	pr := 1 / (1 + math.Exp(-(budget-m)/s))
+	// Keep a residual: even a blown budget occasionally resolves (the
+	// logistic tail handles this, but clamp against rounding to exact 0,
+	// which would zero the whole likelihood product irrecoverably).
+	if pr < 1e-6 {
+		pr = 1e-6
+	}
+	return pr
 }
 
 // arrivalProb returns P(vote arrives before the deadline | not yet arrived),

@@ -20,11 +20,20 @@ go test -race -run Soak -short ./internal/chaos/
 go test -count=10 -run TestVirtualTimeDeterminism .
 go test -race -count=2 ./internal/vclock
 go test -count=1 -timeout 60s -run 'TestExperimentsRunClean|TestEvaluationShapes' .
+# Observability gates. Attribution determinism: the same seed on the
+# virtual clock must produce bit-identical per-stage variance tables
+# (twice per test invocation, ten invocations), or the span pipeline has
+# grown a nondeterminism bug. The causal-tree shape check rides along.
+go test -count=10 -timeout 120s -run 'TestAttributionDeterminism|TestTraceSpans' ./internal/core/
 # Realnet smoke gate: build planetd, boot a 3-process loopback cluster,
 # commit transfers, SIGKILL one master mid-load, restart it, and require
 # WAL replay, rejoin, cross-node agreement, and conservation — all inside
 # a wall-clock budget. The wire codec's corruption-tolerance property
-# tests ride in the same budget.
+# tests ride in the same budget, as do the cross-process trace gates:
+# a stitched coordinator+master+replica span tree served by a live trio,
+# a /v1/attribution smoke against it, and trace continuity across a
+# kill -9 + WAL-replay cycle (TestRealnetStitchedTrace,
+# TestRealnetTraceContinuityAcrossCrash).
 go test -count=1 -timeout 180s -run 'TestRealnet' ./internal/multinet/
 go test -count=1 -timeout 60s -run 'TestWire' ./internal/mdcc/
 # Transport equivalence gate: the same seeded workloads must produce the
