@@ -114,6 +114,9 @@ type flags struct {
 	netdelay time.Duration
 	master   string
 	committo time.Duration
+
+	leases    bool
+	leaseterm time.Duration
 }
 
 func parseFlags() *flags {
@@ -140,6 +143,8 @@ func parseFlags() *flags {
 	flag.DurationVar(&f.netdelay, "netdelay", 0, "artificial inbound delivery delay (deployment mode, tests)")
 	flag.StringVar(&f.master, "masterregion", "", "make one region master for every key (deployment mode, tests)")
 	flag.DurationVar(&f.committo, "committimeout", 0, "bound a transaction's in-flight time (deployment mode; 0 uses the default)")
+	flag.BoolVar(&f.leases, "leases", false, "replace static mastership with epoch-fenced master leases and automatic failover")
+	flag.DurationVar(&f.leaseterm, "leaseterm", 0, "master lease term (0 uses the default; scaled by -scale in simulation mode)")
 	flag.Parse()
 	return f
 }
@@ -203,13 +208,6 @@ func attrLogger(db *planet.DB, every time.Duration, stop <-chan struct{}) {
 
 // runSimnet boots the whole cluster in-process over the simulated WAN.
 func runSimnet(f *flags) error {
-	// WAL on: crash/restart chaos faults recover replica state by replay.
-	c, err := cluster.New(cluster.Config{TimeScale: f.scale, WAL: true})
-	if err != nil {
-		return err
-	}
-	defer c.Close()
-
 	reg := obs.NewRegistry()
 	tracer := obs.NewTracer(obs.TracerConfig{
 		Capacity:      f.traceCap,
@@ -217,6 +215,22 @@ func runSimnet(f *flags) error {
 		LogAborted:    f.logaborted,
 		Logf:          log.Printf,
 	})
+
+	// WAL on: crash/restart chaos faults recover replica state by replay.
+	c, err := cluster.New(cluster.Config{
+		TimeScale:    f.scale,
+		WAL:          true,
+		MasterLeases: f.leases,
+		LeaseTerm:    f.leaseterm,
+		OnLeaseEvent: func(r simnet.Region, ev mdcc.LeaseEvent) {
+			recordLeaseEvent(reg, tracer, string(r), ev)
+		},
+	})
+	if err != nil {
+		return err
+	}
+	defer c.Close()
+
 	mode, _ := commitMode(f.mode)
 	db, err := planet.Open(planet.Config{
 		Cluster:         c,
@@ -356,8 +370,16 @@ func runRealnet(f *flags) error {
 		InboundDelay:  f.netdelay,
 		MasterRegion:  simnet.Region(f.master),
 		CommitTimeout: f.committo,
-		OnPeerState:   onPeerState,
-		Logf:          log.Printf,
+		MasterLeases:  f.leases,
+		LeaseTerm:     f.leaseterm,
+		OnLeaseEvent: func(ev mdcc.LeaseEvent) {
+			if ev.Kind != mdcc.LeaseRenewed {
+				log.Printf("planetd: lease %s: %s epoch %d holder %s", ev.Keyspace, ev.Kind, ev.Epoch, ev.Holder)
+			}
+			recordLeaseEvent(reg, tracer, f.region, ev)
+		},
+		OnPeerState: onPeerState,
+		Logf:        log.Printf,
 	})
 	if err != nil {
 		return err
@@ -493,6 +515,29 @@ func parsePeers(s string) (map[simnet.Region]string, error) {
 		return nil, fmt.Errorf("planetd: -peers needs at least 2 regions, got %d", len(out))
 	}
 	return out, nil
+}
+
+// recordLeaseEvent lands one lease transition in the metrics — the epoch
+// gauge per keyspace and the takeover counter — and, for everything but a
+// routine renewal, broadcasts a fault-style event into all in-flight traces:
+// a trace of a transaction stalled across a failover shows the lease moving.
+func recordLeaseEvent(reg *obs.Registry, tracer *obs.Tracer, observer string, ev mdcc.LeaseEvent) {
+	reg.Gauge("planet_lease_epoch",
+		"Latest lease epoch observed, per keyspace.",
+		obs.L("keyspace", string(ev.Keyspace))).Set(float64(ev.Epoch))
+	if ev.Kind == mdcc.LeaseTakeover {
+		reg.Counter("planet_lease_takeovers_total",
+			"Keyspace lease takeovers won from a dead or deposed master.",
+			obs.L("keyspace", string(ev.Keyspace))).Inc()
+	}
+	if ev.Kind == mdcc.LeaseRenewed {
+		return
+	}
+	tracer.Broadcast(obs.Event{
+		Kind:   obs.EvFault,
+		Region: observer,
+		Note:   fmt.Sprintf("lease %s: %s epoch %d holder %s", ev.Keyspace, ev.Kind, ev.Epoch, ev.Holder),
+	})
 }
 
 // registerRealnetMetrics exposes the transport's counters and peer health

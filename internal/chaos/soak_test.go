@@ -35,7 +35,7 @@ func TestChaosSoakInvariants(t *testing.T) {
 	for _, seed := range []int64{1, 7, 42} {
 		seed := seed
 		t.Run(fmt.Sprintf("seed=%d", seed), func(t *testing.T) {
-			runChaosSoak(t, seed, false)
+			runChaosSoak(t, seed, soakOpts{})
 		})
 	}
 }
@@ -47,12 +47,33 @@ func TestChaosSoakInvariantsPerOptionWire(t *testing.T) {
 	for _, seed := range []int64{1, 7, 42} {
 		seed := seed
 		t.Run(fmt.Sprintf("seed=%d", seed), func(t *testing.T) {
-			runChaosSoak(t, seed, true)
+			runChaosSoak(t, seed, soakOpts{perOptionWire: true})
 		})
 	}
 }
 
-func runChaosSoak(t *testing.T, seed int64, perOptionWire bool) {
+// TestChaosSoakLeaseFailover repeats the soak with epoch-fenced master
+// leases enabled and a short term, so the scheduled replica crash kills a
+// live lease holder mid-run: at least one survivor must take the dead
+// holder's keyspace over, and every safety invariant — conservation, no
+// dual decision within or across WALs, replay equality — must hold under
+// lease churn exactly as it does under static mastership.
+func TestChaosSoakLeaseFailover(t *testing.T) {
+	for _, seed := range []int64{7, 42} {
+		seed := seed
+		t.Run(fmt.Sprintf("seed=%d", seed), func(t *testing.T) {
+			runChaosSoak(t, seed, soakOpts{leases: true})
+		})
+	}
+}
+
+// soakOpts selects protocol variants for one soak run.
+type soakOpts struct {
+	perOptionWire bool // legacy one-message-per-option wire format
+	leases        bool // epoch-fenced master leases instead of static masters
+}
+
+func runChaosSoak(t *testing.T, seed int64, opts soakOpts) {
 	clients, perClient := 20, 20
 	span := 30 * time.Second // unscaled; 300ms real at TimeScale 0.01
 	if testing.Short() {
@@ -67,7 +88,12 @@ func runChaosSoak(t *testing.T, seed int64, perOptionWire bool) {
 		// Generous relative to the injected latency spikes, small enough
 		// that a blackout-stalled transaction resolves within the test.
 		CommitTimeout:     30 * time.Second,
-		PerOptionMessages: perOptionWire,
+		PerOptionMessages: opts.perOptionWire,
+		MasterLeases:      opts.leases,
+		// Short relative to the generated crash durations (1.5s--7.5s
+		// unscaled), so a crashed holder's lease lapses and fails over
+		// well inside the fault window.
+		LeaseTerm: time.Second,
 	})
 	if err != nil {
 		t.Fatal(err)
@@ -169,6 +195,9 @@ func runChaosSoak(t *testing.T, seed int64, perOptionWire bool) {
 	for _, r := range c.Regions() {
 		seen := make(map[txn.ID]bool)
 		err := c.WALOf(r).Replay(func(e mdcc.Entry) error {
+			if e.Lease != nil {
+				return nil // lease transition, not a decision
+			}
 			if seen[e.Txn] {
 				return fmt.Errorf("txn %s logged twice in %s's WAL", e.Txn, r)
 			}
@@ -208,6 +237,19 @@ func runChaosSoak(t *testing.T, seed int64, perOptionWire bool) {
 	for r := range crashed {
 		if c.Replica(r).Crashed() {
 			t.Errorf("%s: replica still crashed after scenario end", r)
+		}
+	}
+
+	// Under leases, the scheduled crash must have cost the victim at least
+	// one keyspace: some survivor claimed a lease away from a dead holder.
+	if opts.leases {
+		var takeovers uint64
+		for _, r := range c.Regions() {
+			takeovers += c.Replica(r).LeaseTakeoverCount()
+		}
+		t.Logf("lease takeovers: %d", takeovers)
+		if takeovers == 0 {
+			t.Error("no keyspace lease was taken over despite a replica crash longer than the term")
 		}
 	}
 }

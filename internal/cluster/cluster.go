@@ -34,6 +34,19 @@ type Config struct {
 	// MasterRegion, when non-empty, makes one region master for every
 	// key; otherwise masters are assigned by key hash across regions.
 	MasterRegion simnet.Region
+	// MasterLeases replaces the static master assignment with time-bounded,
+	// epoch-fenced leases: mastership of each keyspace is granted by a
+	// majority for LeaseTerm at a time, renewed by the holder, and taken
+	// over by a survivor when the holder dies and the lease lapses. The
+	// static assignment (MasterRegion, or the key-hash split) becomes the
+	// default holder of each keyspace.
+	MasterLeases bool
+	// LeaseTerm is the lease duration in unscaled WAN time (scaled like the
+	// other timeouts). Defaults to DefaultLeaseTerm.
+	LeaseTerm time.Duration
+	// OnLeaseEvent, when non-nil, observes lease transitions (acquired /
+	// renewed / takeover / deposed) as seen by each region's replica.
+	OnLeaseEvent func(simnet.Region, mdcc.LeaseEvent)
 	// PendingTTL evicts orphaned pending options (unscaled time).
 	// Defaults to DefaultPendingTTL; negative disables eviction.
 	PendingTTL time.Duration
@@ -61,6 +74,7 @@ const (
 	DefaultTimeScale     = 0.02
 	DefaultCommitTimeout = 5 * time.Second
 	DefaultPendingTTL    = 20 * time.Second
+	DefaultLeaseTerm     = 8 * time.Second
 )
 
 // Cluster is a fully wired deployment. Exactly one of Net (simulated WAN,
@@ -77,6 +91,9 @@ type Cluster struct {
 	timeout  time.Duration // effective (scaled) commit timeout
 	clk      vclock.Clock
 	ownedClk *vclock.Virtual // non-nil when the cluster created the clock
+
+	leaseMgrs []*leaseManager
+	leaseTerm time.Duration // effective (scaled) lease term, 0 without leases
 
 	// Node-mode recovery report (NewNode with a data dir).
 	walRecovered int
@@ -105,6 +122,9 @@ func New(cfg Config) (*Cluster, error) {
 		cfg.PendingTTL = DefaultPendingTTL
 	case cfg.PendingTTL < 0:
 		cfg.PendingTTL = 0
+	}
+	if cfg.LeaseTerm == 0 {
+		cfg.LeaseTerm = DefaultLeaseTerm
 	}
 
 	clk := cfg.Clock
@@ -167,6 +187,14 @@ func New(cfg Config) (*Cluster, error) {
 		ownedClk: owned,
 	}
 
+	var keyspaces []simnet.Region
+	var keyspaceOf func(string) simnet.Region
+	if cfg.MasterLeases {
+		c.leaseTerm = time.Duration(float64(cfg.LeaseTerm) * cfg.TimeScale)
+		keyspaces = keyspacesFor(cfg.MasterRegion, regionList)
+		keyspaceOf = keyspaceOfFunc(cfg.MasterRegion, regionList)
+	}
+
 	for i, r := range regionList {
 		var wal *mdcc.WAL
 		if cfg.WAL {
@@ -181,11 +209,26 @@ func New(cfg Config) (*Cluster, error) {
 			WAL:               wal,
 			PerOptionMessages: cfg.PerOptionMessages,
 		})
+		mfor := masterFor
+		if cfg.MasterLeases {
+			region := r
+			c.replicas[r].EnableLeases(mdcc.LeaseConfig{
+				Term:       c.leaseTerm,
+				Keyspaces:  keyspaces,
+				KeyspaceOf: keyspaceOf,
+				OnEvent: func(ev mdcc.LeaseEvent) {
+					if cfg.OnLeaseEvent != nil {
+						cfg.OnLeaseEvent(region, ev)
+					}
+				},
+			})
+			mfor = leaseMasterFor(c.replicas[r], keyspaceOf)
+		}
 		coord, err := mdcc.NewCoordinator(mdcc.CoordinatorConfig{
 			Net:               net,
 			Addr:              simnet.Addr{Region: r, Name: coordName},
 			Replicas:          replicaAddrs,
-			MasterFor:         masterFor,
+			MasterFor:         mfor,
 			CommitTimeout:     time.Duration(float64(cfg.CommitTimeout) * cfg.TimeScale),
 			PerOptionMessages: cfg.PerOptionMessages,
 		})
@@ -193,6 +236,13 @@ func New(cfg Config) (*Cluster, error) {
 			return nil, err
 		}
 		c.coords[r] = coord
+	}
+	if cfg.MasterLeases {
+		ranked := rankedRegions(regionList)
+		for _, r := range regionList {
+			c.leaseMgrs = append(c.leaseMgrs,
+				newLeaseManager(c.replicas[r], clk, c.leaseTerm, keyspaces, ranked, r))
+		}
 	}
 	return c, nil
 }
@@ -210,6 +260,10 @@ func (c *Cluster) CommitTimeout() time.Duration { return c.timeout }
 
 // Clock returns the cluster's time source.
 func (c *Cluster) Clock() vclock.Clock { return c.clk }
+
+// LeaseTerm returns the effective (already time-scaled) lease term, or zero
+// when master leases are disabled.
+func (c *Cluster) LeaseTerm() time.Duration { return c.leaseTerm }
 
 // Replica returns the region's replica, or nil for an unknown region.
 func (c *Cluster) Replica(r simnet.Region) *mdcc.Replica { return c.replicas[r] }
@@ -310,6 +364,9 @@ func (c *Cluster) UnscaleDuration(d time.Duration) time.Duration {
 // cluster owns one (in that order, so Quiesce calls racing Close observe
 // the closed network and return instead of parking on a dead clock).
 func (c *Cluster) Close() {
+	for _, m := range c.leaseMgrs {
+		m.Stop()
+	}
 	if c.Net != nil {
 		c.Net.Close()
 	}

@@ -5,6 +5,7 @@ import (
 	"os"
 	"path/filepath"
 	"sort"
+	"sync/atomic"
 	"time"
 
 	"planet/internal/mdcc"
@@ -41,6 +42,16 @@ type NodeConfig struct {
 	PendingTTL time.Duration
 	// MasterRegion, when non-empty, makes one region master for every key.
 	MasterRegion simnet.Region
+	// MasterLeases replaces the static master assignment with epoch-fenced
+	// leases (see Config.MasterLeases). Transport peer-down transitions poke
+	// the local lease manager so a dead master's keyspaces are reclaimed as
+	// soon as their leases lapse.
+	MasterLeases bool
+	// LeaseTerm is the lease duration in real time (node mode runs
+	// unscaled). Defaults to DefaultLeaseTerm.
+	LeaseTerm time.Duration
+	// OnLeaseEvent, when non-nil, observes local lease transitions.
+	OnLeaseEvent func(mdcc.LeaseEvent)
 	// InboundDelay artificially delays every delivery (tests widening
 	// protocol windows that loopback TCP makes vanishingly small).
 	InboundDelay time.Duration
@@ -77,6 +88,9 @@ func NewNode(cfg NodeConfig) (*Cluster, error) {
 	case cfg.PendingTTL < 0:
 		cfg.PendingTTL = 0
 	}
+	if cfg.LeaseTerm == 0 {
+		cfg.LeaseTerm = DefaultLeaseTerm
+	}
 
 	// The region list — and with it FastQuorum, ClassicQuorum, and
 	// MasterFor — must be identical on every node: derive it from the
@@ -102,12 +116,28 @@ func NewNode(cfg NodeConfig) (*Cluster, error) {
 	if listen == "" {
 		listen = cfg.Peers[cfg.Region]
 	}
+	// The lease manager is built after the transport (it needs the replica,
+	// which needs the transport), but transport health callbacks can fire as
+	// soon as New returns — hence the atomic indirection.
+	var leaseMgr atomic.Pointer[leaseManager]
+	onPeerState := cfg.OnPeerState
+	if cfg.MasterLeases {
+		user := cfg.OnPeerState
+		onPeerState = func(region simnet.Region, st realnet.PeerState) {
+			if m := leaseMgr.Load(); m != nil {
+				m.PeerState(region, st)
+			}
+			if user != nil {
+				user(region, st)
+			}
+		}
+	}
 	rn, err := realnet.New(realnet.Config{
 		Listen:       listen,
 		Peers:        remote,
 		Codec:        mdcc.WireCodec{},
 		InboundDelay: cfg.InboundDelay,
-		OnPeerState:  cfg.OnPeerState,
+		OnPeerState:  onPeerState,
 		Logf:         cfg.Logf,
 	})
 	if err != nil {
@@ -161,6 +191,17 @@ func NewNode(cfg NodeConfig) (*Cluster, error) {
 		PendingTTL: cfg.PendingTTL,
 		WAL:        wal,
 	})
+	if cfg.MasterLeases {
+		c.leaseTerm = cfg.LeaseTerm
+		keyspaceOf := keyspaceOfFunc(cfg.MasterRegion, regionList)
+		c.replicas[cfg.Region].EnableLeases(mdcc.LeaseConfig{
+			Term:       cfg.LeaseTerm,
+			Keyspaces:  keyspacesFor(cfg.MasterRegion, regionList),
+			KeyspaceOf: keyspaceOf,
+			OnEvent:    cfg.OnLeaseEvent,
+		})
+		masterFor = leaseMasterFor(c.replicas[cfg.Region], keyspaceOf)
+	}
 	coord, err := mdcc.NewCoordinator(mdcc.CoordinatorConfig{
 		Net:           rn,
 		Addr:          simnet.Addr{Region: cfg.Region, Name: coordName},
@@ -174,6 +215,12 @@ func NewNode(cfg NodeConfig) (*Cluster, error) {
 		return nil, err
 	}
 	c.coords[cfg.Region] = coord
+	if cfg.MasterLeases {
+		m := newLeaseManager(c.replicas[cfg.Region], rn.Clock(), cfg.LeaseTerm,
+			keyspacesFor(cfg.MasterRegion, regionList), rankedRegions(regionList), cfg.Region)
+		leaseMgr.Store(m)
+		c.leaseMgrs = append(c.leaseMgrs, m)
+	}
 	return c, nil
 }
 

@@ -339,6 +339,20 @@ func (c *Client) NetListener(drop bool) error {
 	return decode(resp, nil)
 }
 
+// NetLease fetches the gateway node's view of every keyspace lease (realnet
+// deployments with -leases; Enabled is false otherwise).
+func (c *Client) NetLease() (NetLeaseResponse, error) {
+	resp, err := c.httpc().Get(c.Base + "/v1/net/lease")
+	if err != nil {
+		return NetLeaseResponse{}, fmt.Errorf("httpapi: net lease: %w", err)
+	}
+	var out NetLeaseResponse
+	if err := decode(resp, &out); err != nil {
+		return NetLeaseResponse{}, err
+	}
+	return out, nil
+}
+
 // NetDecisions fetches every transaction verdict the gateway node's replica
 // retains (the multi-process agreement audit).
 func (c *Client) NetDecisions() (map[string]bool, error) {

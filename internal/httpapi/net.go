@@ -10,6 +10,7 @@ package httpapi
 //	POST /v1/net/cut        {"region":R,"cut":true|false}  sever/heal a link
 //	POST /v1/net/listener   {"drop":true|false}  stop/resume accepting peers
 //	GET  /v1/net/decisions  every retained txn verdict at the local replica
+//	GET  /v1/net/lease      this replica's view of every keyspace lease
 //
 // Without EnableRealNet every /v1/net/* request returns 404.
 
@@ -53,6 +54,15 @@ type NetListenerRequest struct {
 // committed, for every decision the local replica retains.
 type NetDecisionsResponse struct {
 	Decisions map[string]bool `json:"decisions"`
+}
+
+// NetLeaseResponse is the GET /v1/net/lease body: the local replica's view
+// of every keyspace lease, plus how many takeovers it has won. Enabled is
+// false (and Leases empty) when the deployment runs static mastership.
+type NetLeaseResponse struct {
+	Enabled   bool             `json:"enabled"`
+	Leases    []mdcc.LeaseInfo `json:"leases,omitempty"`
+	Takeovers uint64           `json:"takeovers"`
 }
 
 // EnableRealNet attaches the deployment transport (and the local replica,
@@ -126,6 +136,16 @@ func (s *Server) handleNet(w http.ResponseWriter, r *http.Request) {
 			return
 		}
 		writeJSON(w, http.StatusOK, map[string]bool{"ok": true})
+	case "lease":
+		if r.Method != http.MethodGet {
+			writeErr(w, http.StatusMethodNotAllowed, "use GET")
+			return
+		}
+		writeJSON(w, http.StatusOK, NetLeaseResponse{
+			Enabled:   na.replica.LeasesEnabled(),
+			Leases:    na.replica.LeaseTable(),
+			Takeovers: na.replica.LeaseTakeoverCount(),
+		})
 	case "decisions":
 		if r.Method != http.MethodGet {
 			writeErr(w, http.StatusMethodNotAllowed, "use GET")

@@ -56,7 +56,15 @@ type optState struct {
 	accepts int
 	rejects int
 	reason  RejectReason
+	// retries counts master re-resolutions after ReasonNotMaster bounces
+	// (leased mastership: the lease moved and routing lagged).
+	retries uint8
 }
+
+// maxMasterRetries bounds how many times one option chases a moving master
+// lease before its rejection sticks. The commit timeout bounds the total
+// time either way.
+const maxMasterRetries = 3
 
 // commitState is a transaction in flight at the coordinator.
 type commitState struct {
@@ -119,6 +127,9 @@ type Coordinator struct {
 	// path because the fast quorum was unreachable (see
 	// CoordinatorConfig.Unreachable).
 	DegradedSubmits uint64
+	// MasterRedirects counts classic proposals re-sent after a
+	// ReasonNotMaster bounce (the master lease moved under the router).
+	MasterRedirects uint64
 }
 
 // SetObserver installs o (nil clears). Typically wired once at startup.
@@ -483,10 +494,19 @@ func (c *Coordinator) onClassicResultBatch(b classicResultBatchMsg) {
 }
 
 // applyClassicResultLocked folds one master verdict into the commit state.
-// Caller holds c.mu.
+// A ReasonNotMaster bounce — the routed-to replica does not hold the key's
+// master lease — re-resolves the master through MasterFor (which consults
+// the freshest lease view) and retries, a bounded number of times. Caller
+// holds c.mu.
 func (c *Coordinator) applyClassicResultLocked(s *commitState, key string, accepted bool, reason RejectReason) {
 	st := s.opt(key)
 	if st == nil || st.status != optClassic {
+		return
+	}
+	if !accepted && reason == ReasonNotMaster && st.retries < maxMasterRetries {
+		st.retries++
+		c.MasterRedirects++
+		c.sendClassic(s.id, s.span, []txn.Op{st.op})
 		return
 	}
 	c.learnLocked(s, st, accepted, reason)
@@ -619,7 +639,7 @@ func reasonErr(r RejectReason) error {
 	switch r {
 	case ReasonBound:
 		return ErrBound
-	case ReasonVersion, ReasonPending, ReasonClassicOwned, ReasonDecided:
+	case ReasonVersion, ReasonPending, ReasonClassicOwned, ReasonDecided, ReasonNotMaster:
 		return ErrConflict
 	case ReasonBallot:
 		return ErrAmbiguous

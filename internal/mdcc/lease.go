@@ -1,0 +1,580 @@
+package mdcc
+
+import (
+	"math/bits"
+	"sort"
+	"time"
+
+	"planet/internal/simnet"
+)
+
+// Master leases.
+//
+// Static mastership makes the per-record master a single point of write
+// unavailability: a dead master leaves its keys unwritable until the process
+// returns. Leases fix that. The key space is partitioned into keyspaces —
+// one per default master region — and each keyspace has a lease record
+// replicated at every replica: (epoch, holder, expiry). A replica masters a
+// keyspace's keys only while it holds the keyspace's lease, and every
+// master-arbitrated message it sends carries the lease epoch, so acceptors
+// fence out messages from deposed masters (stale epoch < granted epoch).
+//
+// Lease grant, renewal, and takeover run as a single classic-Paxos-style
+// round over the lease record, with the epoch playing the ballot: an
+// acceptor grants each epoch to at most one holder, and grants a *new*
+// epoch only when the current lease has lapsed on its own clock (or to the
+// current holder itself), so a majority of grants proves that exactly one
+// master exists per epoch — even across partitions, where at most one side
+// has the majority. Renewal repeats the round at the held epoch, extending
+// expiry. Takeover claims epoch+1 after the incumbent's lease expires
+// unrenewed.
+//
+// Fencing is belt and braces: besides the explicit epoch check, a leased
+// master folds its epoch into the high bits of its per-key Paxos ballots
+// (see leaseBallot), so a new master's ballots dominate a deposed one's
+// even where the epoch field is absent.
+//
+// Epoch and holder changes are WAL-persisted, so a restarted master replays
+// the last epoch it held — its messages then carry that stale epoch and are
+// fenced — and learns it was deposed the moment any peer reports a higher
+// epoch.
+
+// leaseBallotShift positions the lease epoch in the high bits of classic
+// ballots, so any ballot issued under epoch E+1 dominates every ballot
+// issued under epoch E regardless of per-key sequence numbers.
+const leaseBallotShift = 32
+
+// LeaseConfig enables epoch-fenced master leases on a replica.
+type LeaseConfig struct {
+	// Term is how long one grant is valid (already time-scaled). The
+	// holder renews well inside the term; takeover waits the term out.
+	Term time.Duration
+	// Keyspaces lists every keyspace of the deployment, named after its
+	// default master region (one entry per region under hash mastership, a
+	// single entry under a static master region). Sorted order is the
+	// takeover-stagger rank order.
+	Keyspaces []simnet.Region
+	// KeyspaceOf maps a key to its keyspace. Required.
+	KeyspaceOf func(key string) simnet.Region
+	// OnEvent, when non-nil, observes lease transitions (acquire, renew,
+	// takeover, deposal). Called without locks held; must not call back
+	// into the replica synchronously from a way that re-enters locks it
+	// holds, and should be fast.
+	OnEvent func(LeaseEvent)
+}
+
+// LeaseEventKind enumerates lease transitions.
+type LeaseEventKind uint8
+
+const (
+	// LeaseAcquired: a fresh lease was won for a keyspace with no prior
+	// holder.
+	LeaseAcquired LeaseEventKind = iota
+	// LeaseRenewed: the holder extended its current epoch.
+	LeaseRenewed
+	// LeaseTakeover: this replica claimed a keyspace away from another
+	// (dead or partitioned) holder at a higher epoch.
+	LeaseTakeover
+	// LeaseDeposed: this replica learned a higher epoch is held elsewhere;
+	// its own lease is fenced from now on.
+	LeaseDeposed
+)
+
+// String implements fmt.Stringer.
+func (k LeaseEventKind) String() string {
+	switch k {
+	case LeaseAcquired:
+		return "acquired"
+	case LeaseRenewed:
+		return "renewed"
+	case LeaseTakeover:
+		return "takeover"
+	case LeaseDeposed:
+		return "deposed"
+	default:
+		return "lease-event"
+	}
+}
+
+// LeaseEvent is one lease transition observed at a replica.
+type LeaseEvent struct {
+	Kind     LeaseEventKind
+	Keyspace simnet.Region
+	Epoch    uint64
+	// Holder is the lease holder after the transition.
+	Holder simnet.Region
+	// Prev is the holder before the transition ("" if none).
+	Prev simnet.Region
+}
+
+// LeaseInfo is one keyspace's lease as seen by a replica (the admin
+// surface's row format).
+type LeaseInfo struct {
+	Keyspace string    `json:"keyspace"`
+	Epoch    uint64    `json:"epoch"`
+	Holder   string    `json:"holder"`
+	Expiry   time.Time `json:"expiry"`
+	// Held reports whether this replica holds the lease (unexpired, at the
+	// granted epoch).
+	Held bool `json:"held"`
+	// HeldEpoch is the last epoch this replica held, even if it has since
+	// expired or been deposed (what a restarted master replays from its
+	// WAL).
+	HeldEpoch uint64 `json:"held_epoch,omitempty"`
+}
+
+// leaseState is a replica's state for one keyspace's lease: the
+// acceptor-side granted view, the holder-side held lease, and any round in
+// flight.
+type leaseState struct {
+	// Granted view (acceptor role): the highest epoch this replica has
+	// granted, to whom, and until when on this replica's clock.
+	epoch  uint64
+	holder simnet.Region
+	expiry time.Time
+
+	// Held lease (holder role): the last epoch this replica won a majority
+	// for and its validity. heldEpoch survives deposal — a deposed master
+	// keeps stamping it so peers can fence its straggler messages.
+	heldEpoch  uint64
+	heldExpiry time.Time
+
+	// deposedAt dedups deposal events: the highest foreign epoch already
+	// reported to the observer.
+	deposedAt uint64
+
+	round *leaseRound
+}
+
+// leaseRound is one in-flight grant/renew/takeover round.
+type leaseRound struct {
+	epoch   uint64
+	expiry  time.Time
+	grants  uint64 // bitmask over peer indices (see regionBit)
+	nacks   uint64 // acceptors that rejected this round's epoch
+	done    bool
+	started time.Time
+	// prevEpoch/prevHolder snapshot the granted view before the round's
+	// self-grant, for classifying the win (acquire vs renew vs takeover).
+	prevEpoch  uint64
+	prevHolder simnet.Region
+	// best* track the highest current view reported by a rejecting
+	// acceptor. When enough nacks make a majority impossible, the round
+	// fails and the proposer rolls its provisional self-grant back to this
+	// view — so a restarted deposed master converges on the live holder
+	// instead of proposing ever-higher epochs against an unexpired lease.
+	bestEpoch  uint64
+	bestHolder simnet.Region
+	bestExpiry time.Time
+}
+
+// leaseRequestMsg asks every replica to grant (or extend) a keyspace lease.
+type leaseRequestMsg struct {
+	Keyspace        simnet.Region
+	Epoch           uint64
+	Holder          simnet.Region
+	ExpiresUnixNano int64
+	From            simnet.Addr
+}
+
+// leaseGrantMsg is an acceptor's reply: whether it granted the requested
+// epoch, plus its current granted view so rejected requesters adopt the
+// real holder (and learn they were deposed).
+type leaseGrantMsg struct {
+	Keyspace           simnet.Region
+	Epoch              uint64
+	OK                 bool
+	CurEpoch           uint64
+	CurHolder          simnet.Region
+	CurExpiresUnixNano int64
+	Region             simnet.Region
+}
+
+// EnableLeases switches the replica to leased mastership. Wire it once at
+// startup, before traffic; the lease manager (internal/cluster) then drives
+// acquisition and renewal.
+func (r *Replica) EnableLeases(cfg LeaseConfig) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	c := cfg
+	r.leaseCfg = &c
+	if r.leases == nil {
+		r.leases = make(map[simnet.Region]*leaseState, len(cfg.Keyspaces))
+	}
+}
+
+// LeasesEnabled reports whether leased mastership is on.
+func (r *Replica) LeasesEnabled() bool {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.leaseCfg != nil
+}
+
+// leaseFor returns (creating if needed) the lease state for keyspace ks.
+// Caller holds r.mu.
+func (r *Replica) leaseFor(ks simnet.Region) *leaseState {
+	ls := r.leases[ks]
+	if ls == nil {
+		ls = &leaseState{}
+		r.leases[ks] = ls
+	}
+	return ls
+}
+
+// holdsLeaseLocked reports whether this replica currently masters keyspace
+// ks: it won the most recent epoch it knows of and the grant is unexpired.
+// Caller holds r.mu.
+func (r *Replica) holdsLeaseLocked(ks simnet.Region, now time.Time) bool {
+	ls := r.leases[ks]
+	return ls != nil && ls.heldEpoch != 0 && ls.heldEpoch >= ls.epoch && now.Before(ls.heldExpiry)
+}
+
+// leaseEpochLocked returns the epoch this replica stamps on master-
+// arbitrated messages for key: the last epoch it held for the key's
+// keyspace (stale after deposal — deliberately, so peers fence it), or 0
+// when leases are off. Caller holds r.mu.
+func (r *Replica) leaseEpochLocked(key string) uint64 {
+	if r.leaseCfg == nil {
+		return 0
+	}
+	ls := r.leases[r.leaseCfg.KeyspaceOf(key)]
+	if ls == nil {
+		return 0
+	}
+	return ls.heldEpoch
+}
+
+// leaseFencedLocked reports whether a master-arbitrated message stamped
+// with epoch must be rejected: the sender's lease epoch is older than the
+// one this acceptor has granted for the key's keyspace. Unstamped messages
+// (epoch 0: leases off, or a pre-lease sender) pass. Caller holds r.mu.
+func (r *Replica) leaseFencedLocked(key string, epoch uint64) bool {
+	if epoch == 0 || r.leaseCfg == nil {
+		return false
+	}
+	ls := r.leases[r.leaseCfg.KeyspaceOf(key)]
+	return ls != nil && epoch < ls.epoch
+}
+
+// grantLocked is the acceptor rule: grant each epoch to at most one holder,
+// and a new epoch only when the current lease has lapsed on this replica's
+// clock or the requester already holds it. An equal-epoch request from the
+// current holder is a renewal and extends expiry. Returns whether the
+// request was granted; epoch/holder changes are WAL-persisted. Caller holds
+// r.mu.
+func (r *Replica) grantLocked(ls *leaseState, m leaseRequestMsg, now time.Time) bool {
+	switch {
+	case m.Epoch == 0 || m.Epoch < ls.epoch:
+		return false
+	case m.Epoch == ls.epoch:
+		if ls.holder != m.Holder {
+			return false
+		}
+		ls.expiry = time.Unix(0, m.ExpiresUnixNano)
+		return true
+	default:
+		if ls.epoch != 0 && ls.holder != m.Holder && now.Before(ls.expiry) {
+			return false
+		}
+		ls.epoch, ls.holder = m.Epoch, m.Holder
+		ls.expiry = time.Unix(0, m.ExpiresUnixNano)
+		r.walLeaseLocked(m.Keyspace, ls.epoch, ls.holder, false, now)
+		return true
+	}
+}
+
+// walLeaseLocked persists a lease transition so a restarted replica knows
+// the last epoch it granted — and, for held=true, the last epoch it held.
+// Caller holds r.mu.
+func (r *Replica) walLeaseLocked(ks simnet.Region, epoch uint64, holder simnet.Region, held bool, now time.Time) {
+	if r.cfg.WAL == nil {
+		return
+	}
+	r.cfg.WAL.Append(Entry{At: now, Lease: &LeaseRecord{
+		Keyspace: string(ks), Epoch: epoch, Holder: string(holder), Held: held,
+	}})
+}
+
+// applyLeaseEntryLocked rebuilds lease state from one replayed WAL entry.
+// Replayed leases come back *expired* (zero expiry): clocks are not
+// trustworthy across a restart, so the replica re-acquires before
+// mastering, and a deposed master discovers the higher epoch the moment it
+// tries. Caller holds r.mu.
+func (r *Replica) applyLeaseEntryLocked(l *LeaseRecord) {
+	if r.leases == nil {
+		r.leases = make(map[simnet.Region]*leaseState)
+	}
+	ls := r.leaseFor(simnet.Region(l.Keyspace))
+	if l.Epoch >= ls.epoch {
+		ls.epoch, ls.holder = l.Epoch, simnet.Region(l.Holder)
+		ls.expiry = time.Time{}
+	}
+	if l.Held && l.Epoch >= ls.heldEpoch {
+		ls.heldEpoch = l.Epoch
+		ls.heldExpiry = time.Time{}
+	}
+}
+
+// AcquireLease starts a lease round for keyspace ks: a renewal at the held
+// epoch while the lease is live, otherwise a claim of the next epoch
+// (bootstrap or takeover). No-op while a fresh round is already in flight.
+// The round completes asynchronously when a majority grants.
+func (r *Replica) AcquireLease(ks simnet.Region) {
+	r.mu.Lock()
+	if r.leaseCfg == nil || r.crashed {
+		r.mu.Unlock()
+		return
+	}
+	now := r.clk.Now()
+	ls := r.leaseFor(ks)
+	if ls.round != nil && !ls.round.done && now.Sub(ls.round.started) < r.leaseCfg.Term {
+		r.mu.Unlock()
+		return
+	}
+	next := ls.epoch + 1
+	if ls.heldEpoch >= next {
+		next = ls.heldEpoch + 1
+	}
+	if r.holdsLeaseLocked(ks, now) {
+		next = ls.heldEpoch // renewal
+	}
+	round := &leaseRound{
+		epoch: next, expiry: now.Add(r.leaseCfg.Term), started: now,
+		prevEpoch: ls.epoch, prevHolder: ls.holder,
+	}
+	ls.round = round
+	req := leaseRequestMsg{Keyspace: ks, Epoch: next, Holder: r.Region(),
+		ExpiresUnixNano: round.expiry.UnixNano(), From: r.cfg.Addr}
+	// Self-grant synchronously; peers answer over the wire. Our own
+	// acceptor can refuse (an unexpired lease granted elsewhere) — that
+	// counts as a nack like any other.
+	bit, _ := r.regionBit(r.Region())
+	if r.grantLocked(ls, req, now) {
+		round.grants |= bit
+	} else {
+		round.nacks |= bit
+		round.bestEpoch, round.bestHolder, round.bestExpiry = ls.epoch, ls.holder, ls.expiry
+	}
+	var out []envelope
+	for _, peer := range r.cfg.Peers {
+		if peer == r.cfg.Addr {
+			continue
+		}
+		out = append(out, envelope{peer, req})
+	}
+	var evs []LeaseEvent
+	evs, out = r.checkLeaseQuorumLocked(ks, ls, out, now)
+	r.mu.Unlock()
+	r.flush(out)
+	r.fireLeaseEvents(evs)
+}
+
+// onLeaseRequest is the acceptor side of a lease round.
+func (r *Replica) onLeaseRequest(m leaseRequestMsg) {
+	r.mu.Lock()
+	if r.leaseCfg == nil {
+		r.mu.Unlock()
+		return
+	}
+	now := r.clk.Now()
+	ls := r.leaseFor(m.Keyspace)
+	evs := r.adoptDeposalLocked(ls, m.Keyspace)
+	ok := r.grantLocked(ls, m, now)
+	if ok {
+		evs = append(evs, r.adoptDeposalLocked(ls, m.Keyspace)...)
+	}
+	resp := leaseGrantMsg{Keyspace: m.Keyspace, Epoch: m.Epoch, OK: ok,
+		CurEpoch: ls.epoch, CurHolder: ls.holder,
+		CurExpiresUnixNano: ls.expiry.UnixNano(), Region: r.Region()}
+	r.mu.Unlock()
+	r.send(m.From, resp)
+	r.fireLeaseEvents(evs)
+}
+
+// onLeaseGrant is the requester side of grant collection. Every reply also
+// carries the acceptor's granted view; a higher epoch there is adopted, so
+// routing converges on the real holder and a deposed master finds out.
+func (r *Replica) onLeaseGrant(m leaseGrantMsg) {
+	r.mu.Lock()
+	if r.leaseCfg == nil {
+		r.mu.Unlock()
+		return
+	}
+	now := r.clk.Now()
+	ls := r.leaseFor(m.Keyspace)
+	var evs []LeaseEvent
+	if m.CurEpoch > ls.epoch {
+		ls.epoch, ls.holder = m.CurEpoch, m.CurHolder
+		ls.expiry = time.Unix(0, m.CurExpiresUnixNano)
+		r.walLeaseLocked(m.Keyspace, ls.epoch, ls.holder, false, now)
+		evs = r.adoptDeposalLocked(ls, m.Keyspace)
+	}
+	var out []envelope
+	round := ls.round
+	if round != nil && !round.done && m.Epoch == round.epoch {
+		if m.OK {
+			if bit, known := r.regionBit(m.Region); known {
+				round.grants |= bit
+			}
+			evs2, out2 := r.checkLeaseQuorumLocked(m.Keyspace, ls, nil, now)
+			evs = append(evs, evs2...)
+			out = out2
+		} else {
+			if bit, known := r.regionBit(m.Region); known {
+				round.nacks |= bit
+			}
+			if m.CurEpoch > round.bestEpoch {
+				round.bestEpoch, round.bestHolder = m.CurEpoch, m.CurHolder
+				round.bestExpiry = time.Unix(0, m.CurExpiresUnixNano)
+			}
+			evs = append(evs, r.failLeaseRoundLocked(m.Keyspace, ls)...)
+		}
+	}
+	r.mu.Unlock()
+	r.flush(out)
+	r.fireLeaseEvents(evs)
+}
+
+// failLeaseRoundLocked closes a round once enough acceptors have rejected
+// it that a majority of grants is impossible, rolling the proposer's
+// provisional self-grant back to the highest view the rejectors reported.
+// The rollback only lowers a promise this replica made to itself for a
+// round that can no longer win — it never claims the failed epoch, and a
+// future round proposes above both views — so grant-at-most-one-holder
+// still holds per epoch. Caller holds r.mu.
+func (r *Replica) failLeaseRoundLocked(ks simnet.Region, ls *leaseState) []LeaseEvent {
+	round := ls.round
+	if round == nil || round.done {
+		return nil
+	}
+	n := len(r.cfg.Peers)
+	if n-bits.OnesCount64(round.nacks) >= ClassicQuorum(n) {
+		return nil // a majority is still possible
+	}
+	round.done = true
+	ls.round = nil
+	if round.bestEpoch != 0 && ls.epoch == round.epoch && ls.holder == r.Region() && round.bestEpoch < ls.epoch {
+		ls.epoch, ls.holder, ls.expiry = round.bestEpoch, round.bestHolder, round.bestExpiry
+		return r.adoptDeposalLocked(ls, ks)
+	}
+	return nil
+}
+
+// adoptDeposalLocked emits a deposal event when the granted view moved past
+// an epoch this replica held. The held epoch is kept — a deposed master
+// must keep stamping it so peers can fence its stragglers. Caller holds
+// r.mu.
+func (r *Replica) adoptDeposalLocked(ls *leaseState, ks simnet.Region) []LeaseEvent {
+	if ls.heldEpoch == 0 || ls.epoch <= ls.heldEpoch || ls.holder == r.Region() || ls.deposedAt == ls.epoch {
+		return nil
+	}
+	ls.deposedAt = ls.epoch
+	return []LeaseEvent{{Kind: LeaseDeposed, Keyspace: ks, Epoch: ls.epoch,
+		Holder: ls.holder, Prev: r.Region()}}
+}
+
+// checkLeaseQuorumLocked resolves an in-flight round once a majority has
+// granted: the replica now holds the lease until the round's expiry. The
+// win is classified for observers (acquire, renew, takeover) and held
+// transitions are WAL-persisted. Caller holds r.mu.
+func (r *Replica) checkLeaseQuorumLocked(ks simnet.Region, ls *leaseState, out []envelope, now time.Time) ([]LeaseEvent, []envelope) {
+	round := ls.round
+	if round == nil || round.done || bits.OnesCount64(round.grants) < ClassicQuorum(len(r.cfg.Peers)) {
+		return nil, out
+	}
+	round.done = true
+	ls.round = nil
+
+	renewal := round.epoch == ls.heldEpoch
+	ls.heldEpoch = round.epoch
+	ls.heldExpiry = round.expiry
+
+	ev := LeaseEvent{Keyspace: ks, Epoch: round.epoch, Holder: r.Region(), Prev: round.prevHolder}
+	switch {
+	case renewal:
+		ev.Kind = LeaseRenewed
+	case round.prevEpoch == 0 || round.prevHolder == r.Region() || round.prevHolder == "":
+		ev.Kind = LeaseAcquired
+		r.walLeaseLocked(ks, round.epoch, r.Region(), true, now)
+	default:
+		ev.Kind = LeaseTakeover
+		r.LeaseTakeovers++
+		r.walLeaseLocked(ks, round.epoch, r.Region(), true, now)
+	}
+	return []LeaseEvent{ev}, out
+}
+
+// fireLeaseEvents delivers staged lease events to the configured observer
+// (outside r.mu).
+func (r *Replica) fireLeaseEvents(evs []LeaseEvent) {
+	if len(evs) == 0 {
+		return
+	}
+	r.mu.Lock()
+	cfg := r.leaseCfg
+	r.mu.Unlock()
+	if cfg == nil || cfg.OnEvent == nil {
+		return
+	}
+	for _, ev := range evs {
+		cfg.OnEvent(ev)
+	}
+}
+
+// HoldsLease reports whether this replica currently masters keyspace ks.
+func (r *Replica) HoldsLease(ks simnet.Region) bool {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.holdsLeaseLocked(ks, r.clk.Now())
+}
+
+// LeaseView returns this replica's granted view of keyspace ks: the
+// current holder, epoch, and expiry (zero values when no lease was ever
+// granted).
+func (r *Replica) LeaseView(ks simnet.Region) (holder simnet.Region, epoch uint64, expiry time.Time) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	ls := r.leases[ks]
+	if ls == nil {
+		return "", 0, time.Time{}
+	}
+	return ls.holder, ls.epoch, ls.expiry
+}
+
+// LeaseHolder returns the region this replica believes holds keyspace ks's
+// lease. ok is false when no lease has ever been granted (callers fall back
+// to the default assignment).
+func (r *Replica) LeaseHolder(ks simnet.Region) (simnet.Region, bool) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	ls := r.leases[ks]
+	if ls == nil || ls.epoch == 0 {
+		return "", false
+	}
+	return ls.holder, true
+}
+
+// LeaseTakeoverCount reports how many keyspace leases this replica has
+// taken over from another holder (the planet_lease_takeovers_total feed).
+func (r *Replica) LeaseTakeoverCount() uint64 {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.LeaseTakeovers
+}
+
+// LeaseTable snapshots every keyspace lease this replica knows of, sorted
+// by keyspace (the /v1/net/lease admin surface).
+func (r *Replica) LeaseTable() []LeaseInfo {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	now := r.clk.Now()
+	out := make([]LeaseInfo, 0, len(r.leases))
+	for ks, ls := range r.leases {
+		out = append(out, LeaseInfo{
+			Keyspace: string(ks), Epoch: ls.epoch, Holder: string(ls.holder),
+			Expiry: ls.expiry, Held: r.holdsLeaseLocked(ks, now), HeldEpoch: ls.heldEpoch,
+		})
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Keyspace < out[j].Keyspace })
+	return out
+}

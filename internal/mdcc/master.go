@@ -137,6 +137,16 @@ func (r *Replica) classicProposeLocked(p classicProposeMsg) []envelope {
 		return []envelope{{p.Coord, classicResultMsg{Txn: p.Txn, Key: p.Option.Key,
 			Accepted: committed, Reason: ReasonDecided, TC: r.resultTC(p.TC.Span)}}}
 	}
+	if r.leaseCfg != nil {
+		// Leased mastership: only the current lease holder may sequence.
+		// Anyone else — including a deposed master that hasn't noticed yet —
+		// bounces the proposal so the coordinator re-resolves the master.
+		ksp := r.leaseCfg.KeyspaceOf(p.Option.Key)
+		if !r.holdsLeaseLocked(ksp, r.clk.Now()) {
+			return []envelope{{p.Coord, classicResultMsg{Txn: p.Txn, Key: p.Option.Key,
+				Accepted: false, Reason: ReasonNotMaster, TC: r.resultTC(p.TC.Span)}}}
+		}
+	}
 	ks := r.masterFor(p.Option.Key)
 	r.ClassicRuns++
 	if ks.leased {
@@ -218,13 +228,16 @@ func (r *Replica) sendCoalesced(to simnet.Addr, payloads []any) {
 				Results: []optionResult{{m.Key, m.Accepted, m.Reason}}})
 		case phase2aMsg:
 			if i := len(merged) - 1; i >= 0 {
-				if b, ok := merged[i].(phase2aBatchMsg); ok {
+				// Same-epoch proposals only: a master can hold different
+				// keyspace leases at different epochs, and the batch carries
+				// one epoch for all its items.
+				if b, ok := merged[i].(phase2aBatchMsg); ok && b.Epoch == m.Epoch {
 					b.Items = append(b.Items, phase2aItem{m.Txn, m.Key, m.Ballot, m.Option})
 					merged[i] = b
 					continue
 				}
 			}
-			merged = append(merged, phase2aBatchMsg{Master: m.Master,
+			merged = append(merged, phase2aBatchMsg{Master: m.Master, Epoch: m.Epoch,
 				Items: []phase2aItem{{m.Txn, m.Key, m.Ballot, m.Option}}})
 		default:
 			merged = append(merged, p)
@@ -241,6 +254,15 @@ func (r *Replica) sendCoalesced(to simnet.Addr, payloads []any) {
 // promises to itself synchronously and broadcasts phase 1a to its peers.
 // Caller holds r.mu; returns messages to send after unlock.
 func (r *Replica) startPhase1Locked(key string, ks *masterKey) []envelope {
+	epoch := r.leaseEpochLocked(key)
+	if epoch != 0 {
+		// Fold the lease epoch into the ballot's high bits: a new master's
+		// ballots dominate every ballot a deposed one ever issued, so its
+		// phase 1 wins against acceptors that promised the old master.
+		if floor := epoch << leaseBallotShift; ks.ballot < floor {
+			ks.ballot = floor
+		}
+	}
 	ks.ballot++
 	selfBit, _ := r.regionBit(r.Region())
 	run := &phase1Run{
@@ -264,7 +286,7 @@ func (r *Replica) startPhase1Locked(key string, ks *masterKey) []envelope {
 		if peer == r.cfg.Addr {
 			continue
 		}
-		out = append(out, envelope{peer, phase1aMsg{Key: key, Ballot: ks.ballot, Master: r.cfg.Addr}})
+		out = append(out, envelope{peer, phase1aMsg{Key: key, Ballot: ks.ballot, Master: r.cfg.Addr, Epoch: epoch}})
 	}
 	// Degenerate single-replica cluster: quorum is already met.
 	if bits.OnesCount64(run.oks) >= ClassicQuorum(len(r.cfg.Peers)) {
@@ -278,6 +300,12 @@ func (r *Replica) onPhase1a(m phase1aMsg) {
 	r.mu.Lock()
 	rc := r.rec(m.Key)
 	ok := m.Ballot >= rc.promised
+	if r.leaseFencedLocked(m.Key, m.Epoch) {
+		// The sender's lease epoch is older than the one this acceptor
+		// granted: a deposed master. Fence it regardless of ballot.
+		ok = false
+		r.LeaseFenced++
+	}
 	if ok {
 		rc.promised = m.Ballot
 	}
@@ -411,13 +439,14 @@ func (r *Replica) proposeAtMasterLocked(ks *masterKey, key string, id txn.ID, op
 	}
 	ks.inflight[id] = mo
 
+	epoch := r.leaseEpochLocked(key)
 	var out []envelope
 	for _, peer := range r.cfg.Peers {
 		if peer == r.cfg.Addr {
 			continue
 		}
 		out = append(out, envelope{peer, phase2aMsg{Txn: id, Key: key,
-			Ballot: ks.ballot, Option: op, Master: r.cfg.Addr}})
+			Ballot: ks.ballot, Option: op, Master: r.cfg.Addr, Epoch: epoch}})
 	}
 	out = append(out, r.checkMasterQuorumLocked(ks, mo)...)
 	return out
@@ -427,7 +456,7 @@ func (r *Replica) proposeAtMasterLocked(ks *masterKey, key string, id txn.ID, op
 // master if the ballot is current.
 func (r *Replica) onPhase2a(m phase2aMsg) {
 	r.mu.Lock()
-	it := r.phase2aLocked(phase2aItem{Txn: m.Txn, Key: m.Key, Ballot: m.Ballot, Option: m.Option})
+	it := r.phase2aLocked(phase2aItem{Txn: m.Txn, Key: m.Key, Ballot: m.Ballot, Option: m.Option}, m.Epoch)
 	r.mu.Unlock()
 	r.send(m.Master, phase2bMsg{Txn: it.Txn, Key: it.Key, Ballot: it.Ballot,
 		Accept: it.Accept, Region: r.Region()})
@@ -439,17 +468,20 @@ func (r *Replica) onPhase2aBatch(b phase2aBatchMsg) {
 	items := make([]phase2bItem, 0, len(b.Items))
 	r.mu.Lock()
 	for _, it := range b.Items {
-		items = append(items, r.phase2aLocked(it))
+		items = append(items, r.phase2aLocked(it, b.Epoch))
 	}
 	r.mu.Unlock()
 	r.send(b.Master, phase2bBatchMsg{Region: r.Region(), Items: items})
 }
 
 // phase2aLocked accepts or refuses one phase-2a proposal and returns the
-// phase-2b verdict. Caller holds r.mu.
-func (r *Replica) phase2aLocked(m phase2aItem) phase2bItem {
+// phase-2b verdict. epoch is the proposing master's lease epoch (0 when
+// leases are off); stale epochs are fenced. Caller holds r.mu.
+func (r *Replica) phase2aLocked(m phase2aItem, epoch uint64) phase2bItem {
 	var accept bool
-	if r.isDecided(m.Txn) {
+	if r.leaseFencedLocked(m.Key, epoch) {
+		r.LeaseFenced++
+	} else if r.isDecided(m.Txn) {
 		accept = r.decided[m.Txn]
 	} else {
 		rc := r.rec(m.Key)

@@ -45,6 +45,11 @@ type Replica struct {
 	syncs   map[uint64]*syncWaiter
 	crashed bool
 
+	// leaseCfg enables epoch-fenced master leases (see lease.go); leases
+	// holds the per-keyspace lease state.
+	leaseCfg *LeaseConfig
+	leases   map[simnet.Region]*leaseState
+
 	// spans is the local span store (nil = tracing off); traces is the
 	// per-transaction trace state accumulated between proposal and decide,
 	// flushed to the coordinator as a spanReportMsg when the transaction
@@ -63,6 +68,12 @@ type Replica struct {
 	ClassicRuns  uint64
 	Applied      uint64
 	RecoveryRuns uint64
+	// LeaseTakeovers counts keyspace leases this replica claimed away from
+	// another holder (read via LeaseTakeoverCount).
+	LeaseTakeovers uint64
+	// LeaseFenced counts master-arbitrated messages rejected for carrying
+	// a stale lease epoch.
+	LeaseFenced uint64
 }
 
 // seedRecord is one key's seeded initial state.
@@ -326,6 +337,9 @@ func (r *Replica) Crash() {
 	r.decided = make(map[txn.ID]bool)
 	r.masters = make(map[string]*masterKey)
 	r.syncs = nil
+	if r.leases != nil {
+		r.leases = make(map[simnet.Region]*leaseState)
+	}
 	if r.traces != nil {
 		r.traces = make(map[txn.ID]*replicaTrace)
 	}
@@ -344,6 +358,9 @@ func (r *Replica) Restore() error {
 	r.records = make(map[string]*record, len(r.baseline))
 	r.decided = make(map[txn.ID]bool)
 	r.masters = make(map[string]*masterKey)
+	if r.leases != nil {
+		r.leases = make(map[simnet.Region]*leaseState)
+	}
 	for key, s := range r.baseline {
 		rc := r.rec(key)
 		if s.isInt {
@@ -360,6 +377,13 @@ func (r *Replica) Restore() error {
 	if r.cfg.WAL != nil {
 		now := r.clk.Now()
 		err = r.cfg.WAL.Replay(func(e Entry) error {
+			if e.Lease != nil {
+				// A lease transition, not a decision: rebuild the lease
+				// view (expired — clocks don't survive restarts) and leave
+				// the decided map alone.
+				r.applyLeaseEntryLocked(e.Lease)
+				return nil
+			}
 			r.decided[e.Txn] = e.Commit
 			if e.Commit {
 				for _, op := range e.Options {
@@ -436,6 +460,10 @@ func (r *Replica) recv(m simnet.Message) {
 		r.onSyncReq(p)
 	case syncResp:
 		r.onSyncResp(p)
+	case leaseRequestMsg:
+		r.onLeaseRequest(p)
+	case leaseGrantMsg:
+		r.onLeaseGrant(p)
 	}
 }
 

@@ -64,6 +64,10 @@ const (
 	ReasonDecided
 	// ReasonBallot: a classic-path message carried a stale ballot.
 	ReasonBallot
+	// ReasonNotMaster: the replica a classic proposal was routed to does
+	// not hold the key's master lease. Transient; the coordinator
+	// re-resolves the master and retries.
+	ReasonNotMaster
 )
 
 // String implements fmt.Stringer.
@@ -83,6 +87,8 @@ func (r RejectReason) String() string {
 		return "already-decided"
 	case ReasonBallot:
 		return "stale-ballot"
+	case ReasonNotMaster:
+		return "not-master"
 	default:
 		return fmt.Sprintf("reason(%d)", uint8(r))
 	}
@@ -233,6 +239,11 @@ type phase1aMsg struct {
 	Key    string
 	Ballot uint64
 	Master simnet.Addr
+	// Epoch is the master's lease epoch for the key's keyspace (0 when
+	// leases are off). Acceptors fence messages whose epoch is older than
+	// the lease they granted. On the wire it rides as an optional trailing
+	// field, so pre-lease frames still decode.
+	Epoch uint64
 }
 
 type phase1bMsg struct {
@@ -257,6 +268,8 @@ type phase2aMsg struct {
 	Ballot uint64
 	Option txn.Op
 	Master simnet.Addr
+	// Epoch is the master's lease epoch (see phase1aMsg.Epoch).
+	Epoch uint64
 }
 
 type phase2bMsg struct {
@@ -349,10 +362,13 @@ type phase2aItem struct {
 }
 
 // phase2aBatchMsg groups a master's same-instant phase-2a proposals to one
-// peer.
+// peer. Epoch is the master's lease epoch for every item in the batch —
+// flush only folds same-epoch proposals together (items of one batch always
+// share the master's lease for their keyspace at stamping time).
 type phase2aBatchMsg struct {
 	Master simnet.Addr
 	Items  []phase2aItem
+	Epoch  uint64
 }
 
 // phase2bItem is one option's phase-2b verdict inside a batch.

@@ -24,6 +24,22 @@ type Entry struct {
 	At         time.Time `json:"at"`
 	TraceSpan  uint64    `json:"trace_span,omitempty"`
 	OptionSpan uint64    `json:"option_span,omitempty"`
+	// Lease, when non-nil, makes this a lease-transition record instead of
+	// a decision: the replica granted or won a keyspace lease. Replay
+	// rebuilds the lease view from these so a restarted master knows the
+	// last epoch it held — and learns it was deposed when peers report a
+	// higher one. Pre-lease WALs simply never carry the field.
+	Lease *LeaseRecord `json:"lease,omitempty"`
+}
+
+// LeaseRecord is the durable form of one lease transition (see Entry.Lease).
+// Held marks transitions where this replica itself won the lease, as
+// opposed to granting it to a peer.
+type LeaseRecord struct {
+	Keyspace string `json:"keyspace"`
+	Epoch    uint64 `json:"epoch"`
+	Holder   string `json:"holder"`
+	Held     bool   `json:"held,omitempty"`
 }
 
 // WAL is the replica's write-ahead log of decisions. It always retains

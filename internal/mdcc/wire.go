@@ -72,6 +72,8 @@ const (
 	tagSyncReq
 	tagSyncResp
 	tagSpanReport
+	tagLeaseRequest
+	tagLeaseGrant
 )
 
 // Decode-side sanity limits. A frame that claims more than these is corrupt
@@ -154,6 +156,16 @@ func (e *wireEnc) tc(t TraceCtx) {
 	e.varint(t.SentUnixNano)
 }
 
+// epoch appends the optional trailing lease epoch. Epoch 0 — leases off —
+// appends nothing, keeping the frame byte-identical to the pre-lease wire
+// format (same version-tolerance scheme as tc).
+func (e *wireEnc) epoch(v uint64) {
+	if v == 0 {
+		return
+	}
+	e.uvarint(v)
+}
+
 func (e *wireEnc) span(sp obs.Span) {
 	e.uvarint(uint64(sp.Txn))
 	e.uvarint(sp.ID)
@@ -200,6 +212,7 @@ func appendMessage(dst []byte, m any) ([]byte, error) {
 		e.str(p.Key)
 		e.uvarint(p.Ballot)
 		e.addr(p.Master)
+		e.epoch(p.Epoch)
 	case phase1bMsg:
 		e.u8(tagPhase1b)
 		e.str(p.Key)
@@ -219,6 +232,7 @@ func appendMessage(dst []byte, m any) ([]byte, error) {
 		e.uvarint(p.Ballot)
 		e.op(p.Option)
 		e.addr(p.Master)
+		e.epoch(p.Epoch)
 	case phase2bMsg:
 		e.u8(tagPhase2b)
 		e.uvarint(uint64(p.Txn))
@@ -274,6 +288,7 @@ func appendMessage(dst []byte, m any) ([]byte, error) {
 			e.uvarint(it.Ballot)
 			e.op(it.Option)
 		}
+		e.epoch(p.Epoch)
 	case phase2bBatchMsg:
 		e.u8(tagPhase2bBatch)
 		e.str(string(p.Region))
@@ -320,6 +335,22 @@ func appendMessage(dst []byte, m any) ([]byte, error) {
 		for _, sp := range p.Spans {
 			e.span(sp)
 		}
+	case leaseRequestMsg:
+		e.u8(tagLeaseRequest)
+		e.str(string(p.Keyspace))
+		e.uvarint(p.Epoch)
+		e.str(string(p.Holder))
+		e.varint(p.ExpiresUnixNano)
+		e.addr(p.From)
+	case leaseGrantMsg:
+		e.u8(tagLeaseGrant)
+		e.str(string(p.Keyspace))
+		e.uvarint(p.Epoch)
+		e.bool(p.OK)
+		e.uvarint(p.CurEpoch)
+		e.str(string(p.CurHolder))
+		e.varint(p.CurExpiresUnixNano)
+		e.str(string(p.Region))
 	default:
 		return dst, fmt.Errorf("mdcc: wire: unencodable message type %T", m)
 	}
@@ -459,7 +490,7 @@ func (d *wireDec) addr() simnet.Addr {
 
 func (d *wireDec) reason() RejectReason {
 	r := RejectReason(d.u8())
-	if r > ReasonBallot {
+	if r > ReasonNotMaster {
 		d.fail("bad reject reason %d", r)
 		return ReasonNone
 	}
@@ -501,6 +532,20 @@ func (d *wireDec) value() Value {
 	return v
 }
 
+// epoch decodes the optional trailing lease epoch: a frame that ends at the
+// fixed fields — the pre-lease wire format — yields 0 (leases off).
+func (d *wireDec) epoch() uint64 {
+	if d.err != nil || d.off >= len(d.data) {
+		return 0
+	}
+	v := d.uvarint()
+	if v == 0 && d.err == nil {
+		// Epoch 0 encodes as absence; an explicit 0 would not round-trip.
+		d.fail("explicit zero trailing epoch")
+	}
+	return v
+}
+
 // tc decodes the optional trailing trace context. A frame that ends at the
 // fixed fields — the pre-trace wire format — yields the zero TraceCtx, so
 // old frames keep decoding.
@@ -511,6 +556,11 @@ func (d *wireDec) tc() TraceCtx {
 	var t TraceCtx
 	t.Span = d.uvarint()
 	t.SentUnixNano = d.varint()
+	if t.Span == 0 && d.err == nil {
+		// An untraced message encodes no trailing group at all; a present
+		// group with a zero span would not round-trip.
+		d.fail("explicit zero trailing trace span")
+	}
 	return t
 }
 
@@ -575,6 +625,7 @@ func decodeMessage(data []byte) (any, error) {
 		p.Key = d.str()
 		p.Ballot = d.uvarint()
 		p.Master = d.addr()
+		p.Epoch = d.epoch()
 		m = p
 	case tagPhase1b:
 		var p phase1bMsg
@@ -598,6 +649,7 @@ func decodeMessage(data []byte) (any, error) {
 		p.Ballot = d.uvarint()
 		p.Option = d.op()
 		p.Master = d.addr()
+		p.Epoch = d.epoch()
 		m = p
 	case tagPhase2b:
 		var p phase2bMsg
@@ -662,6 +714,7 @@ func decodeMessage(data []byte) (any, error) {
 				p.Items[i].Option = d.op()
 			}
 		}
+		p.Epoch = d.epoch()
 		m = p
 	case tagPhase2bBatch:
 		var p phase2bBatchMsg
@@ -704,6 +757,24 @@ func decodeMessage(data []byte) (any, error) {
 				p.Spans[i] = d.span()
 			}
 		}
+		m = p
+	case tagLeaseRequest:
+		var p leaseRequestMsg
+		p.Keyspace = simnet.Region(d.str())
+		p.Epoch = d.uvarint()
+		p.Holder = simnet.Region(d.str())
+		p.ExpiresUnixNano = d.varint()
+		p.From = d.addr()
+		m = p
+	case tagLeaseGrant:
+		var p leaseGrantMsg
+		p.Keyspace = simnet.Region(d.str())
+		p.Epoch = d.uvarint()
+		p.OK = d.bool()
+		p.CurEpoch = d.uvarint()
+		p.CurHolder = simnet.Region(d.str())
+		p.CurExpiresUnixNano = d.varint()
+		p.Region = simnet.Region(d.str())
 		m = p
 	case tagSyncResp:
 		var p syncResp

@@ -90,6 +90,19 @@ func wireSamples() []any {
 				Start: time.Unix(0, 3_000), End: time.Unix(0, 4_000)},
 		}},
 		spanReportMsg{Txn: 27},
+		// Lease-epoch-stamped variants: the optional trailing epoch present.
+		phase1aMsg{Key: "k", Ballot: 9, Master: master, Epoch: 3},
+		phase2aMsg{Txn: 28, Key: "k", Ballot: 3, Option: ops[0], Master: master, Epoch: 1 << 33},
+		phase2aBatchMsg{Master: master, Epoch: 2, Items: []phase2aItem{
+			{Txn: 29, Key: "a", Ballot: 1, Option: ops[0]}}},
+		// Lease round messages.
+		leaseRequestMsg{Keyspace: "us-east", Epoch: 7, Holder: "eu-west",
+			ExpiresUnixNano: 1_700_000_000_000_000_002, From: master},
+		leaseRequestMsg{Keyspace: "", Epoch: 0, ExpiresUnixNano: -1},
+		leaseGrantMsg{Keyspace: "us-east", Epoch: 7, OK: true, CurEpoch: 7,
+			CurHolder: "eu-west", CurExpiresUnixNano: 1_700_000_000_000_000_003, Region: "us-west"},
+		leaseGrantMsg{Keyspace: "us-east", Epoch: 8, OK: false, CurEpoch: 12,
+			CurHolder: "ap-south", CurExpiresUnixNano: 0, Region: ""},
 	}
 }
 
@@ -143,6 +156,80 @@ func TestWireTraceVersionTolerance(t *testing.T) {
 	}
 	if d := gd.(decideMsg); d.Coord != coord || d.TC.Span != 9 {
 		t.Errorf("traced decide round trip lost trailing group: %+v", d)
+	}
+}
+
+// TestWireEpochVersionTolerance pins the compatibility contract for the
+// trailing lease epoch on master-arbitrated messages: an epoch-0 message
+// (leases off) encodes byte-identically to the pre-lease wire format, an
+// epoch-stamped frame strictly extends it, and decoding the shorter
+// pre-lease frame yields epoch 0 — which the fence lets pass.
+func TestWireEpochVersionTolerance(t *testing.T) {
+	var c WireCodec
+	master := simnet.Addr{Region: "eu-west", Name: "replica"}
+
+	plainMsgs := []any{
+		phase1aMsg{Key: "k", Ballot: 9, Master: master},
+		phase2aMsg{Txn: 1, Key: "k", Ballot: 3,
+			Option: txn.Op{Kind: txn.OpAdd, Key: "k", Delta: 1}, Master: master},
+		phase2aBatchMsg{Master: master, Items: []phase2aItem{
+			{Txn: 2, Key: "a", Ballot: 1, Option: txn.Op{Kind: txn.OpAdd, Key: "a"}}}},
+	}
+	stamp := func(m any) any {
+		switch p := m.(type) {
+		case phase1aMsg:
+			p.Epoch = 6
+			return p
+		case phase2aMsg:
+			p.Epoch = 6
+			return p
+		case phase2aBatchMsg:
+			p.Epoch = 6
+			return p
+		}
+		return m
+	}
+	epochOf := func(m any) uint64 {
+		switch p := m.(type) {
+		case phase1aMsg:
+			return p.Epoch
+		case phase2aMsg:
+			return p.Epoch
+		case phase2aBatchMsg:
+			return p.Epoch
+		}
+		return 0
+	}
+
+	for _, m := range plainMsgs {
+		plain, err := c.Append(nil, m)
+		if err != nil {
+			t.Fatal(err)
+		}
+		ext, err := c.Append(nil, stamp(m))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.HasPrefix(ext, plain) {
+			t.Fatalf("%T: epoch-stamped frame does not extend the pre-lease frame", m)
+		}
+		if len(ext) <= len(plain) {
+			t.Fatalf("%T: epoch-stamped frame no longer than the plain frame", m)
+		}
+		got, err := c.Decode(plain)
+		if err != nil {
+			t.Fatalf("%T: decode pre-lease frame: %v", m, err)
+		}
+		if e := epochOf(got); e != 0 {
+			t.Errorf("%T: pre-lease frame decoded with epoch %d, want 0", m, e)
+		}
+		back, err := c.Decode(ext)
+		if err != nil {
+			t.Fatalf("%T: decode stamped frame: %v", m, err)
+		}
+		if e := epochOf(back); e != 6 {
+			t.Errorf("%T: stamped frame decoded with epoch %d, want 6", m, e)
+		}
 	}
 }
 
@@ -324,6 +411,9 @@ func FuzzWireDecode(f *testing.F) {
 	}
 	f.Add([]byte{})
 	f.Add([]byte{0xff})
+	// Regression: a propose frame whose trailing trace group has span 0
+	// (encoders never emit that — it must be rejected, not re-encoded away).
+	f.Add([]byte("\x010\a0000000\x00\x00\x000"))
 	f.Fuzz(func(t *testing.T, data []byte) {
 		m, err := c.Decode(data)
 		if err != nil {

@@ -1,0 +1,207 @@
+package multinet
+
+// Scenario driver: replays the chaos package's fault timelines — the same
+// seeded Generate schedules and named presets the simnet engine runs —
+// against a live multi-process deployment, translating each simulated
+// fault into something an operator (or an unlucky datacenter) could do to
+// real processes:
+//
+//	FaultRegionDown    → cut every link to the victim + drop its listener
+//	FaultLinkCut       → transport admin link cut (both directions)
+//	FaultReplicaCrash  → kill -9, restart on heal (WAL replay)
+//	FaultCoordCrash    → SIGSTOP, SIGCONT on heal (gray failure)
+//	FaultLossBurst     → skipped (real TCP has no loss knob), recorded
+//	FaultLatencySpike  → skipped (no latency knob either), recorded
+//
+// Like the simnet engine, the driver always heals everything it injected
+// before returning — a scenario never leaves the fleet broken — and it
+// reports what it actually did per fault, so tests can assert coverage
+// and skipped kinds are visible rather than silently dropped.
+
+import (
+	"fmt"
+	"sort"
+	"time"
+
+	"planet/internal/chaos"
+)
+
+// DriverConfig parameterizes RunScenario.
+type DriverConfig struct {
+	// TimeScale compresses the scenario's unscaled WAN offsets to real
+	// time (0.1 turns a 60s schedule into 6s). Defaults to 1.
+	TimeScale float64
+	// Logf receives driver progress (optional).
+	Logf func(format string, args ...any)
+}
+
+// FaultRecord is the driver's account of one scheduled fault: what the
+// scenario asked for, the OS-level action it became, and any error
+// injecting or healing it (errors are recorded, not fatal — a fault may
+// legitimately find its victim already dead).
+type FaultRecord struct {
+	Fault   chaos.Fault
+	Action  string
+	Skipped bool
+	Err     error
+}
+
+// RunScenario executes sc's timeline against the live deployment,
+// blocking until every fault has been injected, held for its duration,
+// and healed. It returns one record per fault in schedule order.
+func (n *Network) RunScenario(sc chaos.Scenario, cfg DriverConfig) ([]FaultRecord, error) {
+	if cfg.TimeScale <= 0 {
+		cfg.TimeScale = 1
+	}
+	logf := cfg.Logf
+	if logf == nil {
+		logf = func(string, ...any) {}
+	}
+	for i, f := range sc.Faults {
+		switch f.Kind {
+		case chaos.FaultRegionDown, chaos.FaultReplicaCrash, chaos.FaultCoordCrash:
+			if _, err := n.node(f.Region); err != nil {
+				return nil, fmt.Errorf("multinet: fault %d: %w", i, err)
+			}
+		case chaos.FaultLinkCut, chaos.FaultLatencySpike:
+			if _, err := n.node(f.From); err != nil {
+				return nil, fmt.Errorf("multinet: fault %d: %w", i, err)
+			}
+			if _, err := n.node(f.To); err != nil {
+				return nil, fmt.Errorf("multinet: fault %d: %w", i, err)
+			}
+		case chaos.FaultLossBurst:
+			// Skipped at injection; nothing to validate.
+		default:
+			return nil, fmt.Errorf("multinet: fault %d: unknown kind %q", i, f.Kind)
+		}
+	}
+
+	// One inject event per fault plus a heal event for bounded faults,
+	// fired in offset order by this goroutine — injections never race.
+	scale := func(d time.Duration) time.Duration {
+		return time.Duration(float64(d) * cfg.TimeScale)
+	}
+	type event struct {
+		at     time.Duration
+		idx    int
+		isHeal bool
+	}
+	var events []event
+	for i, f := range sc.Faults {
+		events = append(events, event{at: scale(f.At), idx: i})
+		if f.Duration > 0 {
+			events = append(events, event{at: scale(f.At + f.Duration), idx: i, isHeal: true})
+		}
+	}
+	sort.SliceStable(events, func(a, b int) bool { return events[a].at < events[b].at })
+
+	logf("multinet: scenario %q starting: %d faults at timescale %v", sc.Name, len(sc.Faults), cfg.TimeScale)
+	records := make([]FaultRecord, len(sc.Faults))
+	for i, f := range sc.Faults {
+		records[i].Fault = f
+	}
+	start := time.Now()
+	outstanding := make(map[int]bool, len(sc.Faults))
+	for _, ev := range events {
+		if wait := ev.at - time.Since(start); wait > 0 {
+			time.Sleep(wait)
+		}
+		f := sc.Faults[ev.idx]
+		if ev.isHeal {
+			if !outstanding[ev.idx] {
+				continue
+			}
+			delete(outstanding, ev.idx)
+			if err := n.healFault(f); err != nil {
+				records[ev.idx].Err = err
+				logf("multinet: heal %s: %v", f.Kind, err)
+			}
+			continue
+		}
+		action, skipped, err := n.injectFault(f)
+		records[ev.idx].Action, records[ev.idx].Skipped, records[ev.idx].Err = action, skipped, err
+		switch {
+		case err != nil:
+			logf("multinet: inject %s: %v", f.Kind, err)
+		case skipped:
+			logf("multinet: skip %s (no live-process equivalent)", f.Kind)
+		default:
+			logf("multinet: inject %s: %s", f.Kind, action)
+			outstanding[ev.idx] = true
+		}
+	}
+	// Heal everything still outstanding (unbounded faults, early errors on
+	// scheduled heals), in injection order.
+	idxs := make([]int, 0, len(outstanding))
+	for i := range outstanding {
+		idxs = append(idxs, i)
+	}
+	sort.Ints(idxs)
+	for _, i := range idxs {
+		if err := n.healFault(sc.Faults[i]); err != nil {
+			records[i].Err = err
+			logf("multinet: final heal %s: %v", sc.Faults[i].Kind, err)
+		}
+	}
+	logf("multinet: scenario %q finished", sc.Name)
+	return records, nil
+}
+
+// injectFault maps one chaos fault onto the live fleet.
+func (n *Network) injectFault(f chaos.Fault) (action string, skipped bool, err error) {
+	switch f.Kind {
+	case chaos.FaultRegionDown:
+		// Blackout: the process stays up but its datacenter goes dark —
+		// every link severed and the transport listener dropped, so peers
+		// can neither reach it nor be reached.
+		for _, r := range n.regions {
+			if r == f.Region {
+				continue
+			}
+			if e := n.CutLink(f.Region, r); e != nil && err == nil {
+				err = e
+			}
+		}
+		if e := n.Client(f.Region).NetListener(true); e != nil && err == nil {
+			err = e
+		}
+		return fmt.Sprintf("blackout %s (links cut, listener dropped)", f.Region), false, err
+	case chaos.FaultLinkCut:
+		return fmt.Sprintf("cut %s<->%s", f.From, f.To), false, n.CutLink(f.From, f.To)
+	case chaos.FaultReplicaCrash:
+		return fmt.Sprintf("kill -9 %s", f.Region), false, n.Kill(f.Region)
+	case chaos.FaultCoordCrash:
+		return fmt.Sprintf("SIGSTOP %s", f.Region), false, n.Pause(f.Region)
+	case chaos.FaultLossBurst, chaos.FaultLatencySpike:
+		return "", true, nil
+	}
+	return "", false, fmt.Errorf("multinet: unknown fault kind %q", f.Kind)
+}
+
+// healFault reverses injectFault.
+func (n *Network) healFault(f chaos.Fault) error {
+	switch f.Kind {
+	case chaos.FaultRegionDown:
+		var first error
+		if err := n.Client(f.Region).NetListener(false); err != nil {
+			first = err
+		}
+		for _, r := range n.regions {
+			if r == f.Region {
+				continue
+			}
+			if err := n.HealLink(f.Region, r); err != nil && first == nil {
+				first = err
+			}
+		}
+		return first
+	case chaos.FaultLinkCut:
+		return n.HealLink(f.From, f.To)
+	case chaos.FaultReplicaCrash:
+		return n.Restart(f.Region)
+	case chaos.FaultCoordCrash:
+		return n.Resume(f.Region)
+	}
+	return nil
+}

@@ -1,0 +1,319 @@
+package multinet
+
+// Lease failover tests: live planetd processes running epoch-fenced master
+// leases (-leases). The headline scenario kills the lease-holding master
+// mid-load with SIGKILL and requires the survivors to claim the lease and
+// keep committing to the dead master's keys without the corpse restarting —
+// plus the scenario driver replaying a seeded chaos preset against the
+// fleet.
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"planet/internal/chaos"
+	"planet/internal/httpapi"
+	"planet/internal/simnet"
+)
+
+// waitLeaseMoved polls region on's lease view until keyspace is held by
+// some region other than exclude, returning the new holder.
+func waitLeaseMoved(t *testing.T, n *Network, on simnet.Region, keyspace string, exclude simnet.Region, timeout time.Duration) simnet.Region {
+	t.Helper()
+	cl := n.Client(on)
+	deadline := time.Now().Add(timeout)
+	last := "?"
+	for {
+		if resp, err := cl.NetLease(); err == nil {
+			for _, li := range resp.Leases {
+				if li.Keyspace == keyspace {
+					last = fmt.Sprintf("%s@%d", li.Holder, li.Epoch)
+					if li.Holder != "" && li.Holder != string(exclude) {
+						return simnet.Region(li.Holder)
+					}
+				}
+			}
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("lease %s did not move off %s within %v (last view %s)", keyspace, exclude, timeout, last)
+		}
+		time.Sleep(25 * time.Millisecond)
+	}
+}
+
+// metricValue sums every series of a metric family in the gateway's
+// Prometheus exposition (labels collapsed).
+func metricValue(t *testing.T, cl *httpapi.Client, name string) float64 {
+	t.Helper()
+	text, err := cl.Metrics()
+	if err != nil {
+		t.Fatalf("metrics: %v", err)
+	}
+	var total float64
+	for _, line := range strings.Split(text, "\n") {
+		if !strings.HasPrefix(line, name) {
+			continue
+		}
+		fields := strings.Fields(line)
+		if len(fields) == 2 {
+			if v, err := strconv.ParseFloat(fields[1], 64); err == nil {
+				total += v
+			}
+		}
+	}
+	return total
+}
+
+// TestRealnetMasterFailover is the lease acceptance scenario: a 3-process
+// deployment with a single leased keyspace loses its lease-holding master
+// to kill -9 mid-load. Submissions against the dead master's keys must stay
+// bounded (resolve within the wait bound, never hang), a survivor must
+// claim the lease and commit to those keys while the corpse is still down,
+// the takeover must surface in the survivor's metrics, and the restarted
+// corpse must rejoin deposed — with pairwise agreement and conservation at
+// the end.
+func TestRealnetMasterFailover(t *testing.T) {
+	if testing.Short() {
+		t.Skip("process-level harness")
+	}
+	victim := simnet.Region("us-east")
+	n := start(t, Config{
+		MasterRegion:  victim,
+		Leases:        true,
+		LeaseTerm:     1200 * time.Millisecond,
+		CommitTimeout: 1500 * time.Millisecond,
+	})
+	gw := simnet.Region("us-west")
+	sess := n.Session(gw, 4*time.Second)
+	cl := n.Client(gw)
+	keys := acctKeys()
+
+	// Boot: the default holder (the static master region) claims the
+	// keyspace lease, then the bank warms up through it.
+	if err := n.WaitLeaseHolder(gw, victim, victim, 10*time.Second); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 4; i++ {
+		committed, id, err := sess.Transfer(keys[i], keys[i+2], 3)
+		if err != nil || !committed {
+			t.Fatalf("warmup transfer %s: committed=%v err=%v", id, committed, err)
+		}
+	}
+
+	// Kill -9 the lease holder with a burst in flight.
+	var inflight []string
+	for i := 0; i < 4; i++ {
+		id, err := cl.Submit(transferReq(keys[i%len(keys)], keys[(i+5)%len(keys)], 1))
+		if err != nil {
+			t.Fatal(err)
+		}
+		inflight = append(inflight, id)
+	}
+	if err := n.Kill(victim); err != nil {
+		t.Fatal(err)
+	}
+
+	// Failover-window bound: a submit against the dead master's keys must
+	// resolve within the session bound plus slack — commit or abort, never
+	// a hang past the wait bound.
+	begin := time.Now()
+	if _, _, err := sess.Transfer(keys[0], keys[1], 1); err != nil {
+		t.Fatalf("post-kill transfer errored instead of resolving: %v", err)
+	}
+	if elapsed := time.Since(begin); elapsed > sess.Timeout+3*time.Second {
+		t.Errorf("post-kill transfer took %v; want bounded by %v + slack", elapsed, sess.Timeout)
+	}
+	for _, id := range inflight {
+		if _, err := waitResolved(cl, id, 10*time.Second); err != nil {
+			t.Errorf("in-flight txn %s never resolved after master kill: %v", id, err)
+		}
+	}
+
+	// A survivor claims the lease (expiry + rank stagger ≈ two terms) and
+	// the dead master's keys commit again — corpse still down.
+	heir := waitLeaseMoved(t, n, gw, string(victim), victim, 15*time.Second)
+	t.Logf("lease moved %s -> %s", victim, heir)
+	if n.Running(victim) {
+		t.Fatal("victim resurrected itself mid-test")
+	}
+	commitWithin(t, 20*time.Second, "post-takeover transfer on the dead master's keys", func() (bool, error) {
+		c, _, err := sess.Transfer(keys[0], keys[1], 1)
+		return c, err
+	})
+	committed := 0
+	for i := 0; i < 4; i++ {
+		c, id, err := sess.Transfer(keys[i], keys[i+3], 2)
+		if err != nil {
+			t.Fatalf("outage transfer %s: %v", id, err)
+		}
+		if c {
+			committed++
+		}
+	}
+	if committed < 3 {
+		t.Errorf("only %d/4 transfers committed under the new lease; failover should restore the classic path", committed)
+	}
+
+	// The takeover is exported: counter on the heir, and a lease event in
+	// its process log.
+	if got := metricValue(t, n.Client(heir), "planet_lease_takeovers_total"); got < 1 {
+		t.Errorf("heir %s exports planet_lease_takeovers_total=%v, want >= 1", heir, got)
+	}
+	if ok, err := n.GrepLog(heir, "takeover"); err != nil || !ok {
+		t.Errorf("heir %s log has no lease takeover line (err=%v)", heir, err)
+	}
+
+	// Restart the corpse: WAL replay hands it its stale held epoch, the
+	// failed re-acquire round reports the higher live epoch, and it must
+	// converge on the heir as holder (fenced follower) instead of
+	// reclaiming mastership.
+	if err := n.Restart(victim); err != nil {
+		t.Fatal(err)
+	}
+	if err := n.WaitPeerState(gw, victim, "up", 10*time.Second); err != nil {
+		t.Fatal(err)
+	}
+	deposedView := waitLeaseMoved(t, n, victim, string(victim), victim, 15*time.Second)
+	t.Logf("restarted %s sees lease held by %s", victim, deposedView)
+	commitWithin(t, 15*time.Second, "post-restart transfer", func() (bool, error) {
+		c, _, err := sess.Transfer(keys[1], keys[0], 1)
+		return c, err
+	})
+
+	assertAgreement(t, n, n.Regions())
+	var sum int64
+	for _, k := range keys {
+		v, err := sess.ReadInt(k)
+		if err != nil {
+			t.Fatal(err)
+		}
+		sum += v
+	}
+	if sum != int64(len(keys))*100 {
+		t.Errorf("money not conserved: accounts sum to %d, want %d", sum, len(keys)*100)
+	}
+}
+
+// TestRealnetScenarioDriver replays a seeded chaos preset — the same
+// timeline the simnet engine runs — against live processes under load:
+// the partition preset blacks out one region (links cut, listener dropped)
+// and then cuts a link, with auto-heal on the way out. Afterwards every
+// fault must have been applied (none skipped, none errored), the fleet must
+// be healed and committing, and the safety audits must pass.
+func TestRealnetScenarioDriver(t *testing.T) {
+	if testing.Short() {
+		t.Skip("process-level harness")
+	}
+	n := start(t, Config{
+		Leases:        true,
+		LeaseTerm:     1200 * time.Millisecond,
+		CommitTimeout: 1500 * time.Millisecond,
+	})
+	gw := simnet.Region("us-west")
+	keys := acctKeys()
+
+	// Background workload: transfers against every account while the fault
+	// schedule runs. Timeouts and aborts are expected mid-fault; harness
+	// errors are not.
+	var (
+		attempts, commits atomic.Int64
+		wg                sync.WaitGroup
+	)
+	stop := make(chan struct{})
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		sess := n.Session(gw, 2*time.Second)
+		for i := 0; ; i++ {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			from, to := keys[i%len(keys)], keys[(i+3)%len(keys)]
+			if from == to {
+				continue
+			}
+			c, _, err := sess.Transfer(from, to, 1)
+			if err != nil {
+				continue // gateway briefly unavailable mid-fault is tolerable
+			}
+			attempts.Add(1)
+			if c {
+				commits.Add(1)
+			}
+		}
+	}()
+
+	sc, err := chaos.Preset("partition", n.Regions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	records, err := n.RunScenario(sc, DriverConfig{TimeScale: 0.2, Logf: t.Logf})
+	close(stop)
+	wg.Wait()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, rec := range records {
+		if rec.Skipped {
+			t.Errorf("fault %d (%s) was skipped; the partition preset maps fully onto live faults", i, rec.Fault.Kind)
+		}
+		if rec.Err != nil {
+			t.Errorf("fault %d (%s): %v", i, rec.Fault.Kind, rec.Err)
+		}
+	}
+	t.Logf("workload during scenario: %d attempts, %d commits", attempts.Load(), commits.Load())
+	if commits.Load() == 0 {
+		t.Error("no transfer committed during the scenario; the unaffected majority should keep serving")
+	}
+
+	// Auto-heal: every node must see every peer up again, and the fleet
+	// must commit from every gateway.
+	for _, a := range n.Regions() {
+		for _, b := range n.Regions() {
+			if a == b {
+				continue
+			}
+			if err := n.WaitPeerState(a, b, "up", 15*time.Second); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	for _, r := range n.Regions() {
+		sess := n.Session(r, 4*time.Second)
+		commitWithin(t, 20*time.Second, fmt.Sprintf("post-scenario transfer via %s", r), func() (bool, error) {
+			c, _, err := sess.Transfer(keys[0], keys[1], 1)
+			return c, err
+		})
+	}
+
+	assertAgreement(t, n, n.Regions())
+	// Conservation, with a short settle window for decisions still
+	// propagating to the gateway's replica after the load stops.
+	sess := n.Session(gw, 4*time.Second)
+	deadline := time.Now().Add(10 * time.Second)
+	for {
+		var sum int64
+		for _, k := range keys {
+			v, err := sess.ReadInt(k)
+			if err != nil {
+				t.Fatal(err)
+			}
+			sum += v
+		}
+		if sum == int64(len(keys))*100 {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Errorf("money not conserved: accounts sum to %d, want %d", sum, len(keys)*100)
+			break
+		}
+		time.Sleep(200 * time.Millisecond)
+	}
+}

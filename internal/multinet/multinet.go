@@ -58,6 +58,12 @@ type Config struct {
 	Mode string
 	// Drain is passed as -drain (0 keeps the default).
 	Drain time.Duration
+	// Leases passes -leases: epoch-fenced master leases with automatic
+	// failover replace the static master assignment.
+	Leases bool
+	// LeaseTerm is passed as -leaseterm (0 keeps the default). Small values
+	// shrink the failover window the tests wait out.
+	LeaseTerm time.Duration
 	// ReadyTimeout bounds waiting for a node's gateway to come up.
 	// Defaults to 15s.
 	ReadyTimeout time.Duration
@@ -140,6 +146,12 @@ func Start(cfg Config) (*Network, error) {
 		}
 		if cfg.Drain > 0 {
 			nd.args = append(nd.args, "-drain", cfg.Drain.String())
+		}
+		if cfg.Leases {
+			nd.args = append(nd.args, "-leases")
+			if cfg.LeaseTerm > 0 {
+				nd.args = append(nd.args, "-leaseterm", cfg.LeaseTerm.String())
+			}
 		}
 	}
 	for _, r := range regions {
@@ -390,6 +402,31 @@ func (n *Network) WaitPeerState(on, about simnet.Region, want string, timeout ti
 		if time.Now().After(deadline) {
 			return fmt.Errorf("multinet: %s sees peer %s as %q, wanted %q within %v",
 				on, about, last, want, timeout)
+		}
+		time.Sleep(25 * time.Millisecond)
+	}
+}
+
+// WaitLeaseHolder polls region on's gateway until its replica's lease view
+// reports keyspace held by want (lease deployments only).
+func (n *Network) WaitLeaseHolder(on, keyspace, want simnet.Region, timeout time.Duration) error {
+	cl := n.Client(on)
+	deadline := time.Now().Add(timeout)
+	last := "?"
+	for {
+		if resp, err := cl.NetLease(); err == nil {
+			for _, li := range resp.Leases {
+				if li.Keyspace == string(keyspace) {
+					last = fmt.Sprintf("%s (epoch %d)", li.Holder, li.Epoch)
+					if li.Holder == string(want) {
+						return nil
+					}
+				}
+			}
+		}
+		if time.Now().After(deadline) {
+			return fmt.Errorf("multinet: %s sees lease %s held by %s, wanted %s within %v",
+				on, keyspace, last, want, timeout)
 		}
 		time.Sleep(25 * time.Millisecond)
 	}

@@ -10,7 +10,10 @@ go test ./...
 go test -race -short ./internal/core ./internal/mdcc ./internal/obs
 # Chaos soak gate: fault schedules (partition + crash/WAL-recovery +
 # latency spike) must preserve the safety invariants under the race
-# detector. -short shrinks the workload but never skips.
+# detector, both under static mastership and under epoch-fenced master
+# leases (TestChaosSoakLeaseFailover crashes a live lease holder mid-run
+# and requires a takeover plus the same invariants). -short shrinks the
+# workload but never skips.
 go test -race -run Soak -short ./internal/chaos/
 # Virtual-time gates. Determinism: the same seed must reproduce the F4
 # metric map bit-for-bit (twice per run, ten runs, plus a race pass over
@@ -18,6 +21,11 @@ go test -race -run Soak -short ./internal/chaos/
 # virtual clock and must finish inside a wall-time budget a real-clock
 # run could never meet (it needs ~10s of sleeping per run alone).
 go test -count=10 -run TestVirtualTimeDeterminism .
+# Lease determinism gate: the same seed on the virtual clock with master
+# leases ENABLED must produce bit-identical txn outcomes, final state, and
+# lease views (leases default off; this is the only gate that turns them on
+# deterministically).
+go test -count=10 -run TestLeaseVirtualDeterminism ./internal/mdcc/
 go test -race -count=2 ./internal/vclock
 go test -count=1 -timeout 60s -run 'TestExperimentsRunClean|TestEvaluationShapes' .
 # Observability gates. Attribution determinism: the same seed on the
@@ -33,8 +41,13 @@ go test -count=10 -timeout 120s -run 'TestAttributionDeterminism|TestTraceSpans'
 # a stitched coordinator+master+replica span tree served by a live trio,
 # a /v1/attribution smoke against it, and trace continuity across a
 # kill -9 + WAL-replay cycle (TestRealnetStitchedTrace,
-# TestRealnetTraceContinuityAcrossCrash).
-go test -count=1 -timeout 180s -run 'TestRealnet' ./internal/multinet/
+# TestRealnetTraceContinuityAcrossCrash). The lease gates ride here too:
+# TestRealnetMasterFailover kills the lease-holding master mid-load and
+# requires bounded submits, an automatic takeover (exported via
+# planet_lease_takeovers_total), and deposed reconvergence after restart;
+# TestRealnetScenarioDriver replays a seeded chaos preset against the live
+# fleet through the multinet scenario driver.
+go test -count=1 -timeout 240s -run 'TestRealnet' ./internal/multinet/
 go test -count=1 -timeout 60s -run 'TestWire' ./internal/mdcc/
 # Transport equivalence gate: the same seeded workloads must produce the
 # same verdicts and final state over simnet and over real TCP.
