@@ -14,9 +14,11 @@ package main
 import (
 	"flag"
 	"fmt"
+	"math"
 	"os"
 	"runtime"
 	"runtime/pprof"
+	"sort"
 	"time"
 
 	"planet/internal/experiments"
@@ -32,6 +34,7 @@ func run() int {
 		seed       = flag.Int64("seed", 1, "random seed")
 		scale      = flag.Float64("scale", 0, "WAN time-compression factor (0 = default)")
 		list       = flag.Bool("list", false, "list experiments and exit")
+		parallel   = flag.Bool("parallel", false, "sweep GOMAXPROCS (1/2/4/NumCPU) over the selected experiments, reporting wall time per setting and checking metrics stay bit-identical")
 		showMetric = flag.Bool("metrics", false, "also print machine-readable metrics")
 		cpuProfile = flag.String("cpuprofile", "", "write a CPU profile of the selected experiments to `file`")
 		memProfile = flag.String("memprofile", "", "write an allocation profile to `file` on exit")
@@ -88,6 +91,9 @@ func run() int {
 	}
 
 	cfg := experiments.Config{Quick: *quick, Seed: *seed, TimeScale: *scale}
+	if *parallel {
+		return runParallelSweep(cfg, ids)
+	}
 	failed := false
 	for _, id := range ids {
 		run, ok := experiments.Find(id)
@@ -113,4 +119,83 @@ func run() int {
 		return 1
 	}
 	return 0
+}
+
+// runParallelSweep runs the selected experiments once per GOMAXPROCS setting
+// (1, 2, 4, NumCPU — deduplicated), reporting per-setting wall time, and
+// verifies the partitioned scheduler's headline claim: every run's metrics
+// are bit-identical to the GOMAXPROCS=1 run's.
+func runParallelSweep(cfg experiments.Config, ids []string) int {
+	prev := runtime.GOMAXPROCS(0)
+	defer runtime.GOMAXPROCS(prev)
+
+	var gmps []int
+	for _, n := range []int{1, 2, 4, runtime.NumCPU()} {
+		dup := false
+		for _, seen := range gmps {
+			dup = dup || seen == n
+		}
+		if !dup {
+			gmps = append(gmps, n)
+		}
+	}
+	sort.Ints(gmps)
+
+	// reference metrics from the first (GOMAXPROCS=1) pass, keyed by id.
+	reference := make(map[string]map[string]float64)
+	identical := true
+	fmt.Printf("%-10s %12s   %s\n", "gomaxprocs", "wall", "metrics vs GOMAXPROCS=1")
+	for pass, gmp := range gmps {
+		runtime.GOMAXPROCS(gmp)
+		start := time.Now()
+		diverged := []string{}
+		for _, id := range ids {
+			run, ok := experiments.Find(id)
+			if !ok {
+				fmt.Fprintf(os.Stderr, "planetbench: unknown experiment %q (use -list)\n", id)
+				return 2
+			}
+			res, err := run(cfg)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "planetbench: %s at GOMAXPROCS=%d failed: %v\n", id, gmp, err)
+				return 1
+			}
+			if pass == 0 {
+				reference[id] = res.Metrics
+				continue
+			}
+			if !sameMetrics(reference[id], res.Metrics) {
+				diverged = append(diverged, id)
+			}
+		}
+		wall := time.Since(start).Round(time.Millisecond)
+		verdict := "reference"
+		if pass > 0 {
+			verdict = "bit-identical"
+			if len(diverged) > 0 {
+				verdict = fmt.Sprintf("DIVERGED: %v", diverged)
+				identical = false
+			}
+		}
+		fmt.Printf("%-10d %12s   %s\n", gmp, wall, verdict)
+	}
+	if !identical {
+		fmt.Fprintln(os.Stderr, "planetbench: determinism violation — metrics changed with GOMAXPROCS")
+		return 1
+	}
+	return 0
+}
+
+// sameMetrics reports whether two metric maps are bit-identical.
+func sameMetrics(a, b map[string]float64) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for k, va := range a {
+		vb, ok := b[k]
+		if !ok || math.Float64bits(va) != math.Float64bits(vb) {
+			return false
+		}
+	}
+	return true
 }

@@ -14,6 +14,7 @@ import (
 	"planet/internal/obs"
 	"planet/internal/predictor"
 	"planet/internal/simnet"
+	"planet/internal/txn"
 	"planet/internal/vclock"
 )
 
@@ -106,24 +107,35 @@ type Stats struct {
 	Apologies  uint64
 }
 
+// regionRT is a region's private runtime: the scheduler partition its
+// sessions execute on, its transaction-ID namespace, and its RNG for
+// jitter/probe draws. Keeping all three region-local means the parallel
+// scheduler's real-time interleaving can never leak into IDs, backoff
+// delays, or admission probes — every draw happens on the region's own
+// serialized partition.
+type regionRT struct {
+	clk vclock.Clock
+	ids *txn.IDSpace
+	mu  sync.Mutex
+	rng *rand.Rand
+}
+
 // DB is a PLANET database handle over a cluster. Open one per deployment,
 // then create per-region Sessions for clients.
 type DB struct {
 	cfg    Config
 	clk    vclock.Clock
+	rts    map[simnet.Region]*regionRT
 	preds  map[simnet.Region]*predictor.Predictor
 	calib  *metrics.Calibration
 	tracer *obs.Tracer
 	inst   *dbInstruments
-	spans  *obs.SpanStore   // nil unless Config.Trace
-	attr   *obs.Attribution // nil unless Config.Trace
+	spans  *obs.SpanStores     // nil unless Config.Trace
+	attr   *obs.AttributionSet // nil unless Config.Trace
 
 	inFlight map[simnet.Region]*atomic.Int64
 	health   map[simnet.Region]*regionHealth // nil entries when disabled
 	forced   map[simnet.Region]*atomic.Bool  // operator/transport-forced degradation
-
-	rngMu sync.Mutex
-	rng   *rand.Rand // admission probes, retry jitter
 
 	submitted  atomic.Uint64
 	committed  atomic.Uint64
@@ -144,12 +156,19 @@ func Open(cfg Config) (*DB, error) {
 	db := &DB{
 		cfg:      cfg,
 		clk:      clk,
+		rts:      make(map[simnet.Region]*regionRT, len(regionList)),
 		preds:    make(map[simnet.Region]*predictor.Predictor, len(regionList)),
 		inFlight: make(map[simnet.Region]*atomic.Int64, len(regionList)),
 		health:   make(map[simnet.Region]*regionHealth, len(regionList)),
 		forced:   make(map[simnet.Region]*atomic.Bool, len(regionList)),
-		rng:      rand.New(rand.NewSource(1)),
 		tracer:   cfg.Tracer,
+	}
+	for i, r := range regionList {
+		db.rts[r] = &regionRT{
+			clk: cfg.Cluster.ClockFor(r),
+			ids: txn.NewIDSpace(i),
+			rng: rand.New(rand.NewSource(1 + int64(i))),
+		}
 	}
 	if cfg.Health.enabled() {
 		if cfg.Health.Window <= 0 {
@@ -167,32 +186,42 @@ func Open(cfg Config) (*DB, error) {
 		db.calib = metrics.NewCalibration(10)
 	}
 	if cfg.Trace {
-		db.attr = obs.NewAttribution()
-		db.spans = obs.NewSpanStore(obs.SpanStoreConfig{
-			Capacity: cfg.TraceCapacity, Attr: db.attr})
-		// Every protocol actor in this process records into (or flushes to)
-		// the same store; remote actors' spans arrive as spanReportMsg and
-		// land here via the local coordinator.
+		names := make([]string, len(regionList))
+		for i, r := range regionList {
+			names[i] = string(r)
+		}
+		// One span shard per region: every protocol actor records into (or
+		// flushes to) its own region's shard — remote actors' spans arrive
+		// as spanReportMsg and land at the transaction's home coordinator —
+		// so each shard's add order is serialized by its region's scheduler
+		// partition.
+		db.spans = obs.NewSpanStores(obs.SpanStoreConfig{Capacity: cfg.TraceCapacity}, names)
+		db.attr = db.spans.Attribution()
 		for _, r := range regionList {
 			if coord := cfg.Cluster.Coordinator(r); coord != nil {
-				coord.SetSpans(db.spans)
+				coord.SetSpans(db.spans.For(string(r)))
 			}
 			if rep := cfg.Cluster.Replica(r); rep != nil {
-				rep.SetSpans(db.spans)
+				rep.SetSpans(db.spans.For(string(r)))
 			}
 		}
 	}
 	if cfg.CommitTimeout <= 0 {
 		cfg.CommitTimeout = cfg.Cluster.CommitTimeout()
 	}
-	var feed predictor.StageFeed
-	if cfg.AttributionFeed && db.attr != nil {
-		feed = db.attr
-	}
 	for _, r := range regionList {
+		// The feed is the region's own shard: a predictor only ever learns
+		// from spans its own coordinator recorded, which keeps its reads on
+		// the region's partition (a merged cross-region feed would read
+		// other partitions' half-updated statistics at nondeterministic
+		// points).
+		var feed predictor.StageFeed
+		if cfg.AttributionFeed && db.spans != nil {
+			feed = db.spans.For(string(r)).Attribution()
+		}
 		db.preds[r] = predictor.New(predictor.Config{
 			Regions:          regionList,
-			Clock:            clk,
+			Clock:            db.rts[r].clk,
 			FastQuorum:       mdcc.FastQuorum(len(regionList)),
 			ConflictHalfLife: cfg.ConflictHalfLife,
 			UseConflicts:     !cfg.DisableConflictTerm,
@@ -248,12 +277,13 @@ func (db *DB) Registry() *obs.Registry { return db.cfg.Registry }
 // Tracer returns the lifecycle tracer (nil unless configured).
 func (db *DB) Tracer() *obs.Tracer { return db.tracer }
 
-// Spans returns the causal span store (nil unless Config.Trace).
-func (db *DB) Spans() *obs.SpanStore { return db.spans }
-
-// Attribution returns the per-stage latency attribution engine (nil unless
+// Spans returns the causal span stores, sharded by home region (nil unless
 // Config.Trace).
-func (db *DB) Attribution() *obs.Attribution { return db.attr }
+func (db *DB) Spans() *obs.SpanStores { return db.spans }
+
+// Attribution returns the merged per-stage latency attribution view over
+// every region's engine (nil unless Config.Trace).
+func (db *DB) Attribution() *obs.AttributionSet { return db.attr }
 
 // Stats snapshots the outcome counters.
 func (db *DB) Stats() Stats {
@@ -303,21 +333,35 @@ func (db *DB) InFlight() int64 {
 // because their home region was degraded.
 func (db *DB) SpeculationShed() uint64 { return db.specShed.Load() }
 
-// jitter draws a multiplier in [0.5, 1.5) for retry backoff.
-func (db *DB) jitter() float64 {
-	db.rngMu.Lock()
-	defer db.rngMu.Unlock()
-	return 0.5 + db.rng.Float64()
+// rt returns the region's runtime (nil for unknown regions).
+func (db *DB) rt(r simnet.Region) *regionRT { return db.rts[r] }
+
+// clockFor returns the scheduler partition region r's sessions run on.
+func (db *DB) clockFor(r simnet.Region) vclock.Clock {
+	if rt := db.rts[r]; rt != nil {
+		return rt.clk
+	}
+	return db.clk
+}
+
+// jitter draws a multiplier in [0.5, 1.5) for retry backoff, from the
+// region's private stream.
+func (db *DB) jitter(r simnet.Region) float64 {
+	rt := db.rts[r]
+	rt.mu.Lock()
+	defer rt.mu.Unlock()
+	return 0.5 + rt.rng.Float64()
 }
 
 // probe draws whether a below-threshold transaction is admitted anyway.
-func (db *DB) probe(fraction float64) bool {
+func (db *DB) probe(r simnet.Region, fraction float64) bool {
 	if fraction <= 0 {
 		return false
 	}
-	db.rngMu.Lock()
-	defer db.rngMu.Unlock()
-	return db.rng.Float64() < fraction
+	rt := db.rts[r]
+	rt.mu.Lock()
+	defer rt.mu.Unlock()
+	return rt.rng.Float64() < fraction
 }
 
 // Session returns a client handle bound to a region: reads are served by
@@ -329,17 +373,26 @@ func (db *DB) Session(region simnet.Region) (*Session, error) {
 	if coord == nil || replica == nil {
 		return nil, fmt.Errorf("planet: unknown region %q", region)
 	}
-	return &Session{db: db, region: region, coord: coord, replica: replica, pred: db.preds[region]}, nil
+	return &Session{
+		db: db, region: region, coord: coord, replica: replica,
+		pred: db.preds[region], clk: db.clockFor(region),
+	}, nil
 }
 
-// Session is a per-region client.
+// Session is a per-region client. Under a partitioned scheduler its
+// goroutines execute on the region's partition (spawn them with
+// Clock().Go or vclock.Group.GoOn).
 type Session struct {
 	db      *DB
 	region  simnet.Region
 	coord   *mdcc.Coordinator
 	replica *mdcc.Replica
 	pred    *predictor.Predictor
+	clk     vclock.Clock
 }
+
+// Clock returns the scheduler partition the session's region runs on.
+func (s *Session) Clock() vclock.Clock { return s.clk }
 
 // Region returns the session's home region.
 func (s *Session) Region() simnet.Region { return s.region }

@@ -80,6 +80,8 @@ type Handle struct {
 	id      txn.ID
 	db      *DB
 	session *Session
+	clk     vclock.Clock    // the home region's scheduler partition
+	spans   *obs.SpanStore  // the home region's span shard (nil untraced)
 	opts    CommitOptions
 	regions []simnet.Region
 	// span is the transaction's root trace span id (0 = untraced). Every
@@ -152,14 +154,16 @@ func (t *Txn) Commit(opts CommitOptions) (*Handle, error) {
 	}
 
 	h := &Handle{
-		id:      txn.NewID(),
+		id:      db.rt(s.region).ids.NewID(),
 		db:      db,
 		session: s,
+		clk:     s.clk,
+		spans:   db.spans.For(string(s.region)),
 		opts:    opts,
 		regions: regionList,
 		tracks:  make([]optTrack, len(ops)),
-		start:   db.clk.Now(),
-		done:    db.clk.NewEvent(),
+		start:   s.clk.Now(),
+		done:    s.clk.NewEvent(),
 	}
 	for i, op := range ops {
 		h.tracks[i] = optTrack{
@@ -167,7 +171,7 @@ func (t *Txn) Commit(opts CommitOptions) (*Handle, error) {
 			fellBack: db.cfg.Mode == mdcc.ModeClassic,
 		}
 	}
-	if db.spans != nil {
+	if h.spans != nil {
 		h.span = obs.NewSpanID()
 	}
 	h.cbcond = sync.NewCond(&h.cbmu)
@@ -186,7 +190,7 @@ func (t *Txn) Commit(opts CommitOptions) (*Handle, error) {
 	pol := db.cfg.Admission
 	if pol.enabled() && len(ops) > 0 {
 		inFlight := db.inFlight[s.region]
-		if pol.MinLikelihood > 0 && prior < pol.MinLikelihood && !db.probe(pol.ProbeFraction) {
+		if pol.MinLikelihood > 0 && prior < pol.MinLikelihood && !db.probe(s.region, pol.ProbeFraction) {
 			db.rejected.Add(1)
 			db.tracer.Record(h.id, obs.Event{Kind: obs.EvAdmission,
 				Likelihood: prior, Note: "below-min-likelihood"})
@@ -223,9 +227,9 @@ func (t *Txn) Commit(opts CommitOptions) (*Handle, error) {
 	}
 
 	if opts.Deadline > 0 {
-		h.timer = db.clk.AfterFunc(opts.Deadline, h.onDeadline)
+		h.timer = s.clk.AfterFunc(opts.Deadline, h.onDeadline)
 	}
-	preSubmit := db.clk.Now()
+	preSubmit := s.clk.Now()
 	if err := s.coord.SubmitTraced(h.id, ops, db.cfg.Mode, (*handleSink)(h), h.span); err != nil {
 		// Unreachable for well-formed ops, but fail closed.
 		db.inFlight[s.region].Add(-1)
@@ -242,10 +246,10 @@ func (h *Handle) recordSpan(st obs.Stage, start time.Time, note string) {
 	if h.span == 0 {
 		return
 	}
-	h.db.spans.Add(obs.Span{
+	h.spans.Add(obs.Span{
 		Txn: h.id, ID: obs.NewSpanID(), Parent: h.span, Stage: st,
 		Region: string(h.session.region), Note: note,
-		Start: start, End: h.db.clk.Now(),
+		Start: start, End: h.clk.Now(),
 	})
 }
 
@@ -304,7 +308,7 @@ func (h *Handle) progressLocked() Progress {
 		Txn:            h.id,
 		Stage:          h.stage,
 		Likelihood:     h.likelihood,
-		Elapsed:        h.db.clk.Since(h.start),
+		Elapsed:        h.clk.Since(h.start),
 		VotesReceived:  h.votes,
 		VotesExpected:  len(h.regions) * len(h.tracks),
 		OptionsLearned: h.learnedN,
@@ -315,7 +319,7 @@ func (h *Handle) progressLocked() Progress {
 // push appends one callback (nil = sentinel) with a freshly reserved
 // ticket and wakes the dispatch goroutine.
 func (h *Handle) push(f func()) {
-	t := h.db.clk.Ticket()
+	t := h.clk.Ticket()
 	h.cbmu.Lock()
 	h.cbq = append(h.cbq, cbItem{f: f, t: t})
 	h.cbmu.Unlock()
@@ -366,7 +370,7 @@ func (h *Handle) reject() {
 	h.terminal = true
 	h.outcome = txn.Outcome{
 		ID: h.id, Rejected: true, Err: ErrAdmission,
-		Submitted: h.start, Decided: h.db.clk.Now(),
+		Submitted: h.start, Decided: h.clk.Now(),
 	}
 	h.db.inst.stage(txn.StageRejected)
 	h.db.inst.finished(outcomeRejected, h.outcome.Duration())
@@ -405,7 +409,7 @@ func (h *Handle) track(key string) *optTrack {
 // Caller holds h.mu. The tracks slice is in submission order, which keeps
 // the likelihood product bit-for-bit reproducible.
 func (h *Handle) flightLocked() predictor.Flight {
-	f := predictor.Flight{Elapsed: h.db.clk.Since(h.start), Deadline: h.opts.Deadline}
+	f := predictor.Flight{Elapsed: h.clk.Since(h.start), Deadline: h.opts.Deadline}
 	for i := range h.tracks {
 		tr := &h.tracks[i]
 		of := predictor.OptionFlight{
@@ -548,7 +552,7 @@ func (h *Handle) finishLocked(committed bool, err error, submitFailed bool) {
 	}
 	h.outcome = txn.Outcome{
 		ID: h.id, Committed: committed, Err: err,
-		Submitted: h.start, Decided: h.db.clk.Now(), Speculated: h.speculated,
+		Submitted: h.start, Decided: h.clk.Now(), Speculated: h.speculated,
 	}
 	h.db.inst.stage(h.stage)
 	h.db.inst.finished(outcome, h.outcome.Duration())
@@ -580,7 +584,7 @@ func (h *Handle) finishLocked(committed bool, err error, submitFailed bool) {
 		// (callback queue drain), recorded from the dispatch goroutine after
 		// OnFinal and OnApology have run.
 		decided := h.outcome.Decided
-		h.db.spans.Add(obs.Span{
+		h.spans.Add(obs.Span{
 			Txn: h.id, ID: h.span, Stage: obs.StageTotal,
 			Region: string(h.session.region), Start: h.start, End: decided,
 		})

@@ -32,7 +32,7 @@ func (s *Session) backoff(attempt int) time.Duration {
 	if d > retryBackoffMax {
 		d = retryBackoffMax
 	}
-	d = time.Duration(float64(d) * s.db.jitter())
+	d = time.Duration(float64(d) * s.db.jitter(s.region))
 	return s.db.cfg.Cluster.ScaleDuration(d)
 }
 
@@ -86,7 +86,7 @@ func (s *Session) RunCtx(ctx context.Context, attempts int, fn func(*Txn) error)
 			if i+1 >= attempts {
 				continue
 			}
-			if err := s.db.clk.SleepCtx(ctx, s.backoff(i)); err != nil {
+			if err := s.clk.SleepCtx(ctx, s.backoff(i)); err != nil {
 				return last, err
 			}
 		default:

@@ -111,28 +111,46 @@ func F3Trajectory(cfg Config) (Result, error) {
 	if err != nil {
 		return Result{}, err
 	}
+	// Pace arrivals from the driving partition; each transaction's
+	// build+commit+wait runs on the session's region partition (a child RNG
+	// per arrival keeps key choices a pure function of the arrival index).
 	rng := rand.New(rand.NewSource(cfg.Seed + 29))
 	total := cfg.pick(300, 80)
 	clk := db.Cluster().Clock()
+	rclk := s.Clock()
 	g := vclock.NewGroup(clk)
+	var errMu sync.Mutex
+	var runErr error
 	for i := 0; i < total; i++ {
-		tx, err := tmpl.Build(s, rng)
-		if err != nil {
-			return Result{}, err
-		}
-		var trajMu sync.Mutex
-		var traj []float64
-		h, err := tx.Commit(planet.CommitOptions{
-			OnProgress: func(p planet.Progress) {
-				trajMu.Lock()
-				traj = append(traj, p.Likelihood)
-				trajMu.Unlock()
-			},
-		})
-		if err != nil {
-			return Result{}, err
-		}
-		g.Go(func() {
+		childSeed := rng.Int63()
+		g.GoOn(rclk, func() {
+			crng := rand.New(rand.NewSource(childSeed))
+			tx, err := tmpl.Build(s, crng)
+			if err != nil {
+				errMu.Lock()
+				if runErr == nil {
+					runErr = err
+				}
+				errMu.Unlock()
+				return
+			}
+			var trajMu sync.Mutex
+			var traj []float64
+			h, err := tx.Commit(planet.CommitOptions{
+				OnProgress: func(p planet.Progress) {
+					trajMu.Lock()
+					traj = append(traj, p.Likelihood)
+					trajMu.Unlock()
+				},
+			})
+			if err != nil {
+				errMu.Lock()
+				if runErr == nil {
+					runErr = err
+				}
+				errMu.Unlock()
+				return
+			}
 			o := h.Wait()
 			trajMu.Lock()
 			t := append([]float64(nil), traj...)
@@ -143,6 +161,9 @@ func F3Trajectory(cfg Config) (Result, error) {
 		clk.Sleep(db.Cluster().ScaleDuration(5 * time.Millisecond))
 	}
 	g.Wait()
+	if runErr != nil {
+		return Result{}, runErr
+	}
 
 	var b strings.Builder
 	out := make(map[string]float64)
@@ -222,13 +243,21 @@ func A2PredictorAblation(cfg Config) (Result, error) {
 		cleanup()
 	}
 
-	// Monte-Carlo agreement on synthetic flights.
+	// Monte-Carlo agreement on synthetic flights. The predictor's conflict
+	// and latency terms decay against its clock; the default (real) clock
+	// would make the decayed rates depend on wall time elapsed between
+	// ObserveVote and Likelihood, so pin a virtual clock — it never
+	// advances here, making every decay timestamp a pure function of the
+	// call sequence.
 	topo := regions.Five()
+	mcClk := vclock.NewVirtual()
+	defer mcClk.Shutdown()
 	pred := predictor.New(predictor.Config{
 		Regions:      topo.Regions,
 		FastQuorum:   4,
 		UseConflicts: true,
 		UseLatency:   true,
+		Clock:        mcClk,
 	})
 	rng := rand.New(rand.NewSource(cfg.Seed + 43))
 	for i := 0; i < 400; i++ {

@@ -128,7 +128,7 @@ func (r *Replica) evictTracesLocked(now time.Time) {
 func NewReplica(cfg ReplicaConfig) *Replica {
 	r := &Replica{
 		cfg:      cfg,
-		clk:      cfg.Net.Clock(),
+		clk:      cfg.Net.ClockFor(cfg.Addr.Region),
 		records:  make(map[string]*record),
 		decided:  make(map[txn.ID]bool),
 		masters:  make(map[string]*masterKey),

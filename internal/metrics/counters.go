@@ -2,6 +2,7 @@ package metrics
 
 import (
 	"fmt"
+	"math"
 	"sort"
 	"strings"
 	"sync"
@@ -48,13 +49,21 @@ func (t *Throughput) Count() uint64 { return t.n.Load() }
 // Calibration is a reliability table for probability predictions: it buckets
 // predictions by value and tracks the realized positive rate per bucket.
 // A well-calibrated predictor shows observed ≈ bucket midpoint on every row.
+// Predictions are accumulated in fixed point (nano-units) so the sum is
+// exact and commutative: concurrent recorders landing in different real-time
+// orders cannot perturb the table's low bits across same-seed runs.
 type Calibration struct {
 	mu      sync.Mutex
 	buckets int
 	n       []uint64
 	hits    []uint64
-	sumPred []float64
+	sumPred []int64 // sum of predictions × predFixed
 }
+
+// predFixed is the fixed-point scale for prediction sums: 1e9 keeps nine
+// decimal digits, far below any reported precision, with int64 headroom for
+// ~9e9 samples per bucket.
+const predFixed = 1e9
 
 // NewCalibration returns a table with the given number of equal-width
 // buckets over [0,1]; buckets is clamped to at least 2.
@@ -66,7 +75,7 @@ func NewCalibration(buckets int) *Calibration {
 		buckets: buckets,
 		n:       make([]uint64, buckets),
 		hits:    make([]uint64, buckets),
-		sumPred: make([]float64, buckets),
+		sumPred: make([]int64, buckets),
 	}
 }
 
@@ -85,7 +94,7 @@ func (c *Calibration) Record(predicted float64, positive bool) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	c.n[i]++
-	c.sumPred[i] += predicted
+	c.sumPred[i] += int64(math.Round(predicted * predFixed))
 	if positive {
 		c.hits[i]++
 	}
@@ -112,7 +121,7 @@ func (c *Calibration) Rows() []Row {
 		rows = append(rows, Row{
 			Lo:            float64(i) * w,
 			Hi:            float64(i+1) * w,
-			MeanPredicted: c.sumPred[i] / float64(c.n[i]),
+			MeanPredicted: float64(c.sumPred[i]) / predFixed / float64(c.n[i]),
 			Observed:      float64(c.hits[i]) / float64(c.n[i]),
 			N:             c.n[i],
 		})

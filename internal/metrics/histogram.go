@@ -21,15 +21,18 @@ import (
 // memory. It keeps exact min/max and sum for means.
 //
 // Recording is lock-free and allocation-free: buckets, count, and sum are
-// atomics, and min/max are maintained with CAS loops, so concurrent workload
-// drivers never serialize on a histogram mutex. Readers take racy-but-
+// atomics, and min/max are maintained with CAS loops that early-exit once
+// the extremes settle, so concurrent workload drivers never serialize on a
+// histogram mutex. The sum is an integer nanosecond total — a single
+// fetch-and-add, exact, and commutative, so the mean is independent of the
+// real-time order concurrent recorders land in. Readers take racy-but-
 // monotonic snapshots, which is all reporting needs.
 type Histogram struct {
 	buckets []atomic.Uint64
 	count   atomic.Uint64
-	sumBits atomic.Uint64 // float64 bits of the running sum
-	minNS   atomic.Int64  // smallest sample in ns; math.MaxInt64 when empty
-	maxNS   atomic.Int64  // largest sample in ns
+	sumNS   atomic.Int64 // running sum in ns (exact: ~292y of headroom)
+	minNS   atomic.Int64 // smallest sample in ns; math.MaxInt64 when empty
+	maxNS   atomic.Int64 // largest sample in ns
 }
 
 // bucketGrowth is the per-bucket multiplicative width. 1.05 bounds the
@@ -90,13 +93,7 @@ func (h *Histogram) Observe(d time.Duration) {
 			break
 		}
 	}
-	for {
-		cur := h.sumBits.Load()
-		next := math.Float64bits(math.Float64frombits(cur) + float64(d))
-		if h.sumBits.CompareAndSwap(cur, next) {
-			break
-		}
-	}
+	h.sumNS.Add(ns)
 	h.count.Add(1)
 }
 
@@ -109,7 +106,7 @@ func (h *Histogram) Mean() time.Duration {
 	if n == 0 {
 		return 0
 	}
-	return time.Duration(math.Float64frombits(h.sumBits.Load()) / float64(n))
+	return time.Duration(h.sumNS.Load() / int64(n))
 }
 
 // Min returns the smallest recorded sample (0 when empty).

@@ -130,7 +130,12 @@ func (a *Attribution) Snapshot() Snapshot {
 	a.mu.Lock()
 	stages := a.stages
 	a.mu.Unlock()
+	return snapshotFrom(stages)
+}
 
+// snapshotFrom builds the ranked report from a set of accumulators (shared
+// by Attribution.Snapshot and the merged AttributionSet view).
+func snapshotFrom(stages [NumStages]stageAcc) Snapshot {
 	var snap Snapshot
 	var leafVar float64
 	for st := Stage(0); st < NumStages; st++ {

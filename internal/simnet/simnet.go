@@ -18,7 +18,6 @@ package simnet
 
 import (
 	"fmt"
-	"hash/fnv"
 	"math"
 	"math/rand"
 	"sort"
@@ -143,16 +142,21 @@ type Config struct {
 	// the real system clock; a *vclock.Virtual runs the network at CPU
 	// speed with deterministic delivery order.
 	Clock vclock.Clock
+	// Clocks optionally maps each region to its own scheduler partition
+	// (a vclock.World partition). When set, a send samples its delay on the
+	// sender region's serialized stream, stamps SentAt with the sender
+	// partition's time, and ships delivery through the deterministic
+	// cross-partition merge layer, so regions simulate concurrently on real
+	// cores with a bit-identical delivery order. Regions absent from the map
+	// fall back to Clock.
+	Clocks map[Region]vclock.Clock
 }
 
-// sendShards is the fixed number of RNG shards for the send path. A fixed
-// count (rather than GOMAXPROCS) keeps sender→shard assignment — and thus
-// every sampled delay — identical across machines.
-const sendShards = 8
-
-// rngShard is one independently-seeded sampling stream. Senders hash to a
-// shard, so concurrent sends from different nodes do not serialize on one
-// global RNG lock.
+// rngShard is one independently-seeded sampling stream. Each region owns a
+// shard: all sends from a region are serialized on that region's scheduler
+// partition, so the shard's draw order — and thus every sampled delay — is
+// deterministic even when partitions run concurrently on real cores.
+// Unknown regions share a fallback shard.
 type rngShard struct {
 	mu  sync.Mutex
 	rng *rand.Rand
@@ -204,9 +208,10 @@ type Network struct {
 
 	lossBits atomic.Uint64 // current loss rate as float64 bits (lock-free read on send)
 
-	shards  [sendShards]rngShard // per-sender delay/loss sampling streams
-	calibMu sync.Mutex
-	calib   *rand.Rand // dedicated stream for SampleDelay probes
+	shards   map[Region]*rngShard // per-region delay/loss sampling streams
+	defShard *rngShard            // fallback for regions missing from the matrix
+	calibMu  sync.Mutex
+	calib    *rand.Rand // dedicated stream for SampleDelay probes
 
 	pending atomic.Int64  // messages sampled but not yet delivered
 	pmu     sync.Mutex    // guards drained
@@ -258,15 +263,29 @@ func New(cfg Config) (*Network, error) {
 		cut:    make(map[linkKey]bool),
 		factor: make(map[linkKey]float64),
 	})
-	for i := range n.shards {
-		n.shards[i].rng = rand.New(rand.NewSource(cfg.Seed + int64(i)))
+	// Shard seeds are assigned by sorted region index, so the per-region
+	// sampling streams are identical across processes and GOMAXPROCS values.
+	n.shards = make(map[Region]*rngShard)
+	regions := cfg.Latency.Regions()
+	for i, r := range regions {
+		n.shards[r] = &rngShard{rng: rand.New(rand.NewSource(cfg.Seed + int64(i)))}
 	}
+	n.defShard = &rngShard{rng: rand.New(rand.NewSource(cfg.Seed + int64(len(regions))))}
 	n.lossBits.Store(math.Float64bits(cfg.LossRate))
 	return n, nil
 }
 
 // Clock returns the network's time source.
 func (n *Network) Clock() vclock.Clock { return n.clk }
+
+// ClockFor returns the scheduler partition owning region r (the shared clock
+// when no per-region partitions are configured).
+func (n *Network) ClockFor(r Region) vclock.Clock {
+	if c, ok := n.cfg.Clocks[r]; ok {
+		return c
+	}
+	return n.clk
+}
 
 // mutate clones the routing snapshot, applies f, and swaps it in. Mutations
 // are rare (startup registration, fault injection); sends never wait on them.
@@ -278,13 +297,12 @@ func (n *Network) mutate(f func(t *topology)) {
 	n.topo.Store(t)
 }
 
-// shardFor deterministically maps a sender to an RNG shard.
+// shardFor maps a sender to its region's RNG shard.
 func (n *Network) shardFor(from Addr) *rngShard {
-	h := fnv.New32a()
-	h.Write([]byte(from.Region))
-	h.Write([]byte{0})
-	h.Write([]byte(from.Name))
-	return &n.shards[h.Sum32()%sendShards]
+	if sh, ok := n.shards[from.Region]; ok {
+		return sh
+	}
+	return n.defShard
 }
 
 // TimeScale returns the effective scale factor (always > 0).
@@ -480,11 +498,15 @@ func (n *Network) send(from, to Addr, payload any, batch []any) {
 		obs.MessageSent(from.Region, to.Region, scaled)
 	}
 	n.pending.Add(1)
+	srcClk := n.ClockFor(from.Region)
 	d := deliveryPool.Get().(*delivery)
 	d.n = n
-	d.msg = Message{From: from, To: to, Payload: payload, SentAt: n.clk.Now()}
+	d.msg = Message{From: from, To: to, Payload: payload, SentAt: srcClk.Now()}
 	d.batch = batch
-	n.clk.AfterFunc(scaled, d.fn)
+	// Under per-region partitions this ships through the deterministic merge
+	// layer (clamping the delay up to the link's lookahead floor if a delay
+	// override pushed it below); otherwise it degenerates to a local timer.
+	vclock.ScheduleCross(srcClk, n.ClockFor(to.Region), scaled, d.fn)
 }
 
 // deliveryDone retires one in-flight message and wakes Quiesce waiters when

@@ -31,6 +31,10 @@ type grant struct {
 	fn    func()        // AfterFunc body (nil for parked goroutines)
 	timer *vtimer       // companion timeout timer, descheduled on other wakes
 	cause int           // why a parked grant was woken; causeNone = still parked
+
+	// World-partition fields (nil/zero under a plain Virtual clock).
+	p  *Partition // partition the grant parks on (wakes route back to it)
+	wt *wtimer    // companion timeout timer in the partitioned scheduler
 }
 
 // Virtual is a deterministic discrete-event scheduler implementing Clock.

@@ -1,0 +1,789 @@
+package vclock
+
+import (
+	"container/heap"
+	"context"
+	"fmt"
+	"math"
+	"sort"
+	"sync"
+	"time"
+)
+
+// maxDur is the "no pending work" sentinel for partition bases.
+const maxDur = time.Duration(math.MaxInt64)
+
+// World is a partitioned deterministic discrete-event scheduler: a set of
+// Partition clocks — one per region, plus a control partition for driver
+// code — each running the serialized Virtual discipline locally while
+// executing concurrently with the others on real cores.
+//
+// Determinism under parallelism comes from conservative lookahead
+// synchronization. Every ordered partition pair (S, P) has a lookahead
+// la(S→P) > 0: the minimum virtual delay of any cross-partition effect from
+// S to P (in the WAN emulator, the latency floor of the S→P link). Define
+//
+//	base(Q)    = Q's now while Q is busy, its earliest pending event time
+//	             while idle, +inf when it has nothing scheduled;
+//	horizon(P) = min over Q≠P of base(Q) + la(Q→P).
+//
+// P may execute an event at time t only while t < horizon(P) (strictly).
+// Because cross-partition effects always land at least la in the sender's
+// future, every event that could still arrive at P carries a timestamp
+// >= horizon(P) > t, so the set and order of events P executes is a pure
+// function of the initial state — the OS scheduler never gets a vote. The
+// lookahead matrix is closed under the triangle inequality at construction,
+// which also makes horizons monotone: an admitted event can never be
+// invalidated by a later arrival.
+//
+// Cross-partition events are stamped (virtual_time, sender_partition, seq)
+// — seq allocated per sender, whose execution is serialized — and merged
+// into the destination's heap in that total order; at equal timestamps,
+// cross-partition events sort before locally scheduled ones (the strict
+// horizon guarantees all same-time arrivals are present before execution).
+//
+// All partitions share one mutex: scheduling transitions are short (heap
+// ops and a horizon scan), and the event handlers — where the simulation
+// actually spends its time — run with the lock released, in parallel.
+// Wake-ups are targeted: each partition loop sleeps on its own condition
+// variable and is signaled only when its admission predicate could have
+// changed (new local work, or a peer's base advancing past a horizon
+// block), so one partition's scheduling traffic does not stampede the rest.
+type World struct {
+	mu      sync.Mutex
+	parts   []*Partition
+	byName  map[string]*Partition
+	la      [][]time.Duration // closed lookahead matrix, la[src][dst]
+	stopped bool
+}
+
+// NewWorld builds a world with one partition per name (in order; the index
+// is the deterministic tie-break rank) and the given lookahead matrix:
+// la[i][j] is the minimum virtual delay of any cross-partition effect from
+// partition i to partition j, and must be positive for i != j. The matrix
+// is closed under the triangle inequality internally. The constructing
+// goroutine holds partition 0's execution slot (like NewVirtual) and must
+// block only through clock primitives.
+func NewWorld(names []string, la [][]time.Duration) (*World, error) {
+	if len(names) == 0 {
+		return nil, fmt.Errorf("vclock: world needs at least one partition")
+	}
+	if len(la) != len(names) {
+		return nil, fmt.Errorf("vclock: lookahead matrix is %dx, want %d rows", len(la), len(names))
+	}
+	closed := make([][]time.Duration, len(names))
+	for i := range names {
+		if len(la[i]) != len(names) {
+			return nil, fmt.Errorf("vclock: lookahead row %d has %d entries, want %d", i, len(la[i]), len(names))
+		}
+		closed[i] = append([]time.Duration(nil), la[i]...)
+		for j := range names {
+			if i != j && closed[i][j] <= 0 {
+				return nil, fmt.Errorf("vclock: lookahead %s->%s must be positive", names[i], names[j])
+			}
+		}
+	}
+	// Floyd–Warshall metric closure: la[i][j] <= la[i][k] + la[k][j] for all
+	// k. Without it a relayed message could undercut a direct lookahead and
+	// invalidate an already-admitted event.
+	n := len(names)
+	for k := 0; k < n; k++ {
+		for i := 0; i < n; i++ {
+			for j := 0; j < n; j++ {
+				if i == j || i == k || j == k {
+					continue
+				}
+				if via := closed[i][k] + closed[k][j]; via < closed[i][j] {
+					closed[i][j] = via
+				}
+			}
+		}
+	}
+	w := &World{byName: make(map[string]*Partition, len(names)), la: closed}
+	for i, name := range names {
+		if _, dup := w.byName[name]; dup {
+			return nil, fmt.Errorf("vclock: duplicate partition name %q", name)
+		}
+		p := &Partition{w: w, id: i, name: name}
+		p.cond = sync.NewCond(&w.mu)
+		w.parts = append(w.parts, p)
+		w.byName[name] = p
+	}
+	w.parts[0].running = 1 // the constructing goroutine holds partition 0's slot
+	for _, p := range w.parts {
+		go p.run()
+	}
+	return w, nil
+}
+
+// Partition returns the named partition's clock, or nil if unknown.
+func (w *World) Partition(name string) *Partition { return w.byName[name] }
+
+// Partitions returns the partitions in construction (tie-break) order.
+func (w *World) Partitions() []*Partition { return append([]*Partition(nil), w.parts...) }
+
+// Shutdown stops every partition loop, discards pending callbacks, and
+// wakes parked sleepers (their Sleep returns early, WaitTimeout reports
+// false). Call once the simulated world is drained.
+func (w *World) Shutdown() {
+	w.mu.Lock()
+	w.stopped = true
+	for _, p := range w.parts {
+		p.cond.Signal()
+	}
+	w.mu.Unlock()
+}
+
+// Partition is one region's serialized scheduler inside a World. It
+// implements Clock: within a partition at most one tracked goroutine runs
+// at a time and the local rules are exactly Virtual's; across partitions,
+// execution is concurrent and ordered by the conservative horizon.
+//
+// Cross-partition scheduling must go through ScheduleCross / RunOn /
+// Group.GoOn (or an Event homed on the firing partition) so the effect
+// passes through the deterministic merge layer. Calling a partition's own
+// methods from a goroutine tracked by a different partition bypasses that
+// layer and reintroduces real-time races.
+type Partition struct {
+	w    *World
+	id   int
+	name string
+
+	// All fields below are guarded by w.mu.
+	cond        *sync.Cond // wakes this partition's loop only
+	horizonWait bool       // loop is asleep blocked by its horizon
+	now         time.Duration
+	running     int // granted execution slots (see Virtual.running)
+	ready       []*grant
+	timers      wtimerHeap
+	seq         uint64 // local insertion order (timer ties)
+	xseq        uint64 // cross-partition send order (merge-layer ties)
+}
+
+// Name returns the partition's name.
+func (p *Partition) Name() string { return p.name }
+
+// run is the partition loop: grant ready work, and pop the timer heap only
+// while the head is inside the conservative horizon.
+func (p *Partition) run() {
+	w := p.w
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	for {
+		if w.stopped {
+			p.drainLocked()
+			return
+		}
+		if p.running > 0 {
+			p.cond.Wait()
+			continue
+		}
+		if len(p.ready) > 0 {
+			g := p.ready[0]
+			p.ready = p.ready[1:]
+			p.running++
+			if g.fn != nil {
+				fn := g.fn
+				w.mu.Unlock()
+				fn()
+				w.mu.Lock()
+				p.running--
+				p.baseRaisedLocked()
+			} else {
+				close(g.ch)
+			}
+			continue
+		}
+		if len(p.timers) > 0 {
+			t := p.timers[0]
+			if t.when <= p.now || t.when < p.horizonLocked() {
+				heap.Pop(&p.timers)
+				if t.when > p.now {
+					p.now = t.when
+				}
+				t.fireLocked()
+				// Popping the head can only raise base(p): it was the head's
+				// time and is now p.now (equal, if the fire readied local
+				// work) or the next head / +inf (if it shipped elsewhere).
+				p.baseRaisedLocked()
+				continue
+			}
+			p.horizonWait = true
+			p.cond.Wait()
+			p.horizonWait = false
+			continue
+		}
+		p.cond.Wait()
+	}
+}
+
+// baseRaisedLocked propagates a possible base(p) increase — p just released
+// an execution slot or dropped its head timer — to peers blocked on their
+// horizons. Caller holds w.mu.
+func (p *Partition) baseRaisedLocked() {
+	if p.running == 0 && len(p.ready) == 0 {
+		p.wakeHorizonPeersLocked()
+	}
+}
+
+// wakeHorizonPeersLocked signals every peer loop asleep on its horizon:
+// base(p) rose, so their horizons may have too. Caller holds w.mu.
+func (p *Partition) wakeHorizonPeersLocked() {
+	for _, q := range p.w.parts {
+		if q != p && q.horizonWait {
+			q.cond.Signal()
+		}
+	}
+}
+
+// baseLocked is the earliest virtual time at which p could still produce an
+// effect. Caller holds w.mu.
+func (p *Partition) baseLocked() time.Duration {
+	if p.running > 0 || len(p.ready) > 0 {
+		return p.now
+	}
+	if len(p.timers) > 0 {
+		return p.timers[0].when
+	}
+	return maxDur
+}
+
+// horizonLocked is the conservative bound below which p may execute.
+// Caller holds w.mu.
+func (p *Partition) horizonLocked() time.Duration {
+	w := p.w
+	h := maxDur
+	for _, q := range w.parts {
+		if q == p {
+			continue
+		}
+		b := q.baseLocked()
+		la := w.la[q.id][p.id]
+		if b >= maxDur-la {
+			continue // effectively unbounded
+		}
+		if b+la < h {
+			h = b + la
+		}
+	}
+	return h
+}
+
+// drainLocked wakes everything at shutdown. Caller holds w.mu.
+func (p *Partition) drainLocked() {
+	for _, g := range p.ready {
+		if g.ch != nil {
+			close(g.ch)
+		}
+	}
+	p.ready = nil
+	for _, t := range p.timers {
+		if t.g != nil && t.g.cause == causeNone {
+			t.g.cause = causeShutdown
+			close(t.g.ch)
+		}
+	}
+	p.timers = nil
+}
+
+// readyLocked appends g to the run queue. Caller holds w.mu.
+func (p *Partition) readyLocked(g *grant) {
+	p.ready = append(p.ready, g)
+	p.cond.Signal()
+}
+
+// parkLocked releases the caller's execution slot and blocks until g is
+// granted. Caller holds w.mu and owns p's slot; returns without the lock.
+func (p *Partition) parkLocked(g *grant) {
+	p.running--
+	if p.running < 0 {
+		panic("vclock: park without an execution slot (untracked goroutine blocked through the clock)")
+	}
+	p.cond.Signal()
+	p.baseRaisedLocked()
+	p.w.mu.Unlock()
+	<-g.ch
+}
+
+// exitLocked gives the execution slot back without a wake-up to wait for.
+// Caller holds w.mu.
+func (p *Partition) exitLocked() {
+	p.running--
+	if p.running < 0 {
+		panic("vclock: unbalanced execution-slot release")
+	}
+	p.cond.Signal()
+	p.baseRaisedLocked()
+}
+
+// wakeLocked readies a parked grant with the given cause, descheduling its
+// companion timer. A no-op when the grant was already woken. Caller holds
+// w.mu. The grant is readied on the partition it parked on (g.p).
+func (p *Partition) wakeLocked(g *grant, cause int) {
+	if g.cause != causeNone {
+		return
+	}
+	g.cause = cause
+	if g.wt != nil && g.wt.index >= 0 {
+		tp := g.wt.p
+		heap.Remove(&tp.timers, g.wt.index)
+		tp.baseRaisedLocked() // head timer may have risen
+	}
+	home := g.p
+	if home == nil {
+		home = p
+	}
+	if p.w.stopped {
+		// The partition loops have exited; release the waiter directly
+		// instead of queueing it on a dead run queue.
+		if g.ch != nil {
+			close(g.ch)
+		}
+		return
+	}
+	home.readyLocked(g)
+}
+
+// newTimerLocked registers a local timer firing at now+d. Caller holds w.mu.
+func (p *Partition) newTimerLocked(d time.Duration) *wtimer {
+	if d < 0 {
+		d = 0
+	}
+	t := &wtimer{p: p, when: p.now + d, k1: p.seq, cause: causeTimer, index: -1}
+	p.seq++
+	heap.Push(&p.timers, t)
+	p.cond.Signal()
+	return t
+}
+
+// crossLocked stamps t with (src.now + max(d, la), src, seq) and merges it
+// into dst's heap. Caller holds w.mu and must be executing on src (sends
+// from a partition are serialized, which is what makes seq deterministic).
+func (w *World) crossLocked(src, dst *Partition, d time.Duration, t *wtimer) {
+	if la := w.la[src.id][dst.id]; d < la {
+		d = la // the lookahead is a promise; never undercut it
+	}
+	t.p = dst
+	t.when = src.now + d
+	t.cross = true
+	t.k1 = uint64(src.id)
+	t.k2 = src.xseq
+	src.xseq++
+	heap.Push(&dst.timers, t)
+	dst.cond.Signal()
+}
+
+// partitionOf unwraps clk to its World partition, or nil.
+func partitionOf(clk Clock) *Partition {
+	p, _ := clk.(*Partition)
+	return p
+}
+
+// ScheduleCross schedules f to run on dst's partition at src's now + d,
+// clamped up to the src→dst lookahead and delivered through the merge
+// layer, so same-seed runs execute it at an identical point regardless of
+// thread interleaving. The caller must be executing on src. When src and
+// dst are not two distinct partitions of one World (serialized or real
+// clocks), it degenerates to dst.AfterFunc(d, f).
+func ScheduleCross(src, dst Clock, d time.Duration, f func()) Timer {
+	sp, dp := partitionOf(src), partitionOf(dst)
+	if sp == nil || dp == nil || sp == dp || sp.w != dp.w {
+		return Default(dst).AfterFunc(d, f)
+	}
+	w := sp.w
+	w.mu.Lock()
+	if w.stopped {
+		w.mu.Unlock()
+		go f()
+		return &wtimer{p: dp, fired: true, index: -1}
+	}
+	t := &wtimer{fn: f, cause: causeTimer, index: -1}
+	w.crossLocked(sp, dp, d, t)
+	w.mu.Unlock()
+	return t
+}
+
+// RunOn executes f synchronously on dst's partition: the call ships to dst
+// through the merge layer, f runs holding dst's execution slot (it must not
+// block through the clock), and the completion ships back, waking the
+// caller at a deterministic virtual time. The caller must be a tracked
+// goroutine executing on src. When src and dst are not two distinct
+// partitions of one World, f runs inline.
+func RunOn(src, dst Clock, f func()) {
+	sp, dp := partitionOf(src), partitionOf(dst)
+	if sp == nil || dp == nil || sp == dp || sp.w != dp.w {
+		f()
+		return
+	}
+	w := sp.w
+	w.mu.Lock()
+	if w.stopped {
+		w.mu.Unlock()
+		f()
+		return
+	}
+	g := &grant{ch: make(chan struct{}), p: sp}
+	call := &wtimer{cause: causeTimer, index: -1}
+	call.fn = func() {
+		f()
+		w.mu.Lock()
+		if w.stopped {
+			// The partition loops have exited; release the caller directly.
+			if g.cause == causeNone {
+				g.cause = causeShutdown
+				close(g.ch)
+			}
+			w.mu.Unlock()
+			return
+		}
+		back := &wtimer{g: g, cause: causeTimer, index: -1}
+		w.crossLocked(dp, sp, 0, back)
+		w.mu.Unlock()
+	}
+	w.crossLocked(sp, dp, 0, call)
+	sp.parkLocked(g)
+}
+
+// Now implements Clock.
+func (p *Partition) Now() time.Time {
+	p.w.mu.Lock()
+	defer p.w.mu.Unlock()
+	return epoch.Add(p.now)
+}
+
+// Since implements Clock.
+func (p *Partition) Since(t time.Time) time.Duration { return p.Now().Sub(t) }
+
+// Until implements Clock.
+func (p *Partition) Until(t time.Time) time.Duration { return t.Sub(p.Now()) }
+
+// Sleep implements Clock (see Virtual.Sleep).
+func (p *Partition) Sleep(d time.Duration) {
+	w := p.w
+	w.mu.Lock()
+	if w.stopped {
+		w.mu.Unlock()
+		return
+	}
+	g := &grant{ch: make(chan struct{}), p: p}
+	if d <= 0 {
+		p.readyLocked(g)
+	} else {
+		t := p.newTimerLocked(d)
+		t.g = g
+	}
+	p.parkLocked(g)
+}
+
+// SleepCtx implements Clock. Cancellation comes from outside the virtual
+// world and wakes the sleeper immediately (real-time, not merge-ordered);
+// deterministic runs use contexts that never fire.
+func (p *Partition) SleepCtx(ctx context.Context, d time.Duration) error {
+	if err := ctx.Err(); err != nil {
+		return err
+	}
+	if ctx.Done() == nil {
+		p.Sleep(d)
+		return nil
+	}
+	w := p.w
+	w.mu.Lock()
+	if w.stopped {
+		w.mu.Unlock()
+		return ctx.Err()
+	}
+	g := &grant{ch: make(chan struct{}), p: p}
+	if d <= 0 {
+		p.readyLocked(g)
+	} else {
+		t := p.newTimerLocked(d)
+		t.g = g
+		g.wt = t
+	}
+	w.mu.Unlock()
+	stop := context.AfterFunc(ctx, func() {
+		w.mu.Lock()
+		p.wakeLocked(g, causeCtx)
+		w.mu.Unlock()
+	})
+	w.mu.Lock()
+	p.parkLocked(g)
+	stop()
+	if g.cause == causeCtx {
+		return ctx.Err()
+	}
+	return nil
+}
+
+// AfterFunc implements Clock: f runs on p's partition loop at the local
+// virtual deadline and must not block through the clock.
+func (p *Partition) AfterFunc(d time.Duration, f func()) Timer {
+	w := p.w
+	w.mu.Lock()
+	if w.stopped {
+		w.mu.Unlock()
+		go f()
+		return &wtimer{p: p, fired: true, index: -1}
+	}
+	t := p.newTimerLocked(d)
+	t.fn = f
+	w.mu.Unlock()
+	return t
+}
+
+// NewTimer implements Clock (see Virtual.NewTimer for the channel caveats).
+func (p *Partition) NewTimer(d time.Duration) Timer {
+	w := p.w
+	w.mu.Lock()
+	if w.stopped {
+		t := &wtimer{p: p, fired: true, index: -1, ch: make(chan time.Time, 1)}
+		t.ch <- epoch.Add(p.now)
+		w.mu.Unlock()
+		return t
+	}
+	t := p.newTimerLocked(d)
+	t.ch = make(chan time.Time, 1)
+	w.mu.Unlock()
+	return t
+}
+
+// NewEvent implements Clock. The event is homed on p: Fire must be called
+// from p's partition (waiters on other partitions are woken through the
+// merge layer). See Event.
+func (p *Partition) NewEvent() *Event {
+	return &Event{p: p, ch: make(chan struct{})}
+}
+
+// Go implements Clock: the spawn is ordered at the point of the call on p's
+// run queue. The caller must be executing on p (use Group.GoOn or
+// ScheduleCross to spawn across partitions).
+func (p *Partition) Go(f func()) {
+	w := p.w
+	w.mu.Lock()
+	if w.stopped {
+		w.mu.Unlock()
+		go f()
+		return
+	}
+	g := &grant{ch: make(chan struct{}), p: p}
+	p.readyLocked(g)
+	w.mu.Unlock()
+	go func() {
+		<-g.ch
+		f()
+		w.mu.Lock()
+		p.exitLocked()
+		w.mu.Unlock()
+	}()
+}
+
+// Ticket implements Clock (see Virtual.Ticket).
+func (p *Partition) Ticket() Ticket {
+	w := p.w
+	w.mu.Lock()
+	if w.stopped {
+		w.mu.Unlock()
+		return realTicket{}
+	}
+	g := &grant{ch: make(chan struct{}), p: p}
+	p.readyLocked(g)
+	w.mu.Unlock()
+	return &wticket{p: p, g: g}
+}
+
+// wticket is a Partition execution slot reserved by Ticket.
+type wticket struct {
+	p *Partition
+	g *grant
+}
+
+// Run implements Ticket.
+func (t *wticket) Run(f func()) {
+	<-t.g.ch
+	f()
+	t.p.w.mu.Lock()
+	t.p.exitLocked()
+	t.p.w.mu.Unlock()
+}
+
+// AddWork implements Clock: the n units pin this partition at its current
+// now (conservatively stalling peers at now + lookahead) until balanced by
+// WorkDone. For untracked goroutines poking the world from outside.
+func (p *Partition) AddWork(n int) {
+	if n <= 0 {
+		return
+	}
+	p.w.mu.Lock()
+	p.running += n
+	p.w.mu.Unlock()
+}
+
+// WorkDone implements Clock.
+func (p *Partition) WorkDone() {
+	p.w.mu.Lock()
+	p.exitLocked()
+	p.w.mu.Unlock()
+}
+
+// Running reports the granted-slot count (tests, debugging).
+func (p *Partition) Running() int {
+	p.w.mu.Lock()
+	defer p.w.mu.Unlock()
+	return p.running
+}
+
+// PendingTimers reports how many timers are scheduled (tests, debugging).
+func (p *Partition) PendingTimers() int {
+	p.w.mu.Lock()
+	defer p.w.mu.Unlock()
+	return len(p.timers)
+}
+
+// fireEventLocked delivers an Event fire homed on p: local waiters are
+// readied in arrival order; waiters parked on other partitions are woken
+// through the merge layer at now + lookahead. Waiters are grouped by
+// destination partition (arrival order across partitions is not
+// deterministic; within one partition it is). Caller holds w.mu.
+func (p *Partition) fireEventLocked(waiters []*grant) {
+	w := p.w
+	sort.SliceStable(waiters, func(i, j int) bool {
+		pi, pj := p, p
+		if waiters[i].p != nil {
+			pi = waiters[i].p
+		}
+		if waiters[j].p != nil {
+			pj = waiters[j].p
+		}
+		return pi.id < pj.id
+	})
+	for _, g := range waiters {
+		dst := g.p
+		if dst == nil || dst == p || w.stopped {
+			p.wakeLocked(g, causeEvent)
+			continue
+		}
+		wt := &wtimer{g: g, cause: causeEvent, index: -1}
+		w.crossLocked(p, dst, 0, wt)
+	}
+}
+
+// wtimer is one scheduled entry in a partition's heap: a local timer, a
+// cross-partition delivery, or a shipped wake-up.
+type wtimer struct {
+	p      *Partition
+	when   time.Duration
+	cross  bool   // merged from another partition: sorts before local at equal when
+	k1, k2 uint64 // cross: (sender id, sender seq); local: (insertion seq, 0)
+	fn     func()
+	ch     chan time.Time
+	g      *grant
+	cause  int // wake cause delivered to g
+	fired  bool
+	index  int // heap index, -1 when not queued
+}
+
+// fireLocked delivers the timer. Caller holds w.mu; the timer was just
+// popped from p's heap.
+func (t *wtimer) fireLocked() {
+	t.fired = true
+	switch {
+	case t.g != nil:
+		t.p.wakeLocked(t.g, t.cause)
+	case t.fn != nil:
+		t.p.readyLocked(&grant{fn: t.fn})
+	case t.ch != nil:
+		select {
+		case t.ch <- epoch.Add(t.when):
+		default: // unconsumed previous fire; drop
+		}
+	}
+}
+
+// C implements Timer.
+func (t *wtimer) C() <-chan time.Time { return t.ch }
+
+// Stop implements Timer.
+func (t *wtimer) Stop() bool {
+	w := t.p.w
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return t.stopLocked()
+}
+
+// stopLocked is Stop under w.mu.
+func (t *wtimer) stopLocked() bool {
+	if t.index >= 0 {
+		heap.Remove(&t.p.timers, t.index)
+		t.p.baseRaisedLocked() // head timer may have risen
+		return true
+	}
+	if t.ch != nil {
+		select {
+		case <-t.ch: // drain an unconsumed fire
+		default:
+		}
+	}
+	return false
+}
+
+// Reset implements Timer. The timer is re-keyed as a local timer of its
+// partition (delivery timers are never reset).
+func (t *wtimer) Reset(d time.Duration) bool {
+	if d < 0 {
+		d = 0
+	}
+	p := t.p
+	w := p.w
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	if w.stopped {
+		return false
+	}
+	wasPending := t.stopLocked()
+	t.fired = false
+	t.cross = false
+	t.when = p.now + d
+	t.k1 = p.seq
+	t.k2 = 0
+	p.seq++
+	heap.Push(&p.timers, t)
+	p.cond.Signal()
+	return wasPending
+}
+
+// wtimerHeap is a min-heap keyed (when, cross-before-local, k1, k2).
+type wtimerHeap []*wtimer
+
+func (h wtimerHeap) Len() int { return len(h) }
+func (h wtimerHeap) Less(i, j int) bool {
+	a, b := h[i], h[j]
+	if a.when != b.when {
+		return a.when < b.when
+	}
+	if a.cross != b.cross {
+		return a.cross // merged arrivals deliver before local timers
+	}
+	if a.k1 != b.k1 {
+		return a.k1 < b.k1
+	}
+	return a.k2 < b.k2
+}
+func (h wtimerHeap) Swap(i, j int) {
+	h[i], h[j] = h[j], h[i]
+	h[i].index = i
+	h[j].index = j
+}
+func (h *wtimerHeap) Push(x any) {
+	t := x.(*wtimer)
+	t.index = len(*h)
+	*h = append(*h, t)
+}
+func (h *wtimerHeap) Pop() any {
+	old := *h
+	n := len(old)
+	t := old[n-1]
+	old[n-1] = nil
+	t.index = -1
+	*h = old[:n-1]
+	return t
+}

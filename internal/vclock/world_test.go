@@ -1,0 +1,287 @@
+package vclock
+
+import (
+	"fmt"
+	"math/rand"
+	"runtime"
+	"sync"
+	"testing"
+	"time"
+)
+
+// stormClocks abstracts "one clock per partition" so the same storm can run
+// on a partitioned World and on a serialized Virtual (where every partition
+// maps to the one clock and the cross-partition helpers degenerate to plain
+// local scheduling at identical virtual times).
+type stormClocks struct {
+	ctl   Clock
+	parts []Clock
+}
+
+// stormLog collects delivered actions per partition. Appends happen only
+// from the owning partition's serialized execution; the mutex makes the
+// collection robust regardless.
+type stormLog struct {
+	mu   sync.Mutex
+	recs [][]string
+}
+
+func (l *stormLog) add(part int, kind string, actor, step int, clk Clock) {
+	l.mu.Lock()
+	l.recs[part] = append(l.recs[part],
+		fmt.Sprintf("%s a%d s%d @%d", kind, actor, step, clk.Now().UnixNano()))
+	l.mu.Unlock()
+}
+
+// stormLA builds the test lookahead matrix: partition 0 is the control
+// partition (tiny outbound lookahead, large inbound), the rest are regions
+// with millisecond-scale pairwise lookaheads.
+func stormLA(n int) [][]time.Duration {
+	la := make([][]time.Duration, n)
+	for i := range la {
+		la[i] = make([]time.Duration, n)
+		for j := range la[i] {
+			switch {
+			case i == j:
+			case i == 0:
+				la[i][j] = time.Microsecond
+			case j == 0:
+				la[i][j] = 10 * time.Millisecond
+			default:
+				diff := i - j
+				if diff < 0 {
+					diff = -diff
+				}
+				la[i][j] = time.Duration(1+diff) * time.Millisecond
+			}
+		}
+	}
+	return la
+}
+
+// runStorm drives a seeded cross-partition timer/send/call storm: actors on
+// every region partition schedule local timers, cross-partition deliveries,
+// and synchronous cross-partition calls from independent per-actor RNG
+// streams. It returns the per-partition delivered order.
+func runStorm(t *testing.T, seed int64, clks stormClocks, regions int) [][]string {
+	t.Helper()
+	const (
+		actorsPerPart = 3
+		steps         = 25
+		startAt       = 50 * time.Millisecond
+	)
+	log := &stormLog{recs: make([][]string, regions+1)}
+	g := NewGroup(clks.ctl)
+	start := clks.ctl.Now().Add(startAt)
+	for pi := 1; pi <= regions; pi++ {
+		for ai := 0; ai < actorsPerPart; ai++ {
+			pi, ai := pi, ai
+			clk := clks.parts[pi-1]
+			g.GoOn(clk, func() {
+				rng := rand.New(rand.NewSource(seed + int64(pi*100+ai)))
+				// Align to an absolute start time so the (mode-dependent)
+				// spawn latency cannot shift the storm's timeline.
+				clk.Sleep(clk.Until(start))
+				for s := 0; s < steps; s++ {
+					// Unique sub-microsecond stamp keeps every scheduled
+					// instant distinct, so the serialized reference order
+					// is exactly time order.
+					uniq := time.Duration(pi*100_000+ai*1_000+s) * time.Nanosecond
+					d := 11*time.Millisecond + time.Duration(rng.Intn(7_000_000)) + uniq
+					switch rng.Intn(4) {
+					case 0:
+						clk.AfterFunc(d, func() { log.add(pi, "local", pi*100+ai, s, clk) })
+					case 1:
+						dst := 1 + rng.Intn(regions)
+						dclk := clks.parts[dst-1]
+						ScheduleCross(clk, dclk, d, func() { log.add(dst, "cross", pi*100+ai, s, dclk) })
+					case 2:
+						// A second cross flavor with a different delay
+						// range, so merged streams overlap heavily.
+						// (RunOn is deliberately absent here: its shipped
+						// round trip takes 2×lookahead of virtual time on a
+						// World but zero on the serialized reference; its
+						// determinism is gated separately below.)
+						dst := 1 + rng.Intn(regions)
+						dclk := clks.parts[dst-1]
+						ScheduleCross(clk, dclk, d+20*time.Millisecond,
+							func() { log.add(dst, "cross2", pi*100+ai, s, dclk) })
+					default:
+						clk.Sleep(d / 4)
+					}
+					clk.Sleep(500*time.Microsecond + time.Duration(rng.Intn(2_000_000)))
+				}
+			})
+		}
+	}
+	g.Wait()
+	// Let stragglers (timers scheduled near the end) deliver.
+	clks.ctl.Sleep(time.Second)
+	return log.recs
+}
+
+func virtualStormClocks(regions int) (stormClocks, func()) {
+	v := NewVirtual()
+	clks := stormClocks{ctl: v}
+	for i := 0; i < regions; i++ {
+		clks.parts = append(clks.parts, v)
+	}
+	return clks, v.Shutdown
+}
+
+func worldStormClocks(t *testing.T, regions int) (stormClocks, func()) {
+	t.Helper()
+	names := []string{"ctl"}
+	for i := 0; i < regions; i++ {
+		names = append(names, fmt.Sprintf("r%d", i))
+	}
+	w, err := NewWorld(names, stormLA(regions+1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	clks := stormClocks{ctl: w.Partition("ctl")}
+	for i := 0; i < regions; i++ {
+		clks.parts = append(clks.parts, w.Partition(fmt.Sprintf("r%d", i)))
+	}
+	return clks, w.Shutdown
+}
+
+func compareStorms(t *testing.T, wantName, gotName string, want, got [][]string) {
+	t.Helper()
+	if len(want) != len(got) {
+		t.Fatalf("partition count differs: %s=%d %s=%d", wantName, len(want), gotName, len(got))
+	}
+	for p := range want {
+		if len(want[p]) != len(got[p]) {
+			t.Errorf("partition %d: %d deliveries under %s, %d under %s",
+				p, len(want[p]), wantName, len(got[p]), gotName)
+			continue
+		}
+		for i := range want[p] {
+			if want[p][i] != got[p][i] {
+				t.Errorf("partition %d delivery %d: %s=%q %s=%q",
+					p, i, wantName, want[p][i], gotName, got[p][i])
+				break
+			}
+		}
+	}
+}
+
+// TestWorldMatchesSerializedReference is the merge-layer gate: a seeded
+// cross-partition storm delivered by the parallel partitioned scheduler
+// must land in exactly the order the serialized Virtual reference delivers
+// it (per destination, with every instant distinct, that order is pure time
+// order — any merge bug shows up as a reordering).
+func TestWorldMatchesSerializedReference(t *testing.T) {
+	const regions = 4
+	for _, seed := range []int64{1, 42, 1789} {
+		seed := seed
+		t.Run(fmt.Sprintf("seed%d", seed), func(t *testing.T) {
+			vc, vstop := virtualStormClocks(regions)
+			ref := runStorm(t, seed, vc, regions)
+			vstop()
+			wc, wstop := worldStormClocks(t, regions)
+			got := runStorm(t, seed, wc, regions)
+			wstop()
+			total := 0
+			for _, rs := range ref {
+				total += len(rs)
+			}
+			if total < 100 {
+				t.Fatalf("storm too small to be meaningful: %d deliveries", total)
+			}
+			compareStorms(t, "virtual", "world", ref, got)
+		})
+	}
+}
+
+// TestWorldGOMAXPROCSInvariance runs the same seeded storm on the
+// partitioned scheduler at GOMAXPROCS=1 and GOMAXPROCS=NumCPU and requires
+// bit-identical delivery logs: thread interleaving must never leak into the
+// simulated order.
+func TestWorldGOMAXPROCSInvariance(t *testing.T) {
+	const regions = 4
+	run := func(procs int) [][]string {
+		old := runtime.GOMAXPROCS(procs)
+		defer runtime.GOMAXPROCS(old)
+		wc, stop := worldStormClocks(t, regions)
+		defer stop()
+		return runStorm(t, 7, wc, regions)
+	}
+	serial := run(1)
+	parallel := run(runtime.NumCPU())
+	compareStorms(t, "procs=1", fmt.Sprintf("procs=%d", runtime.NumCPU()), serial, parallel)
+}
+
+// TestWorldEventCrossPartition exercises the Event merge path: events homed
+// on region partitions, fired there, awaited from the control partition —
+// the pattern the determinism gates' drivers rely on. Two same-seed runs
+// must observe identical wake times.
+func TestWorldEventCrossPartition(t *testing.T) {
+	run := func() []string {
+		wc, stop := worldStormClocks(t, 3)
+		defer stop()
+		ctl := wc.ctl
+		var out []string
+		for i := 0; i < 12; i++ {
+			clk := wc.parts[i%3]
+			ev := clk.NewEvent()
+			d := time.Duration(i+1) * 3 * time.Millisecond
+			RunOn(ctl, clk, func() { clk.AfterFunc(d, ev.Fire) })
+			if !ev.WaitTimeoutFrom(ctl, time.Minute) {
+				t.Fatalf("event %d never fired", i)
+			}
+			out = append(out, fmt.Sprintf("ev%d@%d", i, ctl.Now().UnixNano()))
+		}
+		return out
+	}
+	a, b := run(), run()
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("wake %d differs across same-seed runs: %q vs %q", i, a[i], b[i])
+		}
+	}
+}
+
+// TestWorldGroupCountsInFlight checks the deterministic in-flight gauge the
+// open-loop driver uses: N reflects spawned-minus-completed as observed at
+// the home partition.
+func TestWorldGroupCountsInFlight(t *testing.T) {
+	wc, stop := worldStormClocks(t, 2)
+	defer stop()
+	ctl := wc.ctl
+	g := NewGroup(ctl)
+	for i := 0; i < 4; i++ {
+		clk := wc.parts[i%2]
+		g.GoOn(clk, func() { clk.Sleep(5 * time.Millisecond) })
+	}
+	if n := g.N(); n != 4 {
+		t.Fatalf("in-flight after spawn = %d, want 4", n)
+	}
+	g.Wait()
+	if n := g.N(); n != 0 {
+		t.Fatalf("in-flight after Wait = %d, want 0", n)
+	}
+}
+
+// TestWorldShutdownReleasesSleepers mirrors the Virtual shutdown contract.
+func TestWorldShutdownReleasesSleepers(t *testing.T) {
+	wc, stop := worldStormClocks(t, 2)
+	ctl := wc.ctl
+	g := NewGroup(ctl)
+	g.GoOn(wc.parts[0], func() { wc.parts[0].Sleep(time.Hour) })
+	go func() {
+		time.Sleep(10 * time.Millisecond) // let the sleeper park
+		stop()
+	}()
+	waited := make(chan struct{})
+	go func() {
+		select {
+		case <-waited:
+		case <-time.After(10 * time.Second):
+			panic("vclock: shutdown did not release a parked sleeper")
+		}
+	}()
+	g.Wait() // released by shutdown: the hour-long sleep returns early
+	close(waited)
+}

@@ -3,6 +3,7 @@ package workload
 import (
 	"fmt"
 	"math/rand"
+	"sync"
 	"time"
 
 	planet "planet/internal/core"
@@ -71,12 +72,17 @@ func (c Closed) Run() (*Report, error) {
 	report := NewReport()
 	start := clk.Now()
 
+	// Each client lives on its origin region's scheduler partition (GoOn),
+	// so every clock read and timer it takes is partition-local and the
+	// run is deterministic under the parallel scheduler. Under a serialized
+	// or real clock GoOn degenerates to Go.
 	g := vclock.NewGroup(clk)
 	errs := make(chan error, c.Clients)
 	for i := 0; i < c.Clients; i++ {
 		region := c.Regions[i%len(c.Regions)]
+		rclk := c.DB.Cluster().ClockFor(region)
 		rng := rand.New(rand.NewSource(c.Seed + int64(i)*7919))
-		g.Go(func() {
+		g.GoOn(rclk, func() {
 			s, err := c.DB.Session(region)
 			if err != nil {
 				errs <- err
@@ -88,7 +94,7 @@ func (c Closed) Run() (*Report, error) {
 					errs <- fmt.Errorf("workload: build: %w", err)
 					return
 				}
-				h, err := tx.Commit(report.callbacks(clk, region, c.SpeculateAt, c.Deadline))
+				h, err := tx.Commit(report.callbacks(rclk, region, c.SpeculateAt, c.Deadline))
 				if err != nil {
 					errs <- fmt.Errorf("workload: commit: %w", err)
 					return
@@ -141,8 +147,14 @@ func (o Open) Run() (*Report, error) {
 		sessions[i] = s
 	}
 
+	// Arrivals are paced on the driving (control) partition; each arrival's
+	// build+commit+wait runs on its session's region partition (GoOn) with a
+	// child RNG seeded from the pacing RNG, so key choices stay a pure
+	// function of the arrival index and every clock access is
+	// partition-local. Group.N is the deterministic in-flight gauge.
 	start := clk.Now()
 	g := vclock.NewGroup(clk)
+	var errMu sync.Mutex
 	var firstErr error
 	next := start
 	for i := 0; i < o.Count; i++ {
@@ -151,22 +163,41 @@ func (o Open) Run() (*Report, error) {
 		if d := clk.Until(next); d > 0 {
 			clk.Sleep(d)
 		}
+		errMu.Lock()
+		stop := firstErr != nil
+		errMu.Unlock()
+		if stop {
+			break
+		}
 		s := sessions[i%len(sessions)]
-		tx, err := o.Template.Build(s, rng)
-		if err != nil {
-			firstErr = fmt.Errorf("workload: build: %w", err)
-			break
-		}
-		h, err := tx.Commit(report.callbacks(clk, s.Region(), o.SpeculateAt, o.Deadline))
-		if err != nil {
-			firstErr = fmt.Errorf("workload: commit: %w", err)
-			break
-		}
-		g.Go(func() {
+		rclk := s.Clock()
+		childSeed := rng.Int63()
+		g.GoOn(rclk, func() {
+			crng := rand.New(rand.NewSource(childSeed))
+			tx, err := o.Template.Build(s, crng)
+			if err != nil {
+				errMu.Lock()
+				if firstErr == nil {
+					firstErr = fmt.Errorf("workload: build: %w", err)
+				}
+				errMu.Unlock()
+				return
+			}
+			h, err := tx.Commit(report.callbacks(rclk, s.Region(), o.SpeculateAt, o.Deadline))
+			if err != nil {
+				errMu.Lock()
+				if firstErr == nil {
+					firstErr = fmt.Errorf("workload: commit: %w", err)
+				}
+				errMu.Unlock()
+				return
+			}
 			h.Wait()
 		})
 	}
 	g.Wait()
 	report.Elapsed = clk.Since(start)
+	errMu.Lock()
+	defer errMu.Unlock()
 	return report, firstErr
 }
