@@ -57,6 +57,7 @@ func BenchmarkA3Commutative(b *testing.B)       { runExperiment(b, "a3") }
 func BenchmarkE1LossSweep(b *testing.B)         { runExperiment(b, "e1") }
 func BenchmarkE2JitterSweep(b *testing.B)       { runExperiment(b, "e2") }
 func BenchmarkE3AttributionFeed(b *testing.B)   { runExperiment(b, "e3") }
+func BenchmarkF9OpenLoopSurge(b *testing.B)     { runExperiment(b, "f9") }
 
 // TestExperimentsRunClean is the smoke test that every registered
 // experiment completes without error in quick mode.
@@ -242,6 +243,39 @@ func TestEvaluationShapes(t *testing.T) {
 		if m["classic_ap-southeast_p50_ms"] <= m["fast_ap-southeast_p50_ms"] {
 			t.Errorf("classic from singapore %.0fms not above fast %.0fms",
 				m["classic_ap-southeast_p50_ms"], m["fast_ap-southeast_p50_ms"])
+		}
+	})
+
+	t.Run("f9-adaptive-beats-static-under-surge", func(t *testing.T) {
+		t.Parallel()
+		res, err := experiments.F9OpenLoopSurge(experiments.Config{Quick: true, Seed: 43})
+		if err != nil {
+			t.Fatal(err)
+		}
+		m := res.Metrics
+		// Through the surge and the replica outage, the controller must
+		// deliver more committed work than the static policy at equal or
+		// lower tail latency.
+		if m["adaptive_goodput"] <= m["static_goodput"] {
+			t.Errorf("adaptive goodput %.1f/s not above static %.1f/s",
+				m["adaptive_goodput"], m["static_goodput"])
+		}
+		if m["adaptive_p99_final_ms"] > m["static_p99_final_ms"] {
+			t.Errorf("adaptive p99 %.0fms above static %.0fms",
+				m["adaptive_p99_final_ms"], m["static_p99_final_ms"])
+		}
+		// The controller must actually have run: epochs ticked and the
+		// window moved off the static seed.
+		if m["adaptive_epochs"] == 0 {
+			t.Error("controller never ticked an epoch")
+		}
+		if m["adaptive_final_max_inflight"] == 120 {
+			t.Error("controller window never moved off the static seed")
+		}
+		// Both arms run the identical arrival schedule.
+		if m["adaptive_injected"] != m["static_injected"] {
+			t.Errorf("arrival schedules diverged: %v vs %v injected",
+				m["adaptive_injected"], m["static_injected"])
 		}
 	})
 }

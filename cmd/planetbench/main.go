@@ -5,6 +5,7 @@
 //
 //	planetbench [-quick] [-seed N] [-scale F] [-metrics] all
 //	planetbench [-quick] [-seed N] [-scale F] [-metrics] t1 f1 f5 ...
+//	planetbench [-quick] [-seed N] -openloop
 //	planetbench -list
 //
 // Latency columns are reported in WAN time: the experiments run on a
@@ -21,7 +22,11 @@ import (
 	"sort"
 	"time"
 
+	"planet/internal/cluster"
+	planet "planet/internal/core"
 	"planet/internal/experiments"
+	"planet/internal/regions"
+	"planet/internal/workload"
 )
 
 func main() { os.Exit(run()) }
@@ -35,6 +40,7 @@ func run() int {
 		scale      = flag.Float64("scale", 0, "WAN time-compression factor (0 = default)")
 		list       = flag.Bool("list", false, "list experiments and exit")
 		parallel   = flag.Bool("parallel", false, "sweep GOMAXPROCS (1/2/4/NumCPU) over the selected experiments, reporting wall time per setting and checking metrics stay bit-identical")
+		openloop   = flag.Bool("openloop", false, "run the million-user open-loop traffic profile (surge schedule, Zipfian keys, adaptive admission) instead of experiments, checking conservation at every sample")
 		showMetric = flag.Bool("metrics", false, "also print machine-readable metrics")
 		cpuProfile = flag.String("cpuprofile", "", "write a CPU profile of the selected experiments to `file`")
 		memProfile = flag.String("memprofile", "", "write an allocation profile to `file` on exit")
@@ -78,6 +84,10 @@ func run() int {
 		return 0
 	}
 
+	if *openloop {
+		return runOpenLoop(*quick, *seed, *scale)
+	}
+
 	ids := flag.Args()
 	if len(ids) == 0 {
 		fmt.Fprintln(os.Stderr, "planetbench: no experiments given (try 'all' or -list)")
@@ -117,6 +127,86 @@ func run() int {
 	}
 	if failed {
 		return 1
+	}
+	return 0
+}
+
+// runOpenLoop is the -openloop profile: the million-user open-loop traffic
+// engine run end to end — a surge-shaped Poisson schedule with Zipfian key
+// popularity, batched arrivals, the adaptive admission controller, and the
+// conservation ledger checked at every sample. Quick mode scales the rates
+// down tenfold (~130k arrivals); the full profile injects over a million.
+func runOpenLoop(quick bool, seed int64, scale float64) int {
+	c, err := cluster.New(cluster.Config{
+		Topology:      regions.Three(),
+		TimeScale:     scale, // 0 = cluster default
+		Seed:          seed,
+		VirtualTime:   true,
+		CommitTimeout: 2 * time.Second,
+	})
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "planetbench: %v\n", err)
+		return 1
+	}
+	defer func() {
+		c.Close()
+		c.Quiesce(5 * time.Second)
+	}()
+	db, err := planet.Open(planet.Config{
+		Cluster:   c,
+		Admission: planet.AdmissionPolicy{MaxInFlight: 48},
+		Adaptive:  planet.AdaptiveAdmission{Enabled: true},
+	})
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "planetbench: %v\n", err)
+		return 1
+	}
+
+	mul := 1.0
+	if quick {
+		mul = 0.1
+	}
+	ledger := &workload.Ledger{}
+	start := time.Now()
+	rep, err := workload.Open{
+		Options: workload.Options{
+			DB:       db,
+			Template: workload.Buy{Products: workload.NewZipfFast("hot-", 1000, 1.2)},
+			Seed:     seed + 7,
+		},
+		Phases: []workload.RatePhase{
+			{Rate: 2e6 * mul, Dur: 200 * time.Millisecond}, // morning ramp
+			{Rate: 5e6 * mul, Dur: 100 * time.Millisecond}, // surge peak
+			{Rate: 0, Dur: 20 * time.Millisecond},          // trough
+			{Rate: 2e6 * mul, Dur: 200 * time.Millisecond}, // evening tail
+		},
+		Batch:       200 * time.Microsecond,
+		Ledger:      ledger,
+		SampleEvery: 4096,
+	}.Run()
+	wall := time.Since(start)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "planetbench: openloop: %v\n", err)
+		return 1
+	}
+	for _, s := range ledger.Samples() {
+		if err := s.Check(); err != nil {
+			fmt.Fprintf(os.Stderr, "planetbench: openloop: %v\n", err)
+			return 1
+		}
+	}
+	final := ledger.Final()
+	fmt.Printf("open-loop profile: %d arrivals in %s wall (%.0f arrivals/s real time)\n",
+		final.Injected, wall.Round(time.Millisecond), float64(final.Injected)/wall.Seconds())
+	fmt.Printf("  committed %d  aborted %d  rejected %d (%.1f%% shed)  in-flight %d\n",
+		final.Committed, final.Aborted, final.Rejected,
+		100*float64(final.Rejected)/float64(final.Injected), final.InFlight)
+	fmt.Printf("  conservation held at all %d samples\n", len(ledger.Samples()))
+	fmt.Printf("  commit rate %.3f  goodput %.1f/s (emulated)\n", rep.CommitRate(), rep.GoodputPerSec())
+	for _, r := range c.Regions() {
+		st := db.AdmissionState(r)
+		fmt.Printf("  %-14s controller: epochs %d  window %d  min-likelihood %.3f\n",
+			r, st.Epochs, st.MaxInFlight, st.MinLikelihood)
 	}
 	return 0
 }

@@ -34,6 +34,11 @@ type Config struct {
 	// MasterRegion, when non-empty, makes one region master for every
 	// key; otherwise masters are assigned by key hash across regions.
 	MasterRegion simnet.Region
+	// EarlyAbort enables optimistic abort propagation at every
+	// coordinator: conflict-doomed options abort immediately instead of
+	// paying a classic master round-trip first (see
+	// mdcc.CoordinatorConfig.EarlyAbort).
+	EarlyAbort bool
 	// MasterLeases replaces the static master assignment with time-bounded,
 	// epoch-fenced leases: mastership of each keyspace is granted by a
 	// majority for LeaseTerm at a time, renewed by the holder, and taken
@@ -96,12 +101,12 @@ type Cluster struct {
 	RealNet  *realnet.Transport
 	Topology regions.Topology
 
-	replicas map[simnet.Region]*mdcc.Replica
-	coords   map[simnet.Region]*mdcc.Coordinator
-	wals     map[simnet.Region]*mdcc.WAL
-	scale    float64
-	timeout  time.Duration // effective (scaled) commit timeout
-	clk      vclock.Clock
+	replicas   map[simnet.Region]*mdcc.Replica
+	coords     map[simnet.Region]*mdcc.Coordinator
+	wals       map[simnet.Region]*mdcc.WAL
+	scale      float64
+	timeout    time.Duration // effective (scaled) commit timeout
+	clk        vclock.Clock
 	ownedClk   *vclock.Virtual // non-nil when the cluster created a serialized clock
 	ownedWorld *vclock.World   // non-nil when the cluster created a partitioned scheduler
 	partClks   map[simnet.Region]vclock.Clock
@@ -208,13 +213,13 @@ func New(cfg Config) (*Cluster, error) {
 	}
 
 	c := &Cluster{
-		Net:      net,
-		Topology: cfg.Topology,
-		replicas: make(map[simnet.Region]*mdcc.Replica, len(regionList)),
-		coords:   make(map[simnet.Region]*mdcc.Coordinator, len(regionList)),
-		wals:     make(map[simnet.Region]*mdcc.WAL, len(regionList)),
-		scale:    cfg.TimeScale,
-		timeout:  time.Duration(float64(cfg.CommitTimeout) * cfg.TimeScale),
+		Net:        net,
+		Topology:   cfg.Topology,
+		replicas:   make(map[simnet.Region]*mdcc.Replica, len(regionList)),
+		coords:     make(map[simnet.Region]*mdcc.Coordinator, len(regionList)),
+		wals:       make(map[simnet.Region]*mdcc.WAL, len(regionList)),
+		scale:      cfg.TimeScale,
+		timeout:    time.Duration(float64(cfg.CommitTimeout) * cfg.TimeScale),
 		clk:        clk,
 		ownedClk:   owned,
 		ownedWorld: world,
@@ -265,6 +270,7 @@ func New(cfg Config) (*Cluster, error) {
 			MasterFor:         mfor,
 			CommitTimeout:     time.Duration(float64(cfg.CommitTimeout) * cfg.TimeScale),
 			PerOptionMessages: cfg.PerOptionMessages,
+			EarlyAbort:        cfg.EarlyAbort,
 		})
 		if err != nil {
 			return nil, err

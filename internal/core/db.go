@@ -3,6 +3,7 @@ package planet
 import (
 	"errors"
 	"fmt"
+	"math"
 	"math/rand"
 	"sync"
 	"sync/atomic"
@@ -56,6 +57,11 @@ type Config struct {
 	Mode mdcc.Mode
 	// Admission is the admission-control policy (zero = admit all).
 	Admission AdmissionPolicy
+	// Adaptive, when enabled, layers a per-region feedback controller over
+	// Admission: each epoch it re-derives the likelihood threshold and
+	// in-flight bound from observed goodput, abort rate, and commit-latency
+	// SLO compliance (see AdaptiveAdmission).
+	Adaptive AdaptiveAdmission
 	// DisableConflictTerm drops contention statistics from the
 	// likelihood model (ablation A2).
 	DisableConflictTerm bool
@@ -136,6 +142,7 @@ type DB struct {
 	inFlight map[simnet.Region]*atomic.Int64
 	health   map[simnet.Region]*regionHealth // nil entries when disabled
 	forced   map[simnet.Region]*atomic.Bool  // operator/transport-forced degradation
+	adm      map[simnet.Region]*admissionCtl // nil unless Config.Adaptive.Enabled
 
 	submitted  atomic.Uint64
 	committed  atomic.Uint64
@@ -232,6 +239,12 @@ func Open(cfg Config) (*DB, error) {
 		db.inFlight[r] = &atomic.Int64{}
 		db.forced[r] = &atomic.Bool{}
 	}
+	if cfg.Adaptive.Enabled {
+		db.adm = make(map[simnet.Region]*admissionCtl, len(regionList))
+		for _, r := range regionList {
+			db.adm[r] = newAdmissionCtl(db.rts[r].clk, cfg.Adaptive, cfg.Admission)
+		}
+	}
 	if reg := cfg.Registry; reg != nil {
 		db.inst = newDBInstruments(reg, regionList, db.inFlight)
 		// Instrument the layers below: simnet traffic and per-region
@@ -247,6 +260,20 @@ func Open(cfg Config) (*DB, error) {
 			}
 		}
 		for _, r := range regionList {
+			if c := db.adm[r]; c != nil {
+				lbl := obs.L("region", string(r))
+				reg.GaugeFunc("planet_admission_min_likelihood",
+					"Adaptive admission: current likelihood threshold.",
+					func() float64 { return math.Float64frombits(c.minLikelihood.Load()) }, lbl)
+				reg.GaugeFunc("planet_admission_max_inflight",
+					"Adaptive admission: current AIMD in-flight window.",
+					func() float64 { return float64(c.maxInFlight.Load()) }, lbl)
+				reg.GaugeFunc("planet_admission_spec_floor",
+					"Adaptive admission: current speculation floor.",
+					c.specFloorVal, lbl)
+			}
+		}
+		for _, r := range regionList {
 			if hr := db.health[r]; hr != nil {
 				reg.GaugeFunc("planet_region_degraded",
 					"Whether the region's recent timeout rate crossed the health threshold (1 = degraded).",
@@ -259,7 +286,36 @@ func Open(cfg Config) (*DB, error) {
 			}
 		}
 	}
+	// Start the admission controllers last: their first epoch tick must not
+	// race DB construction on a real-time clock.
+	for _, r := range regionList {
+		if c := db.adm[r]; c != nil {
+			c.start()
+		}
+	}
 	return db, nil
+}
+
+// admFor returns region r's adaptive admission controller, or nil when the
+// controller is disabled.
+func (db *DB) admFor(r simnet.Region) *admissionCtl { return db.adm[r] }
+
+// AdmissionState snapshots region r's adaptive admission controller. The
+// zero value is returned when the controller is disabled.
+func (db *DB) AdmissionState(r simnet.Region) AdmissionState {
+	if c := db.adm[r]; c != nil {
+		return c.state()
+	}
+	return AdmissionState{}
+}
+
+// StopAdmission halts the adaptive controllers' epoch timers. Real-time
+// deployments that outlive their workload call it on shutdown; under
+// virtual time the chains die with the scheduler.
+func (db *DB) StopAdmission() {
+	for _, c := range db.adm {
+		c.stop()
+	}
 }
 
 // Cluster returns the underlying deployment.

@@ -80,8 +80,8 @@ type Handle struct {
 	id      txn.ID
 	db      *DB
 	session *Session
-	clk     vclock.Clock    // the home region's scheduler partition
-	spans   *obs.SpanStore  // the home region's span shard (nil untraced)
+	clk     vclock.Clock   // the home region's scheduler partition
+	spans   *obs.SpanStore // the home region's span shard (nil untraced)
 	opts    CommitOptions
 	regions []simnet.Region
 	// span is the transaction's root trace span id (0 = untraced). Every
@@ -153,6 +153,17 @@ func (t *Txn) Commit(opts CommitOptions) (*Handle, error) {
 		}
 	}
 
+	// Adaptive speculation floor: under a high-abort regime the region's
+	// controller raises the bar for speculating above what the workload
+	// asked for — permissive speculation there mostly manufactures
+	// apologies.
+	ctl := db.admFor(s.region)
+	if ctl != nil && opts.SpeculateAt > 0 {
+		if f := ctl.specFloorVal(); f > opts.SpeculateAt {
+			opts.SpeculateAt = f
+		}
+	}
+
 	h := &Handle{
 		id:      db.rt(s.region).ids.NewID(),
 		db:      db,
@@ -188,6 +199,10 @@ func (t *Txn) Commit(opts CommitOptions) (*Handle, error) {
 	prior := s.pred.LikelihoodAtSubmit(t.Keys())
 	h.likelihood = prior
 	pol := db.cfg.Admission
+	if ctl != nil {
+		pol = ctl.policy(pol)
+		ctl.observePrior(prior)
+	}
 	if pol.enabled() && len(ops) > 0 {
 		inFlight := db.inFlight[s.region]
 		if pol.MinLikelihood > 0 && prior < pol.MinLikelihood && !db.probe(s.region, pol.ProbeFraction) {
@@ -372,6 +387,9 @@ func (h *Handle) reject() {
 		ID: h.id, Rejected: true, Err: ErrAdmission,
 		Submitted: h.start, Decided: h.clk.Now(),
 	}
+	if c := h.db.admFor(h.session.region); c != nil {
+		c.observeReject()
+	}
 	h.db.inst.stage(txn.StageRejected)
 	h.db.inst.finished(outcomeRejected, h.outcome.Duration())
 	h.db.tracer.Record(h.id, obs.Event{Kind: obs.EvFinal, Note: ErrAdmission.Error()})
@@ -553,6 +571,9 @@ func (h *Handle) finishLocked(committed bool, err error, submitFailed bool) {
 	h.outcome = txn.Outcome{
 		ID: h.id, Committed: committed, Err: err,
 		Submitted: h.start, Decided: h.clk.Now(), Speculated: h.speculated,
+	}
+	if c := h.db.admFor(h.session.region); c != nil {
+		c.observeFinal(committed, h.outcome.Duration())
 	}
 	h.db.inst.stage(h.stage)
 	h.db.inst.finished(outcome, h.outcome.Duration())

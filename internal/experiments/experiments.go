@@ -31,6 +31,11 @@ type Config struct {
 	// whole evaluation executes at CPU speed and is deterministic for a
 	// fixed Seed.
 	RealTime bool
+	// EarlyAbort turns on optimistic abort propagation at every
+	// coordinator (see cluster.Config.EarlyAbort). Off by default so the
+	// published tables keep measuring the paper's baseline protocol;
+	// before/after comparisons flip it on the same experiment.
+	EarlyAbort bool
 }
 
 // scale returns the effective time scale.
@@ -91,6 +96,7 @@ func openDB(cfg Config, ccfg cluster.Config, pcfg planet.Config) (*planet.DB, fu
 	}
 	ccfg.TimeScale = cfg.scale()
 	ccfg.VirtualTime = !cfg.RealTime
+	ccfg.EarlyAbort = cfg.EarlyAbort
 	// Virtual-time experiments run on the partitioned parallel scheduler:
 	// one partition per region, deterministic cross-partition merge. (The
 	// chaos harness keeps the serialized scheduler — it mutates topology
@@ -155,6 +161,7 @@ var Registry = []struct {
 	{"e1", "Extension: message-loss sweep", E1LossSweep},
 	{"e2", "Extension: latency-jitter sweep", E2JitterSweep},
 	{"e3", "Extension: attribution feed vs predictor calibration", E3AttributionFeed},
+	{"f9", "Open-loop surge: static vs adaptive admission", F9OpenLoopSurge},
 }
 
 // Find returns the registered experiment with the given ID.

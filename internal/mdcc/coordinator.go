@@ -36,6 +36,16 @@ type CoordinatorConfig struct {
 	// instead of burning its commit timeout waiting for votes that cannot
 	// arrive. Nil (the simnet default) disables the check.
 	Unreachable func(region simnet.Region) bool
+	// EarlyAbort enables optimistic abort propagation: when conflict
+	// rejects push the fast quorum out of reach, the option is learned
+	// rejected on the spot — and the abort decide broadcast immediately
+	// clears its sibling pendings at every replica — instead of paying a
+	// classic master round-trip that the same conflict would almost
+	// certainly also reject. Fatal rejects (version, bound) already abort
+	// on arrival regardless of this flag; EarlyAbort extends the shortcut
+	// to pending-conflict evidence. Rejects that ask for the classic path
+	// by design (ReasonClassicOwned, ReasonNotMaster) still fall back.
+	EarlyAbort bool
 }
 
 // optStatus is the lifecycle of a single option at the coordinator.
@@ -130,6 +140,9 @@ type Coordinator struct {
 	// MasterRedirects counts classic proposals re-sent after a
 	// ReasonNotMaster bounce (the master lease moved under the router).
 	MasterRedirects uint64
+	// EarlyAborts counts options learned rejected at the would-be classic
+	// fallback because conflict evidence doomed them (EarlyAbort mode).
+	EarlyAborts uint64
 }
 
 // SetObserver installs o (nil clears). Typically wired once at startup.
@@ -359,7 +372,6 @@ func (c *Coordinator) recordReturnLegLocked(id txn.ID, tc TraceCtx, region simne
 	})
 }
 
-
 // onVote processes one fast-path vote (compat wire format).
 func (c *Coordinator) onVote(v voteMsg) {
 	c.mu.Lock()
@@ -447,7 +459,20 @@ func (c *Coordinator) applyVoteLocked(s *commitState, key string, region simnet.
 	case !accept && reason.Fatal():
 		c.learnLocked(s, st, false, reason)
 	case st.accepts+(n-bits.OnesCount64(st.voted)) < fq:
-		// The fast quorum is out of reach: fall back to the master.
+		// The fast quorum is out of reach. Under EarlyAbort, conflict
+		// evidence (a pending or version reject pushed us here) dooms the
+		// option now: the master holds the same pendings the replicas
+		// voted against, so the classic round-trip would reject too, half
+		// an RTT later. Learning the rejection here decides the abort and
+		// broadcasts it, which clears this transaction's sibling pendings
+		// at every replica — queued dependents stop conflicting against a
+		// corpse. Lease/routing rejects still want the classic path.
+		if c.cfg.EarlyAbort && (st.reason == ReasonPending || st.reason.Fatal()) {
+			c.EarlyAborts++
+			c.learnLocked(s, st, false, st.reason)
+			return txn.Op{}, false
+		}
+		// Fall back to the master.
 		st.status = optClassic
 		st.reason = ReasonNone
 		c.Fallbacks++

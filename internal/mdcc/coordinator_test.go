@@ -260,3 +260,81 @@ func TestReasonErrMapping(t *testing.T) {
 		}
 	}
 }
+
+// newEarlyAbortCoordinator is newLoneCoordinator with optimistic abort
+// propagation enabled.
+func newEarlyAbortCoordinator(t *testing.T, n int) *Coordinator {
+	t.Helper()
+	m := simnet.NewMatrix(latency.Constant(time.Microsecond))
+	net, err := simnet.New(simnet.Config{Latency: m, TimeScale: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(net.Close)
+	replicas := make([]simnet.Addr, n)
+	for i := range replicas {
+		replicas[i] = simnet.Addr{Region: simnet.Region(string(rune('a' + i))), Name: "replica"}
+	}
+	c, err := NewCoordinator(CoordinatorConfig{
+		Net:        net,
+		Addr:       simnet.Addr{Region: "a", Name: "coord"},
+		Replicas:   replicas,
+		MasterFor:  func(string) simnet.Addr { return replicas[0] },
+		EarlyAbort: true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return c
+}
+
+func TestCoordinatorEarlyAbortOnConflict(t *testing.T) {
+	c := newEarlyAbortCoordinator(t, 5)
+	sink := &recordSink{}
+	id := txn.NewID()
+	if err := c.Submit(id, []txn.Op{setOp("k", 0)}, ModeFast, sink); err != nil {
+		t.Fatal(err)
+	}
+	// One pending reject leaves the fast quorum reachable: no decision.
+	c.onVote(vote(id, "k", 0, false, ReasonPending))
+	if decided, _, _ := sink.state(); decided {
+		t.Fatal("decided while the fast quorum was still reachable")
+	}
+	// The second conflict reject makes the quorum unreachable. Without
+	// EarlyAbort this falls back to classic; with it, the option is
+	// learned rejected on the spot and the abort is decided.
+	c.onVote(vote(id, "k", 1, false, ReasonPending))
+	decided, commit, err := sink.state()
+	if !decided || commit {
+		t.Fatalf("early abort: decided=%v commit=%v", decided, commit)
+	}
+	if !errors.Is(err, ErrConflict) {
+		t.Errorf("err=%v, want conflict", err)
+	}
+	if c.EarlyAborts != 1 || c.Fallbacks != 0 {
+		t.Fatalf("EarlyAborts=%d Fallbacks=%d, want 1/0", c.EarlyAborts, c.Fallbacks)
+	}
+}
+
+func TestCoordinatorEarlyAbortSparesClassicBound(t *testing.T) {
+	// Lease/routing rejections still want the classic path: EarlyAbort
+	// must not turn a ReasonClassicOwned quorum miss into an abort.
+	c := newEarlyAbortCoordinator(t, 5)
+	sink := &recordSink{}
+	id := txn.NewID()
+	if err := c.Submit(id, []txn.Op{setOp("k", 0)}, ModeFast, sink); err != nil {
+		t.Fatal(err)
+	}
+	c.onVote(vote(id, "k", 0, false, ReasonClassicOwned))
+	c.onVote(vote(id, "k", 1, false, ReasonClassicOwned))
+	if decided, _, _ := sink.state(); decided {
+		t.Fatal("classic-owned rejects were early-aborted")
+	}
+	if c.Fallbacks != 1 || c.EarlyAborts != 0 {
+		t.Fatalf("Fallbacks=%d EarlyAborts=%d, want 1/0", c.Fallbacks, c.EarlyAborts)
+	}
+	c.onClassicResult(classicResultMsg{Txn: id, Key: "k", Accepted: true})
+	if decided, commit, _ := sink.state(); !decided || !commit {
+		t.Fatal("classic path did not settle the option")
+	}
+}

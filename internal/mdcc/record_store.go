@@ -1,0 +1,173 @@
+package mdcc
+
+import "sync"
+
+// recordStripes is the stripe count of the replica's record storage. 64
+// stripes keep a 1M-key keyspace from serializing every record touch on
+// one mutex: seeding, local reads, and snapshot scans each contend only
+// for the stripe a key hashes to, not the whole store.
+const recordStripes = 64
+
+// recordStore is the replica's key → record map, partitioned into
+// independently-locked stripes. Each stripe's RWMutex guards both the
+// stripe's map structure and the contents of every record in it, so
+// holding the stripe lock is necessary and sufficient to read or mutate a
+// record. Protocol handlers additionally hold the replica's protocol
+// mutex (r.mu) around multi-record critical sections, which preserves the
+// pre-stripe serialization of proposals against decides; the lock order
+// is always r.mu before stripe lock, and never two stripe locks at once.
+type recordStore struct {
+	stripes [recordStripes]recordStripe
+}
+
+type recordStripe struct {
+	mu sync.RWMutex
+	m  map[string]*record
+}
+
+func newRecordStore() *recordStore {
+	s := &recordStore{}
+	for i := range s.stripes {
+		s.stripes[i].m = make(map[string]*record)
+	}
+	return s
+}
+
+// stripeOf hashes key to its stripe (FNV-1a, folded to 6 bits).
+func stripeOf(key string) uint32 {
+	h := uint32(2166136261)
+	for i := 0; i < len(key); i++ {
+		h ^= uint32(key[i])
+		h *= 16777619
+	}
+	return (h ^ h>>16) % recordStripes
+}
+
+// acquire write-locks key's stripe and returns the record, creating it if
+// missing. The caller must Unlock the returned stripe's mu when done
+// touching the record.
+func (s *recordStore) acquire(key string) (*record, *recordStripe) {
+	sp := &s.stripes[stripeOf(key)]
+	sp.mu.Lock()
+	rc := sp.m[key]
+	if rc == nil {
+		rc = &record{}
+		sp.m[key] = rc
+	}
+	return rc, sp
+}
+
+// peek read-locks key's stripe and returns the record, or nil if the key
+// does not exist. The caller must RUnlock the returned stripe's mu.
+func (s *recordStore) peek(key string) (*record, *recordStripe) {
+	sp := &s.stripes[stripeOf(key)]
+	sp.mu.RLock()
+	return sp.m[key], sp
+}
+
+// forEach visits every record one stripe at a time under that stripe's
+// read lock. The view is per-stripe consistent, not a global cut —
+// callers that need cross-key atomicity (none do today: anti-entropy and
+// snapshots reconcile per key by version) must serialize writers
+// themselves.
+func (s *recordStore) forEach(f func(key string, rc *record)) {
+	for i := range s.stripes {
+		sp := &s.stripes[i]
+		sp.mu.RLock()
+		for k, rc := range sp.m {
+			f(k, rc)
+		}
+		sp.mu.RUnlock()
+	}
+}
+
+// seedAll bulk-installs records for keys, taking each stripe lock once
+// instead of once per key: indices are bucket-sorted by stripe (CSR
+// layout, two passes, one flat order array), then each stripe is locked
+// and all its keys inserted back to back. Fresh records come from one
+// contiguous array. apply initializes (or re-initializes) keys[i]'s
+// record; it runs under the key's stripe lock.
+func (s *recordStore) seedAll(keys []string, apply func(rc *record, i int)) {
+	n := len(keys)
+	if n == 0 {
+		return
+	}
+	stripe := make([]uint8, n)
+	var count [recordStripes]int32
+	for i, k := range keys {
+		sp := uint8(stripeOf(k))
+		stripe[i] = sp
+		count[sp]++
+	}
+	var off [recordStripes + 1]int32
+	for i := 0; i < recordStripes; i++ {
+		off[i+1] = off[i] + count[i]
+	}
+	order := make([]int32, n)
+	pos := off
+	for i := range keys {
+		sp := stripe[i]
+		order[pos[sp]] = int32(i)
+		pos[sp]++
+	}
+	recs := make([]record, n)
+	for spi := 0; spi < recordStripes; spi++ {
+		lo, hi := off[spi], off[spi+1]
+		if lo == hi {
+			continue
+		}
+		sp := &s.stripes[spi]
+		sp.mu.Lock()
+		for _, idx := range order[lo:hi] {
+			key := keys[idx]
+			rc := sp.m[key]
+			if rc == nil {
+				rc = &recs[idx]
+				sp.m[key] = rc
+			}
+			apply(rc, int(idx))
+		}
+		sp.mu.Unlock()
+	}
+}
+
+// reserve pre-sizes every stripe for about n total keys ahead of a bulk
+// seed, so incremental map growth doesn't dominate setup. Only cold
+// (empty) stripes are replaced.
+func (s *recordStore) reserve(n int) {
+	if n <= 0 {
+		return
+	}
+	per := n/recordStripes + 1
+	for i := range s.stripes {
+		sp := &s.stripes[i]
+		sp.mu.Lock()
+		if len(sp.m) == 0 {
+			sp.m = make(map[string]*record, per)
+		}
+		sp.mu.Unlock()
+	}
+}
+
+// reset drops every record (crash / restore).
+func (s *recordStore) reset(hint int) {
+	per := hint/recordStripes + 1
+	for i := range s.stripes {
+		sp := &s.stripes[i]
+		sp.mu.Lock()
+		sp.m = make(map[string]*record, per)
+		sp.mu.Unlock()
+	}
+}
+
+// count returns the total number of records across stripes.
+func (s *recordStore) count() int {
+	n := 0
+	for i := range s.stripes {
+		sp := &s.stripes[i]
+		sp.mu.RLock()
+		n += len(sp.m)
+		sp.mu.RUnlock()
+	}
+	return n
+}

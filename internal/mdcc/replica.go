@@ -39,7 +39,7 @@ type Replica struct {
 	clk vclock.Clock // the network's clock
 
 	mu      sync.Mutex
-	records map[string]*record
+	records *recordStore
 	decided map[txn.ID]bool
 	masters map[string]*masterKey
 	syncs   map[uint64]*syncWaiter
@@ -129,7 +129,7 @@ func NewReplica(cfg ReplicaConfig) *Replica {
 	r := &Replica{
 		cfg:      cfg,
 		clk:      cfg.Net.ClockFor(cfg.Addr.Region),
-		records:  make(map[string]*record),
+		records:  newRecordStore(),
 		decided:  make(map[txn.ID]bool),
 		masters:  make(map[string]*masterKey),
 		baseline: make(map[string]seedRecord),
@@ -144,13 +144,13 @@ func (r *Replica) Addr() simnet.Addr { return r.cfg.Addr }
 // Region returns the replica's region.
 func (r *Replica) Region() simnet.Region { return r.cfg.Addr.Region }
 
-// rec returns (creating if needed) the record for key. Caller holds r.mu.
+// rec returns (creating if needed) the record for key, for white-box
+// tests that inspect record state on a quiesced replica. Live code paths
+// use records.acquire/peek and touch the record only under its stripe
+// lock.
 func (r *Replica) rec(key string) *record {
-	rc := r.records[key]
-	if rc == nil {
-		rc = &record{}
-		r.records[key] = rc
-	}
+	rc, sp := r.records.acquire(key)
+	sp.mu.Unlock()
 	return rc
 }
 
@@ -161,9 +161,10 @@ func (r *Replica) SeedBytes(key string, value []byte) {
 	v := append([]byte(nil), value...)
 	r.mu.Lock()
 	defer r.mu.Unlock()
-	rc := r.rec(key)
+	rc, sp := r.records.acquire(key)
 	rc.bytes = v
 	rc.isInt = false
+	sp.mu.Unlock()
 	r.baseline[key] = seedRecord{bytes: v}
 }
 
@@ -171,24 +172,23 @@ func (r *Replica) SeedBytes(key string, value []byte) {
 func (r *Replica) SeedInt(key string, value, lo, hi int64) {
 	r.mu.Lock()
 	defer r.mu.Unlock()
-	rc := r.rec(key)
+	rc, sp := r.records.acquire(key)
 	rc.ival = value
 	rc.isInt = true
 	rc.bounded = true
 	rc.lo, rc.hi = lo, hi
+	sp.mu.Unlock()
 	r.baseline[key] = seedRecord{ival: value, isInt: true, bounded: true, lo: lo, hi: hi}
 }
 
 // reserve pre-sizes the record and baseline maps ahead of a bulk seed so
-// incremental map growth doesn't dominate setup. Caller holds r.mu; only a
-// cold (empty) map is replaced.
+// incremental map growth doesn't dominate setup. Caller holds r.mu; only
+// cold (empty) maps are replaced.
 func (r *Replica) reserve(n int) {
 	if n <= 0 {
 		return
 	}
-	if len(r.records) == 0 {
-		r.records = make(map[string]*record, n)
-	}
+	r.records.reserve(n)
 	if len(r.baseline) == 0 {
 		r.baseline = make(map[string]seedRecord, n)
 	}
@@ -202,15 +202,11 @@ func (r *Replica) SeedBytesAll(keys []string, value []byte) {
 	r.mu.Lock()
 	defer r.mu.Unlock()
 	r.reserve(len(keys))
-	recs := make([]record, len(keys))
-	for i, key := range keys {
-		rc := r.records[key]
-		if rc == nil {
-			rc = &recs[i]
-			r.records[key] = rc
-		}
+	r.records.seedAll(keys, func(rc *record, _ int) {
 		rc.bytes = value
 		rc.isInt = false
+	})
+	for _, key := range keys {
 		r.baseline[key] = seedRecord{bytes: value}
 	}
 }
@@ -221,29 +217,25 @@ func (r *Replica) SeedIntAll(keys []string, value, lo, hi int64) {
 	r.mu.Lock()
 	defer r.mu.Unlock()
 	r.reserve(len(keys))
-	recs := make([]record, len(keys))
 	seed := seedRecord{ival: value, isInt: true, bounded: true, lo: lo, hi: hi}
-	for i, key := range keys {
-		rc := r.records[key]
-		if rc == nil {
-			rc = &recs[i]
-			r.records[key] = rc
-		}
+	r.records.seedAll(keys, func(rc *record, _ int) {
 		rc.ival = value
 		rc.isInt = true
 		rc.bounded = true
 		rc.lo, rc.hi = lo, hi
+	})
+	for _, key := range keys {
 		r.baseline[key] = seed
 	}
 }
 
 // ReadLocal returns the committed state of key at this replica.
-// The second result reports whether the key exists.
+// The second result reports whether the key exists. Reads contend only
+// for the key's stripe, never the protocol mutex.
 func (r *Replica) ReadLocal(key string) (Value, bool) {
-	r.mu.Lock()
-	defer r.mu.Unlock()
-	rc, ok := r.records[key]
-	if !ok {
+	rc, sp := r.records.peek(key)
+	defer sp.mu.RUnlock()
+	if rc == nil {
 		return Value{}, false
 	}
 	return rc.value(), true
@@ -251,10 +243,9 @@ func (r *Replica) ReadLocal(key string) (Value, bool) {
 
 // PendingCount reports how many options are pending on key (tests).
 func (r *Replica) PendingCount(key string) int {
-	r.mu.Lock()
-	defer r.mu.Unlock()
-	rc, ok := r.records[key]
-	if !ok {
+	rc, sp := r.records.peek(key)
+	defer sp.mu.RUnlock()
+	if rc == nil {
 		return 0
 	}
 	return len(rc.pending)
@@ -314,13 +305,13 @@ func (r *Replica) Decisions() map[txn.ID]bool {
 
 // Snapshot returns the committed state of every key this replica holds.
 // Used by anti-entropy checks and the chaos soak's replay-equality audit.
+// The view is per-stripe consistent (see recordStore.forEach); callers
+// snapshot quiesced or reconcile per key by version.
 func (r *Replica) Snapshot() map[string]Value {
-	r.mu.Lock()
-	defer r.mu.Unlock()
-	out := make(map[string]Value, len(r.records))
-	for k, rc := range r.records {
+	out := make(map[string]Value, r.records.count())
+	r.records.forEach(func(k string, rc *record) {
 		out[k] = rc.value()
-	}
+	})
 	return out
 }
 
@@ -333,7 +324,7 @@ func (r *Replica) Crash() {
 	r.mu.Lock()
 	defer r.mu.Unlock()
 	r.crashed = true
-	r.records = make(map[string]*record)
+	r.records.reset(0)
 	r.decided = make(map[txn.ID]bool)
 	r.masters = make(map[string]*masterKey)
 	r.syncs = nil
@@ -355,14 +346,14 @@ func (r *Replica) Crash() {
 // anti-entropy (SyncFrom) repairs them, exactly like a healed partition.
 func (r *Replica) Restore() error {
 	r.mu.Lock()
-	r.records = make(map[string]*record, len(r.baseline))
+	r.records.reset(len(r.baseline))
 	r.decided = make(map[txn.ID]bool)
 	r.masters = make(map[string]*masterKey)
 	if r.leases != nil {
 		r.leases = make(map[simnet.Region]*leaseState)
 	}
 	for key, s := range r.baseline {
-		rc := r.rec(key)
+		rc, sp := r.records.acquire(key)
 		if s.isInt {
 			rc.ival, rc.isInt = s.ival, true
 			rc.bounded, rc.lo, rc.hi = s.bounded, s.lo, s.hi
@@ -371,6 +362,7 @@ func (r *Replica) Restore() error {
 			// committed slice in place, so the record can adopt it.
 			rc.bytes = s.bytes
 		}
+		sp.mu.Unlock()
 	}
 	var err error
 	var replaySpans []obs.Span
@@ -387,7 +379,9 @@ func (r *Replica) Restore() error {
 			r.decided[e.Txn] = e.Commit
 			if e.Commit {
 				for _, op := range e.Options {
-					r.rec(op.Key).apply(op)
+					rc, sp := r.records.acquire(op.Key)
+					rc.apply(op)
+					sp.mu.Unlock()
 					r.Applied++
 				}
 			}
@@ -488,7 +482,7 @@ func (r *Replica) onPropose(p proposeMsg) {
 	}
 	span := r.beginTraceLocked(p.Txn, p.Coord, p.TC, now)
 	for _, op := range p.Options {
-		rc := r.rec(op.Key)
+		rc, sp := r.records.acquire(op.Key)
 		rc.evictStale(now, r.cfg.PendingTTL)
 		reason := rc.validate(op, 0, p.Txn)
 		if reason == ReasonNone {
@@ -497,6 +491,7 @@ func (r *Replica) onPropose(p proposeMsg) {
 		} else {
 			r.FastRejects++
 		}
+		sp.mu.Unlock()
 		votes = append(votes, optionVote{Key: op.Key,
 			Accept: reason == ReasonNone, Reason: reason})
 	}
@@ -576,12 +571,13 @@ func (r *Replica) onDecide(d decideMsg) {
 	}
 	r.decided[d.Txn] = d.Commit
 	for _, op := range d.Options {
-		rc := r.rec(op.Key)
+		rc, sp := r.records.acquire(op.Key)
 		rc.removePending(d.Txn)
 		if d.Commit {
 			rc.apply(op)
 			r.Applied++
 		}
+		sp.mu.Unlock()
 		if ks := r.masters[op.Key]; ks != nil {
 			delete(ks.inflight, d.Txn)
 		}

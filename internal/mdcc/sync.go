@@ -78,29 +78,28 @@ func (r *Replica) applySnapshot(records map[string]Value) int {
 	defer r.mu.Unlock()
 	repaired := 0
 	for key, v := range records {
-		rc := r.rec(key)
-		if v.Version <= rc.version {
-			continue
+		rc, sp := r.records.acquire(key)
+		if v.Version > rc.version {
+			rc.version = v.Version
+			rc.isInt = v.IsInt
+			rc.ival = v.Int
+			// Adopt the donor's slice directly: snapshot values are
+			// immutable views (see record.value), never written in place
+			// by either side.
+			rc.bytes = v.Bytes
+			repaired++
 		}
-		rc.version = v.Version
-		rc.isInt = v.IsInt
-		rc.ival = v.Int
-		// Adopt the donor's slice directly: snapshot values are immutable
-		// views (see record.value), never written in place by either side.
-		rc.bytes = v.Bytes
-		repaired++
+		sp.mu.Unlock()
 	}
 	return repaired
 }
 
 // onSyncReq is the donor side: snapshot committed state and reply.
 func (r *Replica) onSyncReq(q syncReq) {
-	r.mu.Lock()
-	snapshot := make(map[string]Value, len(r.records))
-	for key, rc := range r.records {
+	snapshot := make(map[string]Value, r.records.count())
+	r.records.forEach(func(key string, rc *record) {
 		snapshot[key] = rc.value()
-	}
-	r.mu.Unlock()
+	})
 	r.send(q.From, syncResp{ReqID: q.ReqID, Records: snapshot})
 }
 

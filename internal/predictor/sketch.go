@@ -1,0 +1,123 @@
+package predictor
+
+import (
+	"math"
+	"time"
+)
+
+// Sketch is a fixed-size histogram quantile estimator. The admission
+// controller uses two of them per region: a linear [0,1] sketch over the
+// prior commit likelihoods of offered transactions (to turn a target shed
+// fraction into a likelihood threshold) and a log-spaced duration sketch
+// over commit latencies (to estimate the epoch's p99 against the SLO).
+//
+// Bins are fixed at construction, observations are O(1), and quantiles
+// resolve to a bin's upper edge — a deterministic, slightly conservative
+// estimate that over-reports rather than under-reports tail latency. All
+// arithmetic is plain float64 with a fixed insertion-independent result,
+// so identically-seeded runs produce identical control decisions.
+type Sketch struct {
+	linear bool
+	lo     float64 // log mode: smallest representable value
+	scale  float64 // log mode: bins per natural-log unit
+	bins   int
+	counts []uint64
+	n      uint64
+}
+
+// NewUnitSketch builds a linear sketch over [0, 1].
+func NewUnitSketch(bins int) *Sketch {
+	if bins < 2 {
+		bins = 2
+	}
+	return &Sketch{linear: true, bins: bins, counts: make([]uint64, bins)}
+}
+
+// NewDurationSketch builds a log-spaced sketch covering [min, max].
+// Values below min land in the first bin, above max in the last.
+func NewDurationSketch(min, max time.Duration, bins int) *Sketch {
+	if bins < 2 {
+		bins = 2
+	}
+	if min <= 0 {
+		min = time.Millisecond
+	}
+	if max <= min {
+		max = min * 2
+	}
+	lo := min.Seconds()
+	return &Sketch{
+		lo:     lo,
+		scale:  float64(bins) / math.Log(max.Seconds()/lo),
+		bins:   bins,
+		counts: make([]uint64, bins),
+	}
+}
+
+// Observe records one value.
+func (s *Sketch) Observe(x float64) {
+	var b int
+	if s.linear {
+		b = int(x * float64(s.bins))
+	} else if x > s.lo {
+		b = int(s.scale * math.Log(x/s.lo))
+	}
+	if b < 0 {
+		b = 0
+	} else if b >= s.bins {
+		b = s.bins - 1
+	}
+	s.counts[b]++
+	s.n++
+}
+
+// ObserveDuration records one duration (log mode).
+func (s *Sketch) ObserveDuration(d time.Duration) { s.Observe(d.Seconds()) }
+
+// Quantile returns the upper edge of the bin where the cumulative count
+// first reaches p of the observations, or 0 when empty.
+func (s *Sketch) Quantile(p float64) float64 {
+	if s.n == 0 {
+		return 0
+	}
+	if p < 0 {
+		p = 0
+	} else if p > 1 {
+		p = 1
+	}
+	target := uint64(math.Ceil(p * float64(s.n)))
+	if target == 0 {
+		target = 1
+	}
+	var cum uint64
+	for b := 0; b < s.bins; b++ {
+		cum += s.counts[b]
+		if cum >= target {
+			return s.upperEdge(b)
+		}
+	}
+	return s.upperEdge(s.bins - 1)
+}
+
+// QuantileDuration is Quantile for a duration sketch.
+func (s *Sketch) QuantileDuration(p float64) time.Duration {
+	return time.Duration(s.Quantile(p) * float64(time.Second))
+}
+
+func (s *Sketch) upperEdge(b int) float64 {
+	if s.linear {
+		return float64(b+1) / float64(s.bins)
+	}
+	return s.lo * math.Exp(float64(b+1)/s.scale)
+}
+
+// Count returns the number of observations.
+func (s *Sketch) Count() uint64 { return s.n }
+
+// Reset clears all observations, keeping the bin layout.
+func (s *Sketch) Reset() {
+	for i := range s.counts {
+		s.counts[i] = 0
+	}
+	s.n = 0
+}

@@ -1,0 +1,58 @@
+package predictor
+
+import (
+	"testing"
+	"time"
+)
+
+func TestUnitSketchQuantiles(t *testing.T) {
+	s := NewUnitSketch(100)
+	for i := 0; i < 1000; i++ {
+		s.Observe(float64(i%100) / 100)
+	}
+	if s.Count() != 1000 {
+		t.Fatalf("count = %d", s.Count())
+	}
+	for _, tc := range []struct{ p, want float64 }{
+		{0.10, 0.10}, {0.50, 0.50}, {0.95, 0.95},
+	} {
+		got := s.Quantile(tc.p)
+		if got < tc.want-0.02 || got > tc.want+0.02 {
+			t.Errorf("Quantile(%v) = %v, want ~%v", tc.p, got, tc.want)
+		}
+	}
+	s.Reset()
+	if s.Count() != 0 || s.Quantile(0.5) != 0 {
+		t.Fatal("reset did not clear")
+	}
+}
+
+func TestDurationSketchP99(t *testing.T) {
+	s := NewDurationSketch(time.Millisecond, time.Minute, 64)
+	// 99 fast observations and one slow outlier.
+	for i := 0; i < 99; i++ {
+		s.ObserveDuration(50 * time.Millisecond)
+	}
+	s.ObserveDuration(10 * time.Second)
+	p50 := s.QuantileDuration(0.50)
+	p99 := s.QuantileDuration(0.99)
+	if p50 < 40*time.Millisecond || p50 > 80*time.Millisecond {
+		t.Errorf("p50 = %v, want ~50ms bin edge", p50)
+	}
+	// The bin upper edge over-reports, never under-reports.
+	if p99 < 50*time.Millisecond {
+		t.Errorf("p99 = %v under-reports", p99)
+	}
+	if s.QuantileDuration(1.0) < 10*time.Second {
+		t.Errorf("max quantile %v lost the outlier", s.QuantileDuration(1.0))
+	}
+	// Out-of-range values clamp to the edge bins instead of panicking.
+	s.ObserveDuration(0)
+	s.ObserveDuration(time.Hour)
+}
+
+func TestSketchEmpty(t *testing.T) {
+	if got := NewUnitSketch(8).Quantile(0.9); got != 0 {
+		t.Fatalf("empty quantile = %v", got)
+	}
+}

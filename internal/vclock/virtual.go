@@ -1,7 +1,6 @@
 package vclock
 
 import (
-	"container/heap"
 	"context"
 	"sync"
 	"time"
@@ -59,7 +58,7 @@ type Virtual struct {
 	now     time.Duration
 	running int // granted execution slots (1 in steady state; AddWork pins add)
 	ready   []*grant
-	timers  timerHeap
+	timers  wheel[*vtimer]
 	seq     uint64
 	stopped bool
 }
@@ -113,8 +112,7 @@ func (v *Virtual) run() {
 			}
 			continue
 		}
-		if len(v.timers) > 0 {
-			t := heap.Pop(&v.timers).(*vtimer)
+		if t, ok := v.timers.popMin(); ok {
 			if t.when > v.now {
 				v.now = t.when
 			}
@@ -133,13 +131,13 @@ func (v *Virtual) drainLocked() {
 		}
 	}
 	v.ready = nil
-	for _, t := range v.timers {
+	v.timers.forEach(func(t *vtimer) {
 		if t.g != nil && t.g.cause == causeNone {
 			t.g.cause = causeShutdown
 			close(t.g.ch)
 		}
-	}
-	v.timers = nil
+	})
+	v.timers.reset()
 }
 
 // readyLocked appends g to the run queue. Caller holds v.mu.
@@ -175,9 +173,9 @@ func (v *Virtual) newTimerLocked(d time.Duration) *vtimer {
 	if d < 0 {
 		d = 0
 	}
-	t := &vtimer{v: v, when: v.now + d, seq: v.seq, index: -1}
+	t := &vtimer{v: v, when: v.now + d, seq: v.seq}
 	v.seq++
-	heap.Push(&v.timers, t)
+	v.timers.schedule(t.when, t.seq, 0, t)
 	v.cond.Signal()
 	return t
 }
@@ -262,8 +260,8 @@ func (v *Virtual) wakeLocked(g *grant, cause int) {
 		return
 	}
 	g.cause = cause
-	if g.timer != nil && g.timer.index >= 0 {
-		heap.Remove(&v.timers, g.timer.index)
+	if g.timer != nil {
+		v.timers.cancel(g.timer)
 	}
 	v.readyLocked(g)
 }
@@ -276,7 +274,7 @@ func (v *Virtual) AfterFunc(d time.Duration, f func()) Timer {
 	if v.stopped {
 		v.mu.Unlock()
 		go f()
-		return &vtimer{v: v, fired: true, index: -1}
+		return &vtimer{v: v, fired: true}
 	}
 	t := v.newTimerLocked(d)
 	t.fn = f
@@ -292,7 +290,7 @@ func (v *Virtual) AfterFunc(d time.Duration, f func()) Timer {
 func (v *Virtual) NewTimer(d time.Duration) Timer {
 	v.mu.Lock()
 	if v.stopped {
-		t := &vtimer{v: v, fired: true, index: -1, ch: make(chan time.Time, 1)}
+		t := &vtimer{v: v, fired: true, ch: make(chan time.Time, 1)}
 		t.ch <- epoch.Add(v.now)
 		v.mu.Unlock()
 		return t
@@ -391,23 +389,26 @@ func (v *Virtual) Running() int {
 func (v *Virtual) PendingTimers() int {
 	v.mu.Lock()
 	defer v.mu.Unlock()
-	return len(v.timers)
+	return v.timers.live
 }
 
-// vtimer is one scheduled deadline in the virtual heap.
+// vtimer is one scheduled deadline in the virtual timer wheel.
 type vtimer struct {
 	v     *Virtual
-	when  time.Duration // virtual deadline (offset from epoch)
-	seq   uint64        // insertion order breaks deadline ties
-	fn    func()        // AfterFunc callback
+	when  time.Duration  // virtual deadline (offset from epoch)
+	seq   uint64         // insertion order breaks deadline ties
+	fn    func()         // AfterFunc callback
 	ch    chan time.Time // NewTimer channel
-	g     *grant        // parked sleeper / waiter to ready on fire
+	g     *grant         // parked sleeper / waiter to ready on fire
 	fired bool
-	index int // heap index, -1 when not queued
+	node  wheelNode
 }
 
+// wheelState exposes the wheel bookkeeping node.
+func (t *vtimer) wheelState() *wheelNode { return &t.node }
+
 // fireLocked delivers the timer. Caller holds v.mu; the timer was just
-// popped from the heap.
+// popped from the wheel.
 func (t *vtimer) fireLocked() {
 	t.fired = true
 	switch {
@@ -436,8 +437,7 @@ func (t *vtimer) Stop() bool {
 
 // stopLocked is Stop under v.mu.
 func (t *vtimer) stopLocked() bool {
-	if t.index >= 0 {
-		heap.Remove(&t.v.timers, t.index)
+	if t.v.timers.cancel(t) {
 		return true
 	}
 	if t.ch != nil {
@@ -465,37 +465,7 @@ func (t *vtimer) Reset(d time.Duration) bool {
 	t.when = v.now + d
 	t.seq = v.seq
 	v.seq++
-	heap.Push(&v.timers, t)
+	v.timers.schedule(t.when, t.seq, 0, t)
 	v.cond.Signal()
 	return wasPending
-}
-
-// timerHeap is a min-heap of timers by (deadline, insertion order).
-type timerHeap []*vtimer
-
-func (h timerHeap) Len() int { return len(h) }
-func (h timerHeap) Less(i, j int) bool {
-	if h[i].when != h[j].when {
-		return h[i].when < h[j].when
-	}
-	return h[i].seq < h[j].seq
-}
-func (h timerHeap) Swap(i, j int) {
-	h[i], h[j] = h[j], h[i]
-	h[i].index = i
-	h[j].index = j
-}
-func (h *timerHeap) Push(x any) {
-	t := x.(*vtimer)
-	t.index = len(*h)
-	*h = append(*h, t)
-}
-func (h *timerHeap) Pop() any {
-	old := *h
-	n := len(old)
-	t := old[n-1]
-	old[n-1] = nil
-	t.index = -1
-	*h = old[:n-1]
-	return t
 }

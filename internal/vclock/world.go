@@ -1,7 +1,6 @@
 package vclock
 
 import (
-	"container/heap"
 	"context"
 	"fmt"
 	"math"
@@ -42,19 +41,26 @@ const maxDur = time.Duration(math.MaxInt64)
 // cross-partition events sort before locally scheduled ones (the strict
 // horizon guarantees all same-time arrivals are present before execution).
 //
-// All partitions share one mutex: scheduling transitions are short (heap
-// ops and a horizon scan), and the event handlers — where the simulation
-// actually spends its time — run with the lock released, in parallel.
-// Wake-ups are targeted: each partition loop sleeps on its own condition
-// variable and is signaled only when its admission predicate could have
-// changed (new local work, or a peer's base advancing past a horizon
-// block), so one partition's scheduling traffic does not stampede the rest.
+// All partitions share one mutex: scheduling transitions are short (timer-
+// wheel ops and a horizon scan), and the event handlers — where the
+// simulation actually spends its time — run with the lock released, in
+// parallel. Wake-ups are targeted: each partition loop sleeps on its own
+// condition variable and is signaled only when its admission predicate
+// could have changed (new local work, or a peer's base advancing past a
+// horizon block), so one partition's scheduling traffic does not stampede
+// the rest. Two counters shave the synchronization overhead further:
+// horizonWaiters lets base-raise notifications skip the peer walk when no
+// loop is blocked, and activeParts lets the admission check skip the
+// horizon scan entirely when a single partition owns all pending work —
+// every peer base is then +inf, so the horizon is trivially unbounded.
 type World struct {
-	mu      sync.Mutex
-	parts   []*Partition
-	byName  map[string]*Partition
-	la      [][]time.Duration // closed lookahead matrix, la[src][dst]
-	stopped bool
+	mu             sync.Mutex
+	parts          []*Partition
+	byName         map[string]*Partition
+	la             [][]time.Duration // closed lookahead matrix, la[src][dst]
+	stopped        bool
+	horizonWaiters int // partition loops asleep blocked by their horizon
+	activeParts    int // partitions with running slots, ready work, or timers
 }
 
 // NewWorld builds a world with one partition per name (in order; the index
@@ -110,6 +116,8 @@ func NewWorld(names []string, la [][]time.Duration) (*World, error) {
 		w.byName[name] = p
 	}
 	w.parts[0].running = 1 // the constructing goroutine holds partition 0's slot
+	w.parts[0].active = true
+	w.activeParts = 1
 	for _, p := range w.parts {
 		go p.run()
 	}
@@ -152,12 +160,29 @@ type Partition struct {
 	// All fields below are guarded by w.mu.
 	cond        *sync.Cond // wakes this partition's loop only
 	horizonWait bool       // loop is asleep blocked by its horizon
+	active      bool       // counted in w.activeParts
 	now         time.Duration
 	running     int // granted execution slots (see Virtual.running)
 	ready       []*grant
-	timers      wtimerHeap
+	timers      wheel[*wtimer]
 	seq         uint64 // local insertion order (timer ties)
 	xseq        uint64 // cross-partition send order (merge-layer ties)
+}
+
+// syncActiveLocked reconciles p's membership in w.activeParts after any
+// change to its running slots, run queue, or timer population. Caller holds
+// w.mu.
+func (p *Partition) syncActiveLocked() {
+	a := p.running > 0 || len(p.ready) > 0 || p.timers.live > 0
+	if a == p.active {
+		return
+	}
+	p.active = a
+	if a {
+		p.w.activeParts++
+	} else {
+		p.w.activeParts--
+	}
 }
 
 // Name returns the partition's name.
@@ -188,18 +213,24 @@ func (p *Partition) run() {
 				fn()
 				w.mu.Lock()
 				p.running--
+				p.syncActiveLocked()
 				p.baseRaisedLocked()
 			} else {
 				close(g.ch)
 			}
 			continue
 		}
-		if len(p.timers) > 0 {
-			t := p.timers[0]
-			if t.when <= p.now || t.when < p.horizonLocked() {
-				heap.Pop(&p.timers)
-				if t.when > p.now {
-					p.now = t.when
+		if p.timers.live > 0 {
+			t, when, _ := p.timers.peekMin()
+			// Admit when the head is at or behind local time, when this
+			// partition owns all pending work (every peer base is +inf, so
+			// the horizon is trivially unbounded — no scan needed), or when
+			// the head is strictly inside the conservative horizon.
+			if when <= p.now || (w.activeParts == 1 && p.active) || when < p.horizonLocked() {
+				p.timers.popMin()
+				p.syncActiveLocked()
+				if when > p.now {
+					p.now = when
 				}
 				t.fireLocked()
 				// Popping the head can only raise base(p): it was the head's
@@ -209,8 +240,10 @@ func (p *Partition) run() {
 				continue
 			}
 			p.horizonWait = true
+			w.horizonWaiters++
 			p.cond.Wait()
 			p.horizonWait = false
+			w.horizonWaiters--
 			continue
 		}
 		p.cond.Wait()
@@ -227,8 +260,12 @@ func (p *Partition) baseRaisedLocked() {
 }
 
 // wakeHorizonPeersLocked signals every peer loop asleep on its horizon:
-// base(p) rose, so their horizons may have too. Caller holds w.mu.
+// base(p) rose, so their horizons may have too. Caller holds w.mu. The
+// common case — nobody blocked — is a single counter check.
 func (p *Partition) wakeHorizonPeersLocked() {
+	if p.w.horizonWaiters == 0 {
+		return
+	}
 	for _, q := range p.w.parts {
 		if q != p && q.horizonWait {
 			q.cond.Signal()
@@ -242,8 +279,8 @@ func (p *Partition) baseLocked() time.Duration {
 	if p.running > 0 || len(p.ready) > 0 {
 		return p.now
 	}
-	if len(p.timers) > 0 {
-		return p.timers[0].when
+	if _, when, ok := p.timers.peekMin(); ok {
+		return when
 	}
 	return maxDur
 }
@@ -277,18 +314,20 @@ func (p *Partition) drainLocked() {
 		}
 	}
 	p.ready = nil
-	for _, t := range p.timers {
+	p.timers.forEach(func(t *wtimer) {
 		if t.g != nil && t.g.cause == causeNone {
 			t.g.cause = causeShutdown
 			close(t.g.ch)
 		}
-	}
-	p.timers = nil
+	})
+	p.timers.reset()
+	p.syncActiveLocked()
 }
 
 // readyLocked appends g to the run queue. Caller holds w.mu.
 func (p *Partition) readyLocked(g *grant) {
 	p.ready = append(p.ready, g)
+	p.syncActiveLocked()
 	p.cond.Signal()
 }
 
@@ -300,6 +339,7 @@ func (p *Partition) parkLocked(g *grant) {
 		panic("vclock: park without an execution slot (untracked goroutine blocked through the clock)")
 	}
 	p.cond.Signal()
+	p.syncActiveLocked()
 	p.baseRaisedLocked()
 	p.w.mu.Unlock()
 	<-g.ch
@@ -313,6 +353,7 @@ func (p *Partition) exitLocked() {
 		panic("vclock: unbalanced execution-slot release")
 	}
 	p.cond.Signal()
+	p.syncActiveLocked()
 	p.baseRaisedLocked()
 }
 
@@ -324,10 +365,8 @@ func (p *Partition) wakeLocked(g *grant, cause int) {
 		return
 	}
 	g.cause = cause
-	if g.wt != nil && g.wt.index >= 0 {
-		tp := g.wt.p
-		heap.Remove(&tp.timers, g.wt.index)
-		tp.baseRaisedLocked() // head timer may have risen
+	if g.wt != nil && g.wt.p != nil {
+		g.wt.p.cancelTimerLocked(g.wt)
 	}
 	home := g.p
 	if home == nil {
@@ -344,15 +383,39 @@ func (p *Partition) wakeLocked(g *grant, cause int) {
 	home.readyLocked(g)
 }
 
+// scheduleLocked inserts t into p's timer wheel under the packed ordering
+// key: cross deliveries keep their small sender-id first word, local timers
+// set localKeyBit, so the wheel's unsigned key compare reproduces the
+// (when, cross-before-local, k1, k2) order exactly. Caller holds w.mu.
+func (p *Partition) scheduleLocked(t *wtimer) {
+	a := t.k1
+	if !t.cross {
+		a |= localKeyBit
+	}
+	p.timers.schedule(t.when, a, t.k2, t)
+	p.syncActiveLocked()
+	p.cond.Signal()
+}
+
+// cancelTimerLocked lazily removes t from p's wheel, propagating a possible
+// base raise. Reports whether t was scheduled. Caller holds w.mu.
+func (p *Partition) cancelTimerLocked(t *wtimer) bool {
+	if !p.timers.cancel(t) {
+		return false
+	}
+	p.syncActiveLocked()
+	p.baseRaisedLocked() // head timer may have risen
+	return true
+}
+
 // newTimerLocked registers a local timer firing at now+d. Caller holds w.mu.
 func (p *Partition) newTimerLocked(d time.Duration) *wtimer {
 	if d < 0 {
 		d = 0
 	}
-	t := &wtimer{p: p, when: p.now + d, k1: p.seq, cause: causeTimer, index: -1}
+	t := &wtimer{p: p, when: p.now + d, k1: p.seq, cause: causeTimer}
 	p.seq++
-	heap.Push(&p.timers, t)
-	p.cond.Signal()
+	p.scheduleLocked(t)
 	return t
 }
 
@@ -369,8 +432,7 @@ func (w *World) crossLocked(src, dst *Partition, d time.Duration, t *wtimer) {
 	t.k1 = uint64(src.id)
 	t.k2 = src.xseq
 	src.xseq++
-	heap.Push(&dst.timers, t)
-	dst.cond.Signal()
+	dst.scheduleLocked(t)
 }
 
 // partitionOf unwraps clk to its World partition, or nil.
@@ -395,9 +457,9 @@ func ScheduleCross(src, dst Clock, d time.Duration, f func()) Timer {
 	if w.stopped {
 		w.mu.Unlock()
 		go f()
-		return &wtimer{p: dp, fired: true, index: -1}
+		return &wtimer{p: dp, fired: true}
 	}
-	t := &wtimer{fn: f, cause: causeTimer, index: -1}
+	t := &wtimer{fn: f, cause: causeTimer}
 	w.crossLocked(sp, dp, d, t)
 	w.mu.Unlock()
 	return t
@@ -423,7 +485,7 @@ func RunOn(src, dst Clock, f func()) {
 		return
 	}
 	g := &grant{ch: make(chan struct{}), p: sp}
-	call := &wtimer{cause: causeTimer, index: -1}
+	call := &wtimer{cause: causeTimer}
 	call.fn = func() {
 		f()
 		w.mu.Lock()
@@ -436,7 +498,7 @@ func RunOn(src, dst Clock, f func()) {
 			w.mu.Unlock()
 			return
 		}
-		back := &wtimer{g: g, cause: causeTimer, index: -1}
+		back := &wtimer{g: g, cause: causeTimer}
 		w.crossLocked(dp, sp, 0, back)
 		w.mu.Unlock()
 	}
@@ -523,7 +585,7 @@ func (p *Partition) AfterFunc(d time.Duration, f func()) Timer {
 	if w.stopped {
 		w.mu.Unlock()
 		go f()
-		return &wtimer{p: p, fired: true, index: -1}
+		return &wtimer{p: p, fired: true}
 	}
 	t := p.newTimerLocked(d)
 	t.fn = f
@@ -536,7 +598,7 @@ func (p *Partition) NewTimer(d time.Duration) Timer {
 	w := p.w
 	w.mu.Lock()
 	if w.stopped {
-		t := &wtimer{p: p, fired: true, index: -1, ch: make(chan time.Time, 1)}
+		t := &wtimer{p: p, fired: true, ch: make(chan time.Time, 1)}
 		t.ch <- epoch.Add(p.now)
 		w.mu.Unlock()
 		return t
@@ -615,6 +677,7 @@ func (p *Partition) AddWork(n int) {
 	}
 	p.w.mu.Lock()
 	p.running += n
+	p.syncActiveLocked()
 	p.w.mu.Unlock()
 }
 
@@ -636,7 +699,7 @@ func (p *Partition) Running() int {
 func (p *Partition) PendingTimers() int {
 	p.w.mu.Lock()
 	defer p.w.mu.Unlock()
-	return len(p.timers)
+	return p.timers.live
 }
 
 // fireEventLocked delivers an Event fire homed on p: local waiters are
@@ -662,13 +725,13 @@ func (p *Partition) fireEventLocked(waiters []*grant) {
 			p.wakeLocked(g, causeEvent)
 			continue
 		}
-		wt := &wtimer{g: g, cause: causeEvent, index: -1}
+		wt := &wtimer{g: g, cause: causeEvent}
 		w.crossLocked(p, dst, 0, wt)
 	}
 }
 
-// wtimer is one scheduled entry in a partition's heap: a local timer, a
-// cross-partition delivery, or a shipped wake-up.
+// wtimer is one scheduled entry in a partition's timer wheel: a local
+// timer, a cross-partition delivery, or a shipped wake-up.
 type wtimer struct {
 	p      *Partition
 	when   time.Duration
@@ -679,11 +742,14 @@ type wtimer struct {
 	g      *grant
 	cause  int // wake cause delivered to g
 	fired  bool
-	index  int // heap index, -1 when not queued
+	node   wheelNode
 }
 
+// wheelState exposes the wheel bookkeeping node.
+func (t *wtimer) wheelState() *wheelNode { return &t.node }
+
 // fireLocked delivers the timer. Caller holds w.mu; the timer was just
-// popped from p's heap.
+// popped from p's wheel.
 func (t *wtimer) fireLocked() {
 	t.fired = true
 	switch {
@@ -712,9 +778,7 @@ func (t *wtimer) Stop() bool {
 
 // stopLocked is Stop under w.mu.
 func (t *wtimer) stopLocked() bool {
-	if t.index >= 0 {
-		heap.Remove(&t.p.timers, t.index)
-		t.p.baseRaisedLocked() // head timer may have risen
+	if t.p != nil && t.p.cancelTimerLocked(t) {
 		return true
 	}
 	if t.ch != nil {
@@ -746,44 +810,6 @@ func (t *wtimer) Reset(d time.Duration) bool {
 	t.k1 = p.seq
 	t.k2 = 0
 	p.seq++
-	heap.Push(&p.timers, t)
-	p.cond.Signal()
+	p.scheduleLocked(t)
 	return wasPending
-}
-
-// wtimerHeap is a min-heap keyed (when, cross-before-local, k1, k2).
-type wtimerHeap []*wtimer
-
-func (h wtimerHeap) Len() int { return len(h) }
-func (h wtimerHeap) Less(i, j int) bool {
-	a, b := h[i], h[j]
-	if a.when != b.when {
-		return a.when < b.when
-	}
-	if a.cross != b.cross {
-		return a.cross // merged arrivals deliver before local timers
-	}
-	if a.k1 != b.k1 {
-		return a.k1 < b.k1
-	}
-	return a.k2 < b.k2
-}
-func (h wtimerHeap) Swap(i, j int) {
-	h[i], h[j] = h[j], h[i]
-	h[i].index = i
-	h[j].index = j
-}
-func (h *wtimerHeap) Push(x any) {
-	t := x.(*wtimer)
-	t.index = len(*h)
-	*h = append(*h, t)
-}
-func (h *wtimerHeap) Pop() any {
-	old := *h
-	n := len(old)
-	t := old[n-1]
-	old[n-1] = nil
-	t.index = -1
-	*h = old[:n-1]
-	return t
 }

@@ -8,6 +8,7 @@ import (
 
 	planet "planet/internal/core"
 	"planet/internal/simnet"
+	"planet/internal/txn"
 	"planet/internal/vclock"
 )
 
@@ -112,15 +113,45 @@ func (c Closed) Run() (*Report, error) {
 	return report, nil
 }
 
+// RatePhase is one piece of a piecewise-constant arrival-rate schedule:
+// Rate arrivals per second (emulator time) sustained for Dur. Chaining
+// phases models diurnal load curves and surges; a zero-rate phase is an
+// idle trough.
+type RatePhase struct {
+	Rate float64
+	Dur  time.Duration
+}
+
 // Open runs an open-loop workload: transactions arrive as a Poisson process
-// at Rate per second (emulator time) regardless of completion — the load
-// shape under which admission control earns its keep.
+// regardless of completion — the load shape under which admission control
+// earns its keep. Either a flat Rate/Count or a Phases schedule paces the
+// arrivals; child RNGs come from a pool of O(1)-reseed generators so a
+// million-arrival run doesn't allocate a fresh generator per arrival.
 type Open struct {
 	Options
-	// Rate is the mean arrival rate, transactions per second.
+	// Rate is the mean arrival rate, transactions per second. Ignored
+	// when Phases is set.
 	Rate float64
-	// Count is the total number of transactions to submit.
+	// Count is the total number of transactions to submit. Ignored when
+	// Phases is set (the schedule's duration bounds the run instead).
 	Count int
+	// Phases, when non-empty, shapes the arrival rate over the run as a
+	// piecewise-constant (diurnal / surge) profile. The exponential gap
+	// is redrawn at each phase boundary, which by memorylessness leaves
+	// the process exactly Poisson at the new rate.
+	Phases []RatePhase
+	// Batch groups every arrival falling inside one window of this width
+	// into a single scheduler sleep: the pacer sleeps once to the window
+	// end and injects the batch in timestamp order. At high rates this
+	// turns one timer per arrival into one per window while keeping the
+	// injection order (and thus determinism) intact; observed latencies
+	// shift by at most Batch. Zero disables batching.
+	Batch time.Duration
+	// Ledger, when non-nil, receives every inject/finish event and a
+	// conservation sample every SampleEvery arrivals.
+	Ledger *Ledger
+	// SampleEvery is the ledger sampling stride in arrivals (default 1024).
+	SampleEvery int
 }
 
 // Run executes the workload and returns its report.
@@ -128,11 +159,25 @@ func (o Open) Run() (*Report, error) {
 	if err := o.validate(); err != nil {
 		return nil, err
 	}
-	if o.Rate <= 0 {
-		return nil, fmt.Errorf("workload: Open.Rate must be positive, got %v", o.Rate)
+	if len(o.Phases) == 0 {
+		if o.Rate <= 0 {
+			return nil, fmt.Errorf("workload: Open.Rate must be positive, got %v", o.Rate)
+		}
+		if o.Count <= 0 {
+			o.Count = 100
+		}
+	} else {
+		for i, ph := range o.Phases {
+			if ph.Dur <= 0 {
+				return nil, fmt.Errorf("workload: Open.Phases[%d].Dur must be positive, got %v", i, ph.Dur)
+			}
+			if ph.Rate < 0 {
+				return nil, fmt.Errorf("workload: Open.Phases[%d].Rate must be non-negative, got %v", i, ph.Rate)
+			}
+		}
 	}
-	if o.Count <= 0 {
-		o.Count = 100
+	if o.SampleEvery <= 0 {
+		o.SampleEvery = 1024
 	}
 
 	clk := o.DB.Cluster().Clock()
@@ -156,47 +201,156 @@ func (o Open) Run() (*Report, error) {
 	g := vclock.NewGroup(clk)
 	var errMu sync.Mutex
 	var firstErr error
-	next := start
-	for i := 0; i < o.Count; i++ {
-		// Poisson arrivals: exponential inter-arrival gaps.
-		next = next.Add(time.Duration(rng.ExpFloat64() / o.Rate * float64(time.Second)))
-		if d := clk.Until(next); d > 0 {
+	setErr := func(err error) {
+		errMu.Lock()
+		if firstErr == nil {
+			firstErr = err
+		}
+		errMu.Unlock()
+	}
+
+	inject := func(s *planet.Session, childSeed int64) {
+		rclk := s.Clock()
+		if o.Ledger != nil {
+			o.Ledger.inject()
+		}
+		g.GoOn(rclk, func() {
+			crng := pooledRNG(childSeed)
+			tx, err := o.Template.Build(s, crng)
+			putRNG(crng)
+			if err != nil {
+				if o.Ledger != nil {
+					o.Ledger.abandon()
+				}
+				setErr(fmt.Errorf("workload: build: %w", err))
+				return
+			}
+			opts := report.callbacks(rclk, s.Region(), o.SpeculateAt, o.Deadline)
+			if l := o.Ledger; l != nil {
+				inner := opts.OnFinal
+				opts.OnFinal = func(out txn.Outcome) {
+					inner(out)
+					l.finish(out)
+				}
+			}
+			h, err := tx.Commit(opts)
+			if err != nil {
+				if o.Ledger != nil {
+					o.Ledger.abandon()
+				}
+				setErr(fmt.Errorf("workload: commit: %w", err))
+				return
+			}
+			h.Wait()
+		})
+	}
+
+	// The pacer draws (gap, childSeed) pairs in a fixed order, batches
+	// arrivals when asked, and samples the conservation ledger on a fixed
+	// arrival stride — all on the control partition, so the whole arrival
+	// sequence is a pure function of the seed.
+	type arrival struct {
+		s    *planet.Session
+		seed int64
+	}
+	var pending []arrival
+	var flushAt time.Time
+	flush := func() {
+		if len(pending) == 0 {
+			return
+		}
+		if d := clk.Until(flushAt); d > 0 {
 			clk.Sleep(d)
 		}
+		for _, a := range pending {
+			inject(a.s, a.seed)
+		}
+		pending = pending[:0]
+	}
+
+	next := start
+	phase := 0
+	phaseEnd := start
+	if len(o.Phases) > 0 {
+		phaseEnd = start.Add(o.Phases[0].Dur)
+	}
+	injected := 0
+	for {
+		var rate float64
+		if len(o.Phases) > 0 {
+			if phase >= len(o.Phases) {
+				break
+			}
+			rate = o.Phases[phase].Rate
+			if rate <= 0 {
+				// Idle trough: skip straight to the next phase.
+				next = phaseEnd
+				phase++
+				if phase < len(o.Phases) {
+					phaseEnd = phaseEnd.Add(o.Phases[phase].Dur)
+				}
+				continue
+			}
+		} else {
+			if injected >= o.Count {
+				break
+			}
+			rate = o.Rate
+		}
+		// Poisson arrivals: exponential inter-arrival gaps.
+		next = next.Add(time.Duration(rng.ExpFloat64() / rate * float64(time.Second)))
+		if len(o.Phases) > 0 && next.After(phaseEnd) {
+			// The gap crossed a phase boundary: restart the draw at the
+			// boundary under the next phase's rate (memorylessness makes
+			// this statistically exact).
+			next = phaseEnd
+			phase++
+			if phase < len(o.Phases) {
+				phaseEnd = phaseEnd.Add(o.Phases[phase].Dur)
+			}
+			continue
+		}
+		childSeed := rng.Int63()
 		errMu.Lock()
 		stop := firstErr != nil
 		errMu.Unlock()
 		if stop {
 			break
 		}
-		s := sessions[i%len(sessions)]
-		rclk := s.Clock()
-		childSeed := rng.Int63()
-		g.GoOn(rclk, func() {
-			crng := rand.New(rand.NewSource(childSeed))
-			tx, err := o.Template.Build(s, crng)
-			if err != nil {
-				errMu.Lock()
-				if firstErr == nil {
-					firstErr = fmt.Errorf("workload: build: %w", err)
-				}
-				errMu.Unlock()
-				return
+		s := sessions[injected%len(sessions)]
+		if o.Batch > 0 {
+			if len(pending) > 0 && next.After(flushAt) {
+				flush()
 			}
-			h, err := tx.Commit(report.callbacks(rclk, s.Region(), o.SpeculateAt, o.Deadline))
-			if err != nil {
-				errMu.Lock()
-				if firstErr == nil {
-					firstErr = fmt.Errorf("workload: commit: %w", err)
-				}
-				errMu.Unlock()
-				return
+			if len(pending) == 0 {
+				flushAt = next.Add(o.Batch)
 			}
-			h.Wait()
-		})
+			pending = append(pending, arrival{s: s, seed: childSeed})
+		} else {
+			if d := clk.Until(next); d > 0 {
+				clk.Sleep(d)
+			}
+			inject(s, childSeed)
+		}
+		injected++
+		if o.Ledger != nil && injected%o.SampleEvery == 0 {
+			flush() // the sample counts batched arrivals only once injected
+			if err := o.Ledger.Sample(clk.Since(start)); err != nil {
+				setErr(err)
+			}
+		}
 	}
+	flush()
 	g.Wait()
 	report.Elapsed = clk.Since(start)
+	if o.Ledger != nil {
+		if err := o.Ledger.Sample(clk.Since(start)); err != nil {
+			setErr(err)
+		}
+		if f := o.Ledger.Final(); f.InFlight != 0 {
+			setErr(fmt.Errorf("workload: %d transactions still in flight after drain: %v", f.InFlight, f))
+		}
+	}
 	errMu.Lock()
 	defer errMu.Unlock()
 	return report, firstErr

@@ -6,6 +6,7 @@ package workload
 
 import (
 	"fmt"
+	"math"
 	"math/rand"
 )
 
@@ -65,6 +66,80 @@ func (z Zipf) Next(rng *rand.Rand) string {
 
 // Keys implements KeyGen.
 func (z Zipf) Keys() []string { return allKeys(z.Prefix, z.N) }
+
+// ZipfFast draws from the same popularity law as Zipf — P(k) ∝ (k+1)^-s —
+// but from an alias table precomputed at construction, so Next is O(1)
+// with exactly two RNG draws and no per-draw sampler allocation. Build it
+// once and share it: the table is read-only after NewZipfFast, so one
+// instance serves every arrival goroutine of an open-loop run.
+type ZipfFast struct {
+	prefix string
+	n      int
+	prob   []float64
+	alias  []int32
+}
+
+// NewZipfFast precomputes the alias table (Vose's method) for n keys with
+// skew exponent s (values ≤ 1 are clamped like Zipf).
+func NewZipfFast(prefix string, n int, s float64) *ZipfFast {
+	if n < 1 {
+		n = 1
+	}
+	if s <= 1 {
+		s = 1.01
+	}
+	scaled := make([]float64, n)
+	var sum float64
+	for i := range scaled {
+		scaled[i] = math.Pow(float64(i+1), -s)
+		sum += scaled[i]
+	}
+	prob := make([]float64, n)
+	alias := make([]int32, n)
+	small := make([]int32, 0, n)
+	large := make([]int32, 0, n)
+	for i := range scaled {
+		scaled[i] = scaled[i] / sum * float64(n)
+		if scaled[i] < 1 {
+			small = append(small, int32(i))
+		} else {
+			large = append(large, int32(i))
+		}
+	}
+	for len(small) > 0 && len(large) > 0 {
+		lo := small[len(small)-1]
+		small = small[:len(small)-1]
+		hi := large[len(large)-1]
+		large = large[:len(large)-1]
+		prob[lo] = scaled[lo]
+		alias[lo] = hi
+		scaled[hi] += scaled[lo] - 1
+		if scaled[hi] < 1 {
+			small = append(small, hi)
+		} else {
+			large = append(large, hi)
+		}
+	}
+	for _, i := range large {
+		prob[i] = 1
+	}
+	for _, i := range small {
+		prob[i] = 1 // numerical leftovers; exact weight is ≈1
+	}
+	return &ZipfFast{prefix: prefix, n: n, prob: prob, alias: alias}
+}
+
+// Next implements KeyGen.
+func (z *ZipfFast) Next(rng *rand.Rand) string {
+	i := rng.Intn(z.n)
+	if rng.Float64() < z.prob[i] {
+		return keyName(z.prefix, i)
+	}
+	return keyName(z.prefix, int(z.alias[i]))
+}
+
+// Keys implements KeyGen.
+func (z *ZipfFast) Keys() []string { return allKeys(z.prefix, z.n) }
 
 // Hotspot sends HotProb of the draws to a small hot set and the rest
 // uniformly to the cold set — the contention knob for experiments F5/F6.

@@ -1,0 +1,120 @@
+package workload
+
+import (
+	"fmt"
+	"time"
+
+	"planet/internal/txn"
+	"sync"
+)
+
+// Ledger enforces the open-loop conservation invariant
+//
+//	injected == committed + aborted + rejected + in-flight
+//
+// exactly, not statistically: injections, completions, and samples all
+// serialize on one mutex, so every sample observes a consistent cut of the
+// counters rather than a racy read of independently-updated atomics.
+// In-flight is maintained as its own counter instead of being derived from
+// the others, which makes the check a genuine cross-check of the inject
+// and completion paths — a double-fired OnFinal, a dropped rejection, or a
+// leaked handle shows up as a violated sample, not a silent skew.
+type Ledger struct {
+	mu        sync.Mutex
+	injected  uint64
+	committed uint64
+	aborted   uint64
+	rejected  uint64
+	inflight  uint64
+	samples   []LedgerSample
+}
+
+// LedgerSample is one consistent cut of the conservation counters.
+type LedgerSample struct {
+	// At is the driver-clock offset from the run start.
+	At        time.Duration
+	Injected  uint64
+	Committed uint64
+	Aborted   uint64
+	Rejected  uint64
+	InFlight  uint64
+}
+
+// Check reports whether the conservation invariant holds at this sample.
+func (s LedgerSample) Check() error {
+	if s.Injected != s.Committed+s.Aborted+s.Rejected+s.InFlight {
+		return fmt.Errorf("workload: conservation violated at %v: injected=%d != committed=%d + aborted=%d + rejected=%d + inflight=%d",
+			s.At, s.Injected, s.Committed, s.Aborted, s.Rejected, s.InFlight)
+	}
+	return nil
+}
+
+func (s LedgerSample) String() string {
+	return fmt.Sprintf("t=%v injected=%d committed=%d aborted=%d rejected=%d inflight=%d",
+		s.At, s.Injected, s.Committed, s.Aborted, s.Rejected, s.InFlight)
+}
+
+// inject records one arrival handed to the database.
+func (l *Ledger) inject() {
+	l.mu.Lock()
+	l.injected++
+	l.inflight++
+	l.mu.Unlock()
+}
+
+// finish records one arrival's final outcome.
+func (l *Ledger) finish(o txn.Outcome) {
+	l.mu.Lock()
+	l.inflight-- // wraps loudly on a double-finish: the next sample fails
+	switch {
+	case o.Rejected:
+		l.rejected++
+	case o.Committed:
+		l.committed++
+	default:
+		l.aborted++
+	}
+	l.mu.Unlock()
+}
+
+// abandon records an arrival that failed before reaching the database
+// (build or submission error); it counts as rejected so conservation holds
+// through driver-side failures too.
+func (l *Ledger) abandon() {
+	l.mu.Lock()
+	l.inflight--
+	l.rejected++
+	l.mu.Unlock()
+}
+
+// Sample appends one consistent cut taken at driver-clock offset `at` and
+// returns the invariant check for it.
+func (l *Ledger) Sample(at time.Duration) error {
+	l.mu.Lock()
+	s := LedgerSample{
+		At:       at,
+		Injected: l.injected, Committed: l.committed,
+		Aborted: l.aborted, Rejected: l.rejected, InFlight: l.inflight,
+	}
+	l.samples = append(l.samples, s)
+	l.mu.Unlock()
+	return s.Check()
+}
+
+// Samples returns a copy of every recorded sample, in order.
+func (l *Ledger) Samples() []LedgerSample {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return append([]LedgerSample(nil), l.samples...)
+}
+
+// Final returns the current counters as an unrecorded sample. After the
+// driver has waited out every handle, InFlight must be zero.
+func (l *Ledger) Final() LedgerSample {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return LedgerSample{
+		Injected: l.injected, Committed: l.committed,
+		Aborted: l.aborted, Rejected: l.rejected, InFlight: l.inflight,
+	}
+}

@@ -40,6 +40,15 @@ go run ./cmd/planetbench -quick -parallel all
 go test -count=10 -run TestLeaseVirtualDeterminism ./internal/mdcc/
 go test -race -count=2 ./internal/vclock
 go test -count=1 -timeout 60s -run 'TestExperimentsRunClean|TestEvaluationShapes' .
+# Open-loop traffic gates. Smoke: the -openloop profile (surge schedule,
+# Zipfian keys, adaptive admission) must sustain its quick arrival volume
+# with the conservation invariant (injected == committed + aborted +
+# rejected + in-flight) holding at every sample. Determinism: ten runs of
+# the admission-controller end-to-end test, each comparing two same-seed
+# runs bit-for-bit — the feedback loop (epoch ticks, sketch quantiles,
+# published thresholds) is part of the deterministic simulation.
+go run ./cmd/planetbench -quick -openloop
+go test -count=10 -timeout 120s -run TestAdaptiveAdmissionDeterminism ./internal/core/
 # Observability gates. Attribution determinism: the same seed on the
 # virtual clock must produce bit-identical per-stage variance tables
 # (twice per test invocation, ten invocations), or the span pipeline has
